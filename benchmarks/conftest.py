@@ -1,0 +1,35 @@
+"""Shared fixtures for the figure/table benchmarks.
+
+The experiment logic lives in :mod:`repro.harness.figures`; these
+benchmarks invoke the builders through a session-wide
+:class:`repro.harness.cache.RunCache` (every cell executes once) and
+assert the paper's shapes on the returned data payloads.  Compressed
+corpora are cached on disk under ``benchmarks/.cache`` so Sequitur runs
+only on the first invocation ever.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.harness.cache import RunCache
+from repro.harness.figures import DATASETS, TASKS  # noqa: F401 (re-export)
+
+CACHE_DIR = Path(__file__).parent / ".cache"
+
+
+@pytest.fixture(scope="session")
+def runs() -> RunCache:
+    return RunCache(cache_dir=CACHE_DIR)
+
+
+@pytest.fixture(scope="session")
+def corpora(runs):
+    return {name: runs.corpus(name) for name in DATASETS}
+
+
+def once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

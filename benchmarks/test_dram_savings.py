@@ -1,0 +1,51 @@
+"""Section VI-C: DRAM space savings of N-TADOC over TADOC.
+
+Paper: average saving 70.7%; per dataset A 65.6%, B 70.7%, C 72.2%,
+D 74.3% (larger datasets save proportionally more); per benchmark, word
+count saves the most (79.8%) and sequence count the least (60.7%).
+"""
+
+from conftest import DATASETS, TASKS, once
+
+from repro.harness import figures
+
+
+def test_dram_space_savings(benchmark, runs):
+    figure = once(benchmark, figures.dram_savings, runs)
+    print()
+    print(figure.render())
+    matrix = figure.data["matrix"]
+    values = list(matrix.values())
+
+    # Shape 1: substantial savings everywhere.
+    assert all(s > 0.4 for s in values)
+    assert 0.55 <= figure.data["average"] <= 0.95
+
+    # Shape 2: sequence tasks save the least (their n-gram working state
+    # stays in DRAM); word count is among the highest savers.
+    per_task = {
+        task: sum(matrix[d, task] for d in DATASETS) / len(DATASETS)
+        for task in TASKS
+    }
+    assert per_task["sequence_count"] <= per_task["word_count"]
+    assert min(per_task, key=per_task.get) in (
+        "sequence_count",
+        "ranked_inverted_index",
+    )
+
+
+def test_larger_datasets_save_more(benchmark, runs):
+    def per_dataset():
+        matrix = figures.dram_savings(runs).data["matrix"]
+        return {
+            dataset: sum(matrix[dataset, t] for t in TASKS) / len(TASKS)
+            for dataset in DATASETS
+        }
+
+    by_dataset = once(benchmark, per_dataset)
+    print()
+    for dataset, value in by_dataset.items():
+        print(f"  dataset {dataset}: {value * 100:.1f}% saved")
+    # Paper: A 65.6% < B 70.7% < C 72.2% < D 74.3%.  Shape: the largest
+    # dataset saves at least as much as the smallest.
+    assert by_dataset["D"] >= by_dataset["A"] - 0.05

@@ -1,0 +1,203 @@
+"""Benchmarks for the beyond-the-paper extensions.
+
+* parallel rule processing (G-TADOC-inspired level-synchronous workers);
+* write-endurance comparison (Section VII: N-TADOC "reduces the write
+  operations on NVM ... to improve write endurance");
+* random access into compressed data (the TADOC line's ICDE'20 work).
+"""
+
+from conftest import CACHE_DIR, once
+
+from repro.analytics import task_by_name
+from repro.core.dag import Dag
+from repro.core.parallel import parallel_weight_propagation
+from repro.core.pruning import PrunedDag
+from repro.core.random_access import RandomAccessor
+from repro.core.summation import summate_all
+from repro.datasets import corpus_for
+from repro.harness.tables import format_table
+from repro.nvm.device import DeviceProfile
+from repro.nvm.memory import SimulatedMemory
+from repro.nvm.pool import NvmPool
+from repro.nvm.wear import wear_report
+
+
+def _pruned_pool(corpus, track_wear=False, scatter=False, growable=False):
+    dag = Dag(corpus)
+    mem = SimulatedMemory(
+        DeviceProfile.nvm(), 1 << 24, cache_bytes=1 << 21, track_wear=track_wear
+    )
+    pool = NvmPool(mem, scatter=scatter)
+    pruned = PrunedDag.build(
+        pool, corpus, dag,
+        bounds=None if growable else summate_all(dag),
+        per_rule=scatter,
+    )
+    return dag, pruned, pool
+
+
+def test_parallel_scaling(benchmark):
+    """Weight-propagation speedup vs worker count, two DAG shapes.
+
+    On a wide, shallow DAG (many sibling rules) level-synchronous workers
+    deliver real speedups.  On the realistic dataset-D grammar -- deep
+    and narrow, as template-heavy text produces -- rule-level parallelism
+    barely pays: each level is too small to amortize barriers.  That
+    *negative* result is itself faithful to the paper, which argues that
+    GPU-era TADOC parallelization "cannot be utilized efficiently by
+    NVMs"; the numbers here quantify why.
+    """
+    from repro.sequitur.compressor import compress_files
+
+    def sweep():
+        out = {}
+        # (a) wide synthetic DAG: 200 sibling paragraph rules.
+        paragraphs = [
+            " ".join(f"a{p}_{i} b{p}_{i} a{p}_{i} b{p}_{i}" for i in range(15))
+            for p in range(200)
+        ]
+        wide = compress_files(
+            [("wide", " ".join(p + " " + p for p in paragraphs))]
+        )
+        # (b) the realistic dataset D grammar.
+        deep = corpus_for("D", cache_dir=CACHE_DIR)
+        for label, corpus in (("wide", wide), ("dataset D", deep)):
+            rows = []
+            for workers in (1, 2, 4, 8):
+                dag, pruned, pool = _pruned_pool(corpus)
+                levels = dag.topological_levels()
+                report = parallel_weight_propagation(
+                    pruned, pool.allocator, levels, workers=workers
+                )
+                rows.append((workers, report))
+            out[label] = rows
+        return out
+
+    results = once(benchmark, sweep)
+    print()
+    for label, rows in results.items():
+        print(
+            format_table(
+                ["Workers", "Elapsed (sim us)", "Speedup"],
+                [
+                    [w, f"{r.parallel_ns / 1e3:.1f}", f"{r.speedup:.2f}x"]
+                    for w, r in rows
+                ],
+                title=f"Extension: parallel weight propagation ({label})",
+            )
+        )
+    wide = {w: r.speedup for w, r in results["wide"]}
+    deep = {w: r.speedup for w, r in results["dataset D"]}
+    # The mechanism works where width exists...
+    assert wide[4] > 1.5
+    # ...and realistic deep grammars cap out early -- the paper's point.
+    assert max(deep.values()) < wide[4]
+
+
+def test_endurance_footprint(benchmark):
+    """Media program events: N-TADOC layout vs the naive port's churn."""
+
+    def measure():
+        corpus = corpus_for("A", cache_dir=CACHE_DIR)
+        out = {}
+        for label, kwargs in (
+            ("ntadoc", {}),
+            ("naive", {"scatter": True, "growable": True}),
+        ):
+            _, pruned, pool = _pruned_pool(corpus, track_wear=True, **kwargs)
+            pool.flush()
+            out[label] = wear_report(pool.memory)
+        return out
+
+    reports = once(benchmark, measure)
+    print()
+    for label, report in reports.items():
+        print(
+            f"  {label:8s} programs={report.total_programs:7d} "
+            f"cells={report.lines_touched:6d} hottest={report.max_line_programs}"
+        )
+    # The naive port programs more cells for the same logical content
+    # (scatter gaps + per-rule indirection records), consuming more
+    # endurance budget.
+    assert reports["naive"].lines_touched > reports["ntadoc"].lines_touched
+
+
+def test_random_access_scaling(benchmark):
+    """Point access cost vs full expansion, per document (dataset C)."""
+
+    def measure():
+        corpus = corpus_for("C", cache_dir=CACHE_DIR)
+        dag, pruned, pool = _pruned_pool(corpus)
+        accessor = RandomAccessor(pruned, dag.expansion_lengths())
+        clock = pool.memory.clock
+        rows = []
+        for file_index in range(min(accessor.n_files, 4)):
+            length = accessor.file_length(file_index)
+            start = clock.ns
+            accessor.word_at(file_index, length // 2)
+            point_ns = clock.ns - start
+            start = clock.ns
+            accessor.extract_file(file_index)
+            full_ns = clock.ns - start
+            rows.append((file_index, length, point_ns, full_ns))
+        return rows
+
+    rows = once(benchmark, measure)
+    print()
+    print(
+        format_table(
+            ["File", "Words", "Point access (ns)", "Full expansion (ns)"],
+            [[f, n, f"{p:.0f}", f"{e:.0f}"] for f, n, p, e in rows],
+            title="Extension: random access into compressed documents",
+        )
+    )
+    for _file, _length, point_ns, full_ns in rows:
+        assert point_ns < full_ns / 3
+
+
+def test_streaming_ingestion_overhead(benchmark):
+    """Streaming (chunk-compressed) ingestion vs monolithic compression.
+
+    Chunks cannot reference earlier chunks' rules, so the streamed
+    grammar is larger; merged analytics remain exact and the per-chunk
+    engine runs sum to a modest overhead over the monolithic run.
+    """
+    from repro.analytics.word_count import WordCount
+    from repro.core.engine import NTadocEngine
+    from repro.core.streaming import StreamingCorpus
+    from repro.datasets import dataset_files
+    from repro.sequitur.compressor import compress_files
+
+    def measure():
+        files = dataset_files("B", scale=0.2)
+        monolithic = compress_files(files)
+        stream = StreamingCorpus()
+        batch_size = max(1, len(files) // 4)
+        for start in range(0, len(files), batch_size):
+            stream.ingest(files[start : start + batch_size])
+        mono_run = NTadocEngine(monolithic).run(WordCount())
+        merged = stream.run(WordCount())
+        rendered_mono = {
+            monolithic.vocab[k]: v for k, v in mono_run.result.items()
+        }
+        rendered_stream = {
+            stream.vocab[k]: v for k, v in merged.result.items()
+        }
+        assert rendered_mono == rendered_stream
+        return (
+            monolithic.grammar_length(),
+            stream.grammar_length(),
+            mono_run.total_ns,
+            merged.total_ns,
+        )
+
+    mono_glen, stream_glen, mono_ns, stream_ns = once(benchmark, measure)
+    print()
+    print(
+        f"streaming overhead (dataset B @0.2, 4 batches): grammar "
+        f"{stream_glen / mono_glen:.2f}x larger, analytics "
+        f"{stream_ns / mono_ns:.2f}x slower than monolithic"
+    )
+    # Exactness is asserted above; the overheads must stay bounded.
+    assert stream_glen >= mono_glen
+    assert stream_ns < 5 * mono_ns

@@ -1,0 +1,79 @@
+"""Section VI-F "vision for the future": N-TADOC on ReRAM and PCM.
+
+The paper plans to "migrate N-TADOC to other NVM-based architectures" --
+naming ReRAM and PCM -- to "explore and compare the performance of
+N-TADOC on different platforms".  This bench runs exactly that
+comparison on the simulated device profiles: same engine, same
+workloads, cost tables swapped.
+"""
+
+from conftest import DATASETS, once
+
+from repro.harness.comparisons import geometric_mean
+from repro.harness.tables import format_table
+
+_TASKS = ("word_count", "sequence_count")
+_DEVICES = ("dram", "reram", "nvm", "pcm")
+
+
+def build_matrix(runs):
+    matrix = {}
+    for dataset in DATASETS:
+        for task in _TASKS:
+            baseline = None
+            for device in _DEVICES:
+                if device == "dram":
+                    run = runs.get("tadoc_dram", dataset, task)
+                else:
+                    run = runs.get("ntadoc_custom", dataset, task, device=device)
+                if baseline is None:
+                    baseline = run.result
+                else:
+                    assert run.result == baseline
+                matrix[dataset, task, device] = run.total_ns
+    return matrix
+
+
+def test_future_nvm_architectures(benchmark, runs):
+    matrix = once(benchmark, build_matrix, runs)
+    rows = []
+    for dataset in DATASETS:
+        for task in _TASKS:
+            dram_ns = matrix[dataset, task, "dram"]
+            rows.append(
+                [dataset, task]
+                + [
+                    f"{matrix[dataset, task, device] / dram_ns:.2f}"
+                    for device in _DEVICES
+                ]
+            )
+    print()
+    print(
+        format_table(
+            ["Dataset", "Task"] + [f"{d} (x DRAM)" for d in _DEVICES],
+            rows,
+            title="Section VI-F analog: N-TADOC across NVM architectures "
+            "(slowdown vs DRAM TADOC)",
+        )
+    )
+
+    def mean_for(device):
+        return geometric_mean(
+            matrix[d, t, device] / matrix[d, t, "dram"]
+            for d in DATASETS
+            for t in _TASKS
+        )
+
+    reram = mean_for("reram")
+    optane = mean_for("nvm")
+    pcm = mean_for("pcm")
+    print(
+        f"geomean slowdown vs DRAM -- reram: {reram:.2f}x, "
+        f"optane: {optane:.2f}x, pcm: {pcm:.2f}x"
+    )
+    # Shape: PCM's slow writes make it the worst persistent candidate;
+    # ReRAM is at least competitive with Optane; every persistent medium
+    # costs something over volatile DRAM.
+    assert pcm > optane
+    assert reram <= optane * 1.1
+    assert all(mean_for(d) >= 0.95 for d in ("reram", "nvm", "pcm"))

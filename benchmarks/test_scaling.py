@@ -1,0 +1,66 @@
+"""Scaling behaviour with dataset size (Fig. 6, finding 3).
+
+Paper: "the performance gap between N-TADOC and TADOC diminishes as the
+dataset size increases ... as the dataset size grows, the cache hit rate
+improves, leading to reduced memory latency", and conversely the
+small-dataset Limitations discussion: "the size of the input text can
+limit the effectiveness of N-TADOC".
+
+This bench sweeps one dataset profile across scales and tracks both the
+Fig. 5a speedup (should grow with size) and the Fig. 6 gap to DRAM
+TADOC (should not grow with size).
+"""
+
+from conftest import CACHE_DIR, once
+
+from repro.analytics import task_by_name
+from repro.datasets import corpus_for
+from repro.harness.runner import run_system
+from repro.harness.tables import format_table
+
+_SCALES = (0.25, 0.5, 1.0)
+_TASK = "word_count"
+
+
+def sweep():
+    rows = []
+    for scale in _SCALES:
+        corpus = corpus_for("C", scale=scale, cache_dir=CACHE_DIR)
+        tokens = sum(len(f) for f in corpus.expand_files())
+        nt = run_system("ntadoc", corpus, task_by_name(_TASK))
+        unc = run_system("uncompressed_nvm", corpus, task_by_name(_TASK))
+        dram = run_system("tadoc_dram", corpus, task_by_name(_TASK))
+        assert nt.result == unc.result == dram.result
+        rows.append(
+            (
+                scale,
+                tokens,
+                unc.total_ns / nt.total_ns,   # Fig. 5a speedup
+                nt.total_ns / dram.total_ns,  # Fig. 6 gap
+            )
+        )
+    return rows
+
+
+def test_scaling_with_dataset_size(benchmark):
+    rows = once(benchmark, sweep)
+    print()
+    print(
+        format_table(
+            ["Scale", "Tokens", "Speedup vs uncompressed", "Gap to DRAM TADOC"],
+            [
+                [f"{s:g}", t, f"{sp:.2f}x", f"{gap:.2f}x"]
+                for s, t, sp, gap in rows
+            ],
+            title="Scaling sweep (dataset C, word_count)",
+        )
+    )
+    smallest = rows[0]
+    largest = rows[-1]
+    # Finding: the advantage over uncompressed analytics grows (or at
+    # least does not shrink) with dataset size...
+    assert largest[2] >= smallest[2] * 0.9
+    # ...and the gap to the DRAM upper bound does not widen with size.
+    assert largest[3] <= smallest[3] * 1.15
+    # Sanity: every scale still wins against the uncompressed baseline.
+    assert all(sp > 1.0 for _, _, sp, _ in rows)

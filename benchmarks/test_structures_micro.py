@@ -1,0 +1,110 @@
+"""Microbenchmarks of the persistent structures (wall-clock, pytest-benchmark).
+
+These are conventional pytest-benchmark microbenchmarks (multiple rounds,
+real time): they track the Python-level cost of the byte-packed
+structures so regressions in the simulator hot paths are visible.
+"""
+
+import pytest
+
+from repro.nvm.allocator import PoolAllocator
+from repro.nvm.device import DeviceProfile
+from repro.nvm.memory import SimulatedMemory
+from repro.pstruct.phashtable import PHashTable
+from repro.pstruct.pqueue import PQueue
+from repro.pstruct.pvector import PVector
+
+
+def make_allocator(size=1 << 26):
+    mem = SimulatedMemory(DeviceProfile.nvm(), size)
+    return PoolAllocator(mem, base=0, capacity=size)
+
+
+@pytest.fixture
+def allocator():
+    return make_allocator()
+
+
+def test_bench_pvector_append(benchmark, allocator):
+    def run():
+        vec = PVector.create(allocator, capacity=2048)
+        for i in range(2000):
+            vec.append(i)
+        return len(vec)
+
+    assert benchmark(run) == 2000
+
+
+def test_bench_pvector_bulk_extend(benchmark, allocator):
+    values = list(range(2000))
+    vec = PVector.create(allocator, capacity=2048)
+
+    def run():
+        vec.clear()
+        vec.extend(values)
+        return len(vec)
+
+    assert benchmark(run) == 2000
+
+
+def test_bench_phashtable_insert(benchmark, allocator):
+    def run():
+        table = PHashTable.create(allocator, expected_entries=2048)
+        for i in range(1500):
+            table.put(i * 7919, i)
+        return len(table)
+
+    assert benchmark(run) == 1500
+
+
+def test_bench_phashtable_lookup(benchmark):
+    allocator = make_allocator()
+    table = PHashTable.create(allocator, expected_entries=2048)
+    for i in range(1500):
+        table.put(i * 7919, i)
+
+    def run():
+        total = 0
+        for i in range(1500):
+            total += table.get(i * 7919)
+        return total
+
+    assert benchmark(run) == sum(range(1500))
+
+
+def test_bench_phashtable_scan(benchmark):
+    allocator = make_allocator()
+    table = PHashTable.create(allocator, expected_entries=4096)
+    for i in range(3000):
+        table.put(i, i)
+
+    def run():
+        return sum(v for _, v in table.items())
+
+    assert benchmark(run) == sum(range(3000))
+
+
+def test_bench_pqueue_cycle(benchmark, allocator):
+    queue = PQueue.create(allocator, capacity=512)
+
+    def run():
+        for i in range(500):
+            queue.push(i)
+        total = 0
+        for _ in range(500):
+            total += queue.pop()
+        return total
+
+    assert benchmark(run) == sum(range(500))
+
+
+def test_bench_simulated_memory_sequential_read(benchmark):
+    mem = SimulatedMemory(DeviceProfile.nvm(), 1 << 22)
+
+    def run():
+        total = 0
+        for offset in range(0, 1 << 20, 4096):
+            total += len(mem.read(offset, 4096))
+        return total
+
+    assert benchmark(run) == 1 << 20

@@ -1,0 +1,33 @@
+"""Table I: dataset statistics (file count, rule count, vocabulary size).
+
+Regenerates the paper's dataset table for the scaled synthetic analogs.
+Absolute counts are laptop-scale; the assertions pin the *structural*
+relationships Table I documents (A is one file; B has by far the most
+files with tiny documents; D is the largest corpus).
+"""
+
+from conftest import once
+
+from repro.harness import figures
+
+
+def test_table1(benchmark, runs):
+    figure = once(benchmark, figures.table1, runs)
+    print()
+    print(figure.render())
+    stats = figure.data["stats"]
+    # A: a single file (Yelp COVID dump).
+    assert stats["A"]["files"] == 1
+    # B: the many-small-files corpus -- far more files than any other.
+    assert stats["B"]["files"] > 100 * stats["A"]["files"]
+    assert stats["B"]["files"] > 10 * stats["D"]["files"]
+    # D: the largest corpus -- largest vocabulary and token volume, and
+    # more rules than its smaller sibling C.
+    assert stats["D"]["vocabulary"] == max(
+        s["vocabulary"] for s in stats.values()
+    )
+    assert stats["D"]["tokens"] == max(s["tokens"] for s in stats.values())
+    assert stats["D"]["rules"] > stats["C"]["rules"]
+    # Grammar compression is strong on every dataset (paper: 90.8% avg).
+    for s in stats.values():
+        assert s["compressed_ratio"] < 0.5

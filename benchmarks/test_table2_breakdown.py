@@ -1,0 +1,53 @@
+"""Table II: initialization/traversal time breakdown for datasets C and D.
+
+Paper observations reproduced here:
+
+* sort's traversal phase exceeds word count's (dictionary-order sorting
+  is extra traversal work);
+* sequence tasks carry their preprocessing in the initialization phase;
+* per-phase speedups over the uncompressed baseline: the traversal phase
+  accelerates more than the initialization phase (paper: 1.96x/2.53x on
+  C, 1.23x/2.87x on D).
+"""
+
+from conftest import TASKS, once
+
+from repro.harness import figures
+
+
+def test_table2_breakdown(benchmark, runs):
+    figure = once(benchmark, figures.table2, runs)
+    print()
+    print(figure.render())
+    cells = figure.data["cells"]
+
+    for dataset in ("C", "D"):
+        # Sort's traversal exceeds word count's (extra sorting work).
+        assert cells[dataset, "sort"][1] > cells[dataset, "word_count"][1]
+        # Ranked inverted index is the heaviest traversal of the six.
+        assert cells[dataset, "ranked_inverted_index"][1] == max(
+            cells[dataset, t][1] for t in TASKS
+        )
+        # Sequence tasks pay their preprocessing in the init phase: their
+        # init exceeds the bag-of-words tasks' init.
+        assert cells[dataset, "sequence_count"][0] > cells[dataset, "word_count"][0]
+        # Both phases take nonzero time everywhere.
+        for task in TASKS:
+            assert cells[dataset, task][0] > 0
+            assert cells[dataset, task][1] > 0
+
+
+def test_phase_speedups(benchmark, runs):
+    figure = once(benchmark, figures.table2, runs)
+    gains = figure.data["phase_gains"]
+    print()
+    for dataset, (init, trav) in gains.items():
+        print(
+            f"  dataset {dataset}: init speedup {init:.2f}x, "
+            f"traversal speedup {trav:.2f}x"
+        )
+    # Paper: traversal-phase speedup exceeds init-phase speedup on both
+    # large datasets ("the acceleration effect of N-TADOC is mostly
+    # achieved in this [traversal] phase").
+    for dataset, (init, trav) in gains.items():
+        assert trav > init, f"dataset {dataset}: traversal should gain more"

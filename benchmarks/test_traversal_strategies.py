@@ -1,0 +1,75 @@
+"""Section VI-E: top-down vs bottom-up traversal on the many-file dataset.
+
+Paper: on dataset B, per-file analytics with the top-down strategy is
+"approximately 1000x" slower than bottom-up, because top-down "chooses to
+traverse the DAG for each file individually for weight propagation" --
+its cost is O(files x |DAG|) while bottom-up pays the word-list
+preprocessing once.  The factor is a function of the file count (134,631
+in the paper), so at laptop scale we measure it at increasing file
+counts and check the growth law.
+"""
+
+from conftest import once
+
+from repro.analytics import task_by_name
+from repro.core.engine import EngineConfig
+from repro.harness import figures
+from repro.harness.runner import run_system
+
+
+def test_topdown_collapses_on_many_files(benchmark, runs):
+    figure = once(benchmark, figures.traversal_strategies, runs)
+    print()
+    print(figure.render())
+    points = figure.data["points"]
+    ratios = [ratio for _, ratio in points]
+
+    # Shape 1: top-down is slower at every probed scale.
+    assert all(r > 1.0 for r in ratios)
+    # Shape 2: the gap grows with the file count (the VI-E mechanism).
+    assert ratios[-1] > ratios[0]
+    # Shape 3: the projection lands within an order of magnitude of the
+    # paper's three-orders-of-magnitude claim.
+    assert figure.data["projected_at_paper_scale"] > 100
+
+
+def test_auto_strategy_picks_bottomup_for_many_files(benchmark, runs):
+    def resolve():
+        return runs.get("ntadoc", "B", "inverted_index").strategy
+
+    assert once(benchmark, resolve) == "bottomup"
+
+
+def test_auto_strategy_picks_topdown_for_few_files(benchmark, runs):
+    def resolve():
+        return runs.get("ntadoc", "C", "inverted_index").strategy
+
+    assert once(benchmark, resolve) == "topdown"
+
+
+def test_bottomup_beats_topdown_only_in_its_regime(benchmark, runs):
+    """On a few-large-files corpus, top-down per-file traversal is fine
+    (the full sweep runs only a handful of times) while bottom-up pays
+    the whole word-list preprocessing."""
+
+    def run_c():
+        corpus = runs.corpus("C")
+        bottomup = run_system(
+            "ntadoc", corpus, task_by_name("term_vector"),
+            EngineConfig(traversal="bottomup"),
+        )
+        topdown = run_system(
+            "ntadoc", corpus, task_by_name("term_vector"),
+            EngineConfig(traversal="topdown"),
+        )
+        assert bottomup.result == topdown.result
+        return bottomup, topdown
+
+    bottomup, topdown = once(benchmark, run_c)
+    print()
+    print(
+        f"dataset C term_vector traversal: bottom-up "
+        f"{bottomup.traversal_ns / 1e6:.3f} sim ms vs top-down "
+        f"{topdown.traversal_ns / 1e6:.3f} sim ms"
+    )
+    assert topdown.traversal_ns < bottomup.traversal_ns

@@ -1,0 +1,98 @@
+"""Embedded-systems scenario: persistence, power failure, and recovery.
+
+Section III-C motivates N-TADOC for IoT/embedded nodes under power
+constraints; Section IV-E describes the two persistence levels.  This
+example builds an analytics pool on simulated NVM, kills the power at the
+worst moment, and shows both recovery paths:
+
+* phase-level persistence: the completed initialization phase survives;
+  the interrupted traversal phase is re-run from its checkpoint;
+* operation-level persistence: an interrupted transaction is rolled back
+  from the undo log.
+
+Run with::
+
+    python examples/embedded_checkpointing.py
+"""
+
+from repro import compress_files
+from repro.core.dag import Dag
+from repro.core.pruning import PrunedDag
+from repro.core.recovery import recover_pool
+from repro.core.summation import summate_all
+from repro.nvm.device import DeviceProfile
+from repro.nvm.memory import SimulatedMemory
+from repro.nvm.persist import PhasePersistence, TransactionLog
+from repro.nvm.pool import NvmPool
+
+SENSOR_LOGS = [
+    ("node_a.log", "temp ok temp ok temp high fan on temp ok temp ok"),
+    ("node_b.log", "temp ok temp high fan on temp high fan on temp ok"),
+    ("node_c.log", "temp ok temp ok temp ok temp ok temp high fan on"),
+]
+
+
+def main() -> None:
+    corpus = compress_files(SENSOR_LOGS)
+    dag = Dag(corpus)
+
+    # --- Phase-level persistence -------------------------------------
+    print("=== phase-level persistence ===")
+    nvm = SimulatedMemory(DeviceProfile.nvm(), 1 << 20)
+    pool = NvmPool(nvm)
+    phases = PhasePersistence(pool)
+
+    with phases.phase("initialization"):
+        PrunedDag.build(pool, corpus, dag, bounds=summate_all(dag))
+        pool.save_directory()
+    print("initialization phase completed and flushed to NVM")
+
+    # Power fails in the middle of the traversal phase.
+    pruned = PrunedDag.attach(pool)
+    pruned.set_weight(0, 1)  # traversal begins...
+    print("power failure during traversal!")
+    nvm.crash()
+
+    report = recover_pool(nvm)
+    print(f"recovered: last completed phase = {report.last_completed_phase!r}")
+    print(f"resume from phase              = {report.resume_phase!r}")
+    assert report.pruned is not None
+    assert report.pruned.raw_body(0) == corpus.rules[0]
+    print("the pruned DAG pool is intact; only the traversal is re-run\n")
+
+    # --- Operation-level persistence ----------------------------------
+    print("=== operation-level persistence ===")
+    nvm2 = SimulatedMemory(DeviceProfile.nvm(), 1 << 20)
+    pool2 = NvmPool(nvm2)
+    PhasePersistence(pool2)
+    counter_off = pool2.alloc_region("alert_counter", 8)
+    nvm2.write(counter_off, (5).to_bytes(8, "little"))
+    log = TransactionLog(pool2)
+    pool2.flush()
+    print("alert counter = 5 (durable)")
+
+    tx = log.begin()
+    tx.write(counter_off, (6).to_bytes(8, "little"))
+    print("transaction in flight: counter -> 6 ... power failure!")
+    nvm2.crash()
+
+    report2 = recover_pool(nvm2)
+    value = int.from_bytes(report2.pool.memory.read(counter_off, 8), "little")
+    print(
+        f"recovered: rolled back {report2.transactions_rolled_back} "
+        f"transaction(s); counter = {value}"
+    )
+    assert value == 5
+
+    # And a committed transaction survives the same failure.
+    log2 = TransactionLog(report2.pool)
+    with log2.transaction() as tx:
+        tx.write(counter_off, (6).to_bytes(8, "little"))
+    nvm2.crash()
+    value = int.from_bytes(nvm2.read(counter_off, 8), "little")
+    print(f"after a committed transaction + crash: counter = {value}")
+    assert value == 6
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Quickstart: compress a corpus, analyse it without decompression.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import EngineConfig, NTadocEngine, UncompressedEngine, compress_files
+from repro.analytics.word_count import WordCount, render_word_counts
+
+FILES = [
+    (
+        "monday_log.txt",
+        "error connecting to database retrying error connecting to database "
+        "retrying connection established request served request served",
+    ),
+    (
+        "tuesday_log.txt",
+        "request served request served error connecting to database retrying "
+        "connection established request served",
+    ),
+    (
+        "wednesday_log.txt",
+        "connection established request served request served request served",
+    ),
+]
+
+
+def main() -> None:
+    # 1. Compress: dictionary-encode the words and infer a grammar whose
+    #    rules capture the repeated phrases.  The corpus is immutable and
+    #    serializable (repro.sequitur.serialization).
+    corpus = compress_files(FILES)
+    print("compressed corpus")
+    print(f"  files:          {corpus.n_files}")
+    print(f"  vocabulary:     {corpus.vocabulary_size} words")
+    print(f"  grammar rules:  {corpus.n_rules}")
+    tokens = sum(len(f) for f in corpus.expand_files())
+    print(f"  grammar length: {corpus.grammar_length()} symbols "
+          f"for {tokens} words")
+
+    # 2. Analyse directly on the compressed form.  The engine builds the
+    #    pruned DAG pool on a simulated NVM device and runs the task's
+    #    graph traversal; no text is ever decompressed.
+    engine = NTadocEngine(corpus, EngineConfig(device="nvm", persistence="phase"))
+    run = engine.run(WordCount())
+    counts = render_word_counts(run.result, corpus.vocab)
+    print("\nword counts (from the compressed data)")
+    for word, count in sorted(counts.items(), key=lambda p: -p[1])[:5]:
+        print(f"  {word:12s} {count}")
+
+    # 3. Compare against the uncompressed baseline: identical answers,
+    #    different cost.
+    baseline = UncompressedEngine(corpus, EngineConfig()).run(WordCount())
+    assert baseline.result == run.result, "TADOC must be lossless"
+    print("\nsimulated time (init + traversal)")
+    print(f"  N-TADOC on NVM:      {run.total_ns:12,.0f} ns")
+    print(f"  uncompressed on NVM: {baseline.total_ns:12,.0f} ns")
+    print(f"  speedup:             {baseline.total_ns / run.total_ns:.2f}x")
+    if baseline.total_ns < 1.2 * run.total_ns:
+        print(
+            "\n(no big win on a toy corpus: as the paper's Limitations "
+            "section notes, small inputs\ncannot amortize NVM setup costs "
+            "-- try examples/review_analytics.py for real scale)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Review-analytics scenario: the Yelp-style single-file workload.
+
+Mirrors the paper's dataset A use case: one large dump of short reviews,
+analysed for vocabulary statistics (word count + sort) and per-document
+term vectors, with a side-by-side cost comparison of every storage
+platform in the paper's evaluation (DRAM, NVM, SSD, HDD, and the naive
+NVM port).
+
+Run with::
+
+    python examples/review_analytics.py
+"""
+
+from repro import EngineConfig
+from repro.analytics.sort_task import Sort, render_sorted_counts
+from repro.analytics.term_vector import TermVector, render_term_vectors
+from repro.datasets import corpus_for
+from repro.harness.runner import run_system
+from repro.harness.tables import format_table
+
+
+def main() -> None:
+    corpus = corpus_for("A", scale=0.4)
+    tokens = sum(len(f) for f in corpus.expand_files())
+    print(
+        f"review dump: {tokens} words, {corpus.vocabulary_size} distinct, "
+        f"compressed to {corpus.grammar_length()} grammar symbols"
+    )
+
+    # Vocabulary statistics straight off the compressed data.
+    sort_run = run_system("ntadoc", corpus, Sort())
+    alphabetical = render_sorted_counts(sort_run.result, corpus.vocab)
+    print("\nfirst words alphabetically:")
+    for word, count in alphabetical[:5]:
+        print(f"  {word:12s} {count}")
+
+    vector_run = run_system(
+        "ntadoc", corpus, TermVector(), EngineConfig(term_vector_k=5)
+    )
+    vectors = render_term_vectors(
+        vector_run.result, corpus.vocab, corpus.file_names
+    )
+    name, vector = next(iter(vectors.items()))
+    print(f"\ntop words of {name}:")
+    for word, count in vector:
+        print(f"  {word:12s} {count}")
+
+    # Platform shoot-out for the same task (Fig. 5/6/7 in miniature).
+    systems = [
+        ("tadoc_dram", "TADOC on DRAM (upper bound)"),
+        ("ntadoc", "N-TADOC on NVM (phase-level)"),
+        ("ntadoc_op", "N-TADOC on NVM (operation-level)"),
+        ("uncompressed_nvm", "uncompressed scan on NVM"),
+        ("ntadoc_ssd", "N-TADOC pipeline on SSD"),
+        ("ntadoc_hdd", "N-TADOC pipeline on HDD"),
+        ("naive_nvm", "naive TADOC port to NVM"),
+    ]
+    rows = []
+    reference = None
+    for system, label in systems:
+        run = run_system(system, corpus, Sort())
+        if reference is None:
+            reference = run.total_ns
+        rows.append(
+            [
+                label,
+                f"{run.total_ns / 1e6:.3f}",
+                f"{run.total_ns / reference:.2f}x",
+                f"{run.dram_peak // 1024} KiB",
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["system", "sim ms", "vs DRAM TADOC", "DRAM peak"],
+            rows,
+            title="platform comparison (sort task)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,184 @@
+"""Task interface and the execution contexts handed to tasks.
+
+A task never talks to an engine directly; it receives a context object
+exposing the device-resident structures it may use.  This keeps each of
+the six benchmark tasks a small, testable unit, and lets the compressed
+and uncompressed systems share task code paths in benchmarks.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.core.grammar import is_separator
+from repro.core.pruning import PrunedDag
+from repro.core.traversal import compute_wordlists_bottomup
+from repro.nvm.allocator import PoolAllocator
+from repro.nvm.memory import SimulatedClock, SimulatedMemory
+from repro.metrics.ledger import MemoryLedger
+from repro.pstruct.phashtable import PHashTable
+
+#: Charged CPU ops per comparison when tasks sort results.
+SORT_CPU_FACTOR = 3.0
+
+
+def charge_sort(clock: SimulatedClock, n_items: int) -> None:
+    """Charge the CPU cost of sorting ``n_items`` (n log2 n comparisons)."""
+    if n_items > 1:
+        clock.cpu(SORT_CPU_FACTOR * n_items * max(n_items - 1, 1).bit_length())
+
+
+@dataclass
+class CompressedTaskContext:
+    """Everything a task may touch when running on N-TADOC.
+
+    The pool-resident structures (pruned DAG, traversal queue, counters,
+    word lists) live on the configured pool device; ``dram`` is the
+    scratch device for transient working buffers, whose peak footprint is
+    what the DRAM-saving experiment measures.
+    """
+
+    pruned: PrunedDag
+    allocator: PoolAllocator
+    dram: SimulatedMemory
+    dram_allocator: PoolAllocator
+    clock: SimulatedClock
+    ledger: MemoryLedger
+    vocab: list[str]
+    file_names: list[str]
+    topo_order: list[int]
+    reverse_topo: list[int]
+    topo_position: list[int]
+    strategy: str  # resolved: "topdown" | "bottomup"
+    strategy_forced: bool = False  # user pinned the strategy explicitly
+    growable: bool = False
+    ngram_n: int = 2
+    term_vector_k: int = 10
+    op_commit: Callable[[], None] = lambda: None
+    ngram_names: dict[int, tuple[int, ...]] = field(default_factory=dict)
+    ngram_profiles: list[dict[int, int]] | None = None
+    _wordlists: list[PHashTable] | None = None
+    _segments: list[list[int]] | None = None
+
+    @property
+    def n_files(self) -> int:
+        return len(self.file_names)
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self.vocab)
+
+    def root_segments(self) -> list[list[int]]:
+        """Per-file symbol slices of the root rule body (cached).
+
+        Reads the ordered root body from the pool once and splits it at
+        the (unique) file separators.
+        """
+        if self._segments is None:
+            body = self.pruned.raw_body(0)
+            segments: list[list[int]] = []
+            current: list[int] = []
+            for symbol in body:
+                if is_separator(symbol):
+                    segments.append(current)
+                    current = []
+                else:
+                    current.append(symbol)
+            self._segments = segments
+        return self._segments
+
+    def wordlists(self) -> list[PHashTable]:
+        """Per-rule word lists (bottom-up preprocessing), computed once.
+
+        This is the cached-on-NVM word-list preprocessing the paper
+        describes for bottom-up traversal; its cost is charged on first
+        use.
+        """
+        if self._wordlists is None:
+            self._wordlists = compute_wordlists_bottomup(
+                self.pruned,
+                self.allocator,
+                self.reverse_topo,
+                growable=self.growable,
+                op_commit=self.op_commit,
+            )
+        return self._wordlists
+
+
+@dataclass
+class UncompressedTaskContext:
+    """Context for the baseline: dictionary-encoded tokens on a device.
+
+    ``read_file`` streams one file's tokens in line-friendly chunks; the
+    counting structures are created on the same device through
+    ``allocator``.
+    """
+
+    allocator: PoolAllocator
+    dram: SimulatedMemory
+    dram_allocator: PoolAllocator
+    clock: SimulatedClock
+    ledger: MemoryLedger
+    vocab: list[str]
+    file_names: list[str]
+    read_file: Callable[[int], Iterator[list[int]]]
+    file_lengths: list[int]
+    ngram_n: int = 2
+    term_vector_k: int = 10
+    op_commit: Callable[[], None] = lambda: None
+    ngram_names: dict[int, tuple[int, ...]] = field(default_factory=dict)
+
+    @property
+    def n_files(self) -> int:
+        return len(self.file_names)
+
+    @property
+    def vocab_size(self) -> int:
+        return len(self.vocab)
+
+
+class AnalyticsTask(ABC):
+    """One of the paper's six benchmark tasks."""
+
+    #: Benchmark name as used in the paper's figures.
+    name: str = ""
+
+    def prepare(self, ctx: CompressedTaskContext) -> None:
+        """Initialization-phase preprocessing hook.
+
+        The engine calls this inside the *initialization* phase, matching
+        the paper's time accounting: dataset-dependent precomputation
+        (e.g. the sequence tasks' per-rule n-gram profiles, which make
+        their init share dominate on large datasets in Table II) belongs
+        to initialization, not traversal.  The default does nothing.
+        """
+
+    @abstractmethod
+    def run_compressed(self, ctx: CompressedTaskContext) -> Any:
+        """Execute on the N-TADOC compressed representation."""
+
+    @abstractmethod
+    def run_uncompressed(self, ctx: UncompressedTaskContext) -> Any:
+        """Execute the baseline scan over uncompressed tokens."""
+
+    @staticmethod
+    @abstractmethod
+    def reference(files: list[list[int]]) -> Any:
+        """Pure-Python oracle over per-file token lists (for tests)."""
+
+    def result_size_bytes(self, result: Any) -> int:
+        """Rough serialized size of a result (for write-back cost)."""
+        return _estimate_size(result)
+
+
+def _estimate_size(value: Any) -> int:
+    """Conservative byte estimate of a plain-data result object."""
+    if isinstance(value, dict):
+        return sum(_estimate_size(k) + _estimate_size(v) for k, v in value.items())
+    if isinstance(value, (list, tuple)):
+        return sum(_estimate_size(v) for v in value) + 8
+    if isinstance(value, str):
+        return len(value) + 4
+    return 8

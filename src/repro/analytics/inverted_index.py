@@ -1,0 +1,58 @@
+"""Inverted index (Section VI-A): word -> documents containing it."""
+
+from __future__ import annotations
+
+from repro.analytics.base import (
+    AnalyticsTask,
+    CompressedTaskContext,
+    UncompressedTaskContext,
+)
+from repro.analytics.perfile import per_file_word_counts, per_file_word_counts_scan
+
+
+def _build_postings(counts: list[dict[int, int]], ctx) -> dict[int, list[int]]:
+    """Assemble word -> sorted file-id posting lists."""
+    postings: dict[int, list[int]] = {}
+    total_entries = 0
+    for file_index, file_counts in enumerate(counts):
+        for word in file_counts:
+            postings.setdefault(word, []).append(file_index)
+            total_entries += 1
+            ctx.clock.cpu(1)
+    ctx.ledger.charge("dram", "postings", total_entries * 8 + len(postings) * 16)
+    ctx.ledger.release("dram", "postings", total_entries * 8 + len(postings) * 16)
+    return postings
+
+
+class InvertedIndex(AnalyticsTask):
+    """Word-to-document index over the corpus."""
+
+    name = "inverted_index"
+
+    def run_compressed(self, ctx: CompressedTaskContext) -> dict[int, list[int]]:
+        return _build_postings(per_file_word_counts(ctx), ctx)
+
+    def run_uncompressed(
+        self, ctx: UncompressedTaskContext
+    ) -> dict[int, list[int]]:
+        return _build_postings(per_file_word_counts_scan(ctx), ctx)
+
+    @staticmethod
+    def reference(files: list[list[int]]) -> dict[int, list[int]]:
+        postings: dict[int, list[int]] = {}
+        for file_index, tokens in enumerate(files):
+            for word in sorted(set(tokens)):
+                postings.setdefault(word, []).append(file_index)
+        return postings
+
+
+def render_inverted_index(
+    result: dict[int, list[int]],
+    vocab: list[str],
+    file_names: list[str],
+) -> dict[str, list[str]]:
+    """Convert a word-id keyed index into readable words and file names."""
+    return {
+        vocab[word]: [file_names[f] for f in files]
+        for word, files in result.items()
+    }

@@ -1,0 +1,84 @@
+"""Shared per-file word counting used by term vector and inverted index.
+
+Both traversal strategies of Section VI-E are implemented:
+
+* **bottom-up**: pre-compute every rule's word list once, then each file
+  merges only the lists its root segment references (cost independent of
+  the file count);
+* **top-down**: for each file, a full-DAG topological sweep propagates
+  segment-seeded weights (the original TADOC behaviour whose cost is
+  O(files x |DAG|)).
+"""
+
+from __future__ import annotations
+
+from repro.analytics.base import CompressedTaskContext, UncompressedTaskContext
+from repro.core.grammar import is_rule_ref, is_word
+from repro.core.traversal import (
+    full_sweep_weights_for_segment,
+    merge_segment_counts,
+)
+
+
+def per_file_word_counts(ctx: CompressedTaskContext) -> list[dict[int, int]]:
+    """Word counts per file on the compressed representation."""
+    if ctx.strategy == "bottomup":
+        return _per_file_bottomup(ctx)
+    return _per_file_topdown(ctx)
+
+
+def _per_file_bottomup(ctx: CompressedTaskContext) -> list[dict[int, int]]:
+    wordlists = ctx.wordlists()
+    counts: list[dict[int, int]] = []
+    for segment in ctx.root_segments():
+        file_counts = merge_segment_counts(
+            ctx.pruned, segment, wordlists, ctx.clock
+        )
+        ctx.ledger.charge("dram", "file_counts", len(file_counts) * 16)
+        counts.append(file_counts)
+        ctx.op_commit()
+    for file_counts in counts:
+        ctx.ledger.release("dram", "file_counts", len(file_counts) * 16)
+    return counts
+
+
+def _per_file_topdown(ctx: CompressedTaskContext) -> list[dict[int, int]]:
+    counts: list[dict[int, int]] = []
+    for segment in ctx.root_segments():
+        weights = full_sweep_weights_for_segment(
+            ctx.pruned, segment, ctx.topo_order
+        )
+        file_counts: dict[int, int] = {}
+        for symbol in segment:
+            ctx.clock.cpu(1)
+            if is_word(symbol):
+                file_counts[symbol] = file_counts.get(symbol, 0) + 1
+        for rule, weight in weights.items():
+            for word, freq in ctx.pruned.words(rule):
+                file_counts[word] = file_counts.get(word, 0) + weight * freq
+                ctx.clock.cpu(1)
+        ctx.ledger.charge("dram", "file_counts", len(file_counts) * 16)
+        counts.append(file_counts)
+        ctx.op_commit()
+    for file_counts in counts:
+        ctx.ledger.release("dram", "file_counts", len(file_counts) * 16)
+    return counts
+
+
+def per_file_word_counts_scan(
+    ctx: UncompressedTaskContext,
+) -> list[dict[int, int]]:
+    """Word counts per file for the uncompressed baseline scan."""
+    counts: list[dict[int, int]] = []
+    for file_index in range(ctx.n_files):
+        file_counts: dict[int, int] = {}
+        for chunk in ctx.read_file(file_index):
+            for token in chunk:
+                file_counts[token] = file_counts.get(token, 0) + 1
+                ctx.clock.cpu(4)
+        ctx.ledger.charge("dram", "file_counts", len(file_counts) * 16)
+        counts.append(file_counts)
+        ctx.op_commit()
+    for file_counts in counts:
+        ctx.ledger.release("dram", "file_counts", len(file_counts) * 16)
+    return counts

@@ -1,0 +1,230 @@
+"""Boolean document queries over compressed corpora.
+
+CompressDB (the paper's reference [9], same research line) pushes data
+processing under compression into database systems.  This module layers
+the query side of that idea on the N-TADOC word-search machinery: a
+small boolean language over words, evaluated against the compressed
+representation without decompression.
+
+Grammar::
+
+    expr   := term ( OR term )*
+    term   := factor ( AND factor )*
+    factor := NOT factor | '(' expr ')' | WORD
+
+``AND`` binds tighter than ``OR``; ``NOT`` is a prefix operator.
+Keywords are case-insensitive; everything else is a query word (matched
+through the corpus dictionary).
+
+Example::
+
+    engine = QueryEngine(corpus)
+    engine.query("error AND NOT (timeout OR retry)")
+    # -> sorted list of file indices
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analytics.search import WordSearch
+from repro.core.engine import EngineConfig, NTadocEngine
+from repro.core.grammar import CompressedCorpus
+from repro.errors import ReproError
+
+
+class QueryError(ReproError):
+    """A malformed query expression."""
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Word:
+    word: str
+
+    def words(self) -> set[str]:
+        return {self.word}
+
+    def evaluate(self, postings: dict[str, set[int]], universe: set[int]) -> set[int]:
+        return postings.get(self.word, set())
+
+
+@dataclass(frozen=True)
+class Not:
+    operand: "Node"
+
+    def words(self) -> set[str]:
+        return self.operand.words()
+
+    def evaluate(self, postings, universe):
+        return universe - self.operand.evaluate(postings, universe)
+
+
+@dataclass(frozen=True)
+class And:
+    left: "Node"
+    right: "Node"
+
+    def words(self) -> set[str]:
+        return self.left.words() | self.right.words()
+
+    def evaluate(self, postings, universe):
+        return self.left.evaluate(postings, universe) & self.right.evaluate(
+            postings, universe
+        )
+
+
+@dataclass(frozen=True)
+class Or:
+    left: "Node"
+    right: "Node"
+
+    def words(self) -> set[str]:
+        return self.left.words() | self.right.words()
+
+    def evaluate(self, postings, universe):
+        return self.left.evaluate(postings, universe) | self.right.evaluate(
+            postings, universe
+        )
+
+
+Node = Word | Not | And | Or
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    for raw in text.replace("(", " ( ").replace(")", " ) ").split():
+        tokens.append(raw)
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: list[str]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    def _peek(self) -> str | None:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _take(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise QueryError("unexpected end of query")
+        self._pos += 1
+        return token
+
+    def parse(self) -> Node:
+        node = self._expr()
+        if self._peek() is not None:
+            raise QueryError(f"trailing input at {self._peek()!r}")
+        return node
+
+    def _expr(self) -> Node:
+        node = self._term()
+        while (tok := self._peek()) is not None and tok.upper() == "OR":
+            self._take()
+            node = Or(node, self._term())
+        return node
+
+    def _term(self) -> Node:
+        node = self._factor()
+        while (tok := self._peek()) is not None and tok.upper() == "AND":
+            self._take()
+            node = And(node, self._factor())
+        return node
+
+    def _factor(self) -> Node:
+        token = self._take()
+        upper = token.upper()
+        if upper == "NOT":
+            return Not(self._factor())
+        if token == "(":
+            node = self._expr()
+            if self._peek() != ")":
+                raise QueryError("missing closing parenthesis")
+            self._take()
+            return node
+        if token == ")" or upper in ("AND", "OR"):
+            raise QueryError(f"unexpected token {token!r}")
+        return Word(token.lower())
+
+
+def parse_query(text: str) -> Node:
+    """Parse a boolean query string into an AST.
+
+    Raises:
+        QueryError: on empty or malformed input.
+    """
+    tokens = _tokenize(text)
+    if not tokens:
+        raise QueryError("empty query")
+    return _Parser(tokens).parse()
+
+
+# ---------------------------------------------------------------------------
+# Engine
+# ---------------------------------------------------------------------------
+
+
+class QueryEngine:
+    """Evaluates boolean word queries against a compressed corpus.
+
+    Word membership is resolved by the :class:`WordSearch` task on the
+    N-TADOC engine (device-charged); boolean combination is set algebra
+    over the returned postings.  Per-word postings are memoized, so
+    repeated queries over the same vocabulary are cheap.
+    """
+
+    def __init__(
+        self,
+        corpus: CompressedCorpus,
+        config: EngineConfig | None = None,
+    ) -> None:
+        self.corpus = corpus
+        self._engine = NTadocEngine(corpus, config or EngineConfig())
+        self._word_ids = {word: i for i, word in enumerate(corpus.vocab)}
+        self._postings: dict[str, set[int]] = {}
+        self._universe = set(range(corpus.n_files))
+        #: Simulated nanoseconds spent resolving postings so far.
+        self.sim_ns_spent = 0.0
+
+    def _resolve(self, words: set[str]) -> dict[str, set[int]]:
+        missing = [
+            w for w in words if w not in self._postings and w in self._word_ids
+        ]
+        if missing:
+            run = self._engine.run(
+                WordSearch([self._word_ids[w] for w in missing])
+            )
+            self.sim_ns_spent += run.total_ns
+            for word in missing:
+                files = run.result[self._word_ids[word]]
+                self._postings[word] = set(files)
+        for word in words:
+            self._postings.setdefault(word, set())  # unknown word: nowhere
+        return self._postings
+
+    def query(self, text: str) -> list[int]:
+        """Evaluate a query; returns matching file indices, ascending.
+
+        Raises:
+            QueryError: on malformed queries.
+        """
+        ast = parse_query(text)
+        postings = self._resolve(ast.words())
+        return sorted(ast.evaluate(postings, self._universe))
+
+    def query_names(self, text: str) -> list[str]:
+        """Like :meth:`query`, but returns file names."""
+        return [self.corpus.file_names[i] for i in self.query(text)]

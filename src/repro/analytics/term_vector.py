@@ -1,0 +1,62 @@
+"""Term vector (Section VI-A): each document's most frequent words."""
+
+from __future__ import annotations
+
+from repro.analytics.base import (
+    AnalyticsTask,
+    CompressedTaskContext,
+    UncompressedTaskContext,
+    charge_sort,
+)
+from repro.analytics.perfile import per_file_word_counts, per_file_word_counts_scan
+
+
+def _top_k(counts: dict[int, int], k: int, ctx) -> list[tuple[int, int]]:
+    """Top-k (word, count), ordered by count desc then word id asc."""
+    items = list(counts.items())
+    charge_sort(ctx.clock, len(items))
+    items.sort(key=lambda pair: (-pair[1], pair[0]))
+    return items[:k]
+
+
+class TermVector(AnalyticsTask):
+    """Per-file top-k most frequent words."""
+
+    name = "term_vector"
+
+    def run_compressed(
+        self, ctx: CompressedTaskContext
+    ) -> list[list[tuple[int, int]]]:
+        counts = per_file_word_counts(ctx)
+        return [_top_k(c, ctx.term_vector_k, ctx) for c in counts]
+
+    def run_uncompressed(
+        self, ctx: UncompressedTaskContext
+    ) -> list[list[tuple[int, int]]]:
+        counts = per_file_word_counts_scan(ctx)
+        return [_top_k(c, ctx.term_vector_k, ctx) for c in counts]
+
+    @staticmethod
+    def reference(
+        files: list[list[int]], k: int = 10
+    ) -> list[list[tuple[int, int]]]:
+        vectors: list[list[tuple[int, int]]] = []
+        for tokens in files:
+            counts: dict[int, int] = {}
+            for token in tokens:
+                counts[token] = counts.get(token, 0) + 1
+            ordered = sorted(counts.items(), key=lambda pair: (-pair[1], pair[0]))
+            vectors.append(ordered[:k])
+        return vectors
+
+
+def render_term_vectors(
+    result: list[list[tuple[int, int]]],
+    vocab: list[str],
+    file_names: list[str],
+) -> dict[str, list[tuple[str, int]]]:
+    """Convert per-file top-k lists into readable words."""
+    return {
+        file_names[i]: [(vocab[w], c) for w, c in vector]
+        for i, vector in enumerate(result)
+    }

@@ -1,0 +1,72 @@
+"""Word count (Section VI-A): total occurrences of each word.
+
+The canonical TADOC example (Fig. 1e): propagate rule weights top-down,
+then accumulate ``weight(rule) * freq(word in rule)`` into a counter.
+Under the bottom-up strategy the root rule's word list *is* the answer.
+"""
+
+from __future__ import annotations
+
+from repro.analytics.base import (
+    AnalyticsTask,
+    CompressedTaskContext,
+    UncompressedTaskContext,
+)
+from repro.core.traversal import propagate_weights_topdown
+from repro.pstruct.pcounter import FrequencyCounter
+
+
+class WordCount(AnalyticsTask):
+    """Count every word's total occurrences across the corpus."""
+
+    name = "word_count"
+
+    def run_compressed(self, ctx: CompressedTaskContext) -> dict[int, int]:
+        # Corpus-global counting is naturally top-down; the bottom-up path
+        # (read the root's word list) is taken only when explicitly pinned
+        # -- the auto heuristic exists for *per-file* tasks (Section VI-E).
+        if ctx.strategy == "bottomup" and ctx.strategy_forced:
+            root_list = ctx.wordlists()[0]
+            return dict(root_list.items())
+        propagate_weights_topdown(ctx.pruned, ctx.allocator)
+        counter = self._make_counter(ctx)
+        for rule in range(ctx.pruned.n_rules):
+            weight = ctx.pruned.weight(rule)
+            if weight == 0:
+                continue
+            for word, freq in ctx.pruned.words(rule):
+                counter.add(word, weight * freq)
+                ctx.clock.cpu(1)
+            ctx.op_commit()
+        return counter.to_dict()
+
+    def run_uncompressed(self, ctx: UncompressedTaskContext) -> dict[int, int]:
+        counter = FrequencyCounter.dense(ctx.allocator, ctx.vocab_size)
+        for file_index in range(ctx.n_files):
+            for chunk in ctx.read_file(file_index):
+                for token in chunk:
+                    counter.add(token, 1)
+                    ctx.clock.cpu(4)
+                ctx.op_commit()  # operation = one ingested batch
+        return counter.to_dict()
+
+    @staticmethod
+    def reference(files: list[list[int]]) -> dict[int, int]:
+        counts: dict[int, int] = {}
+        for tokens in files:
+            for token in tokens:
+                counts[token] = counts.get(token, 0) + 1
+        return counts
+
+    @staticmethod
+    def _make_counter(ctx: CompressedTaskContext) -> FrequencyCounter:
+        if ctx.growable:
+            return FrequencyCounter.sparse(
+                ctx.allocator, expected_distinct=4, growable=True
+            )
+        return FrequencyCounter.dense(ctx.allocator, ctx.vocab_size)
+
+
+def render_word_counts(result: dict[int, int], vocab: list[str]) -> dict[str, int]:
+    """Convert a word-id keyed result into human-readable words."""
+    return {vocab[word]: count for word, count in result.items()}

@@ -1,0 +1,17 @@
+"""Comparison systems used in the paper's evaluation.
+
+* :class:`~repro.baselines.uncompressed.UncompressedEngine` -- the
+  Fig. 5 baseline: dictionary-encoded but uncompressed text resident on
+  a device, analysed by sequential scans.
+* :func:`~repro.baselines.tadoc_dram.tadoc_dram_engine` -- the Fig. 6
+  upper bound: TADOC on a pure DRAM platform.
+* :func:`~repro.baselines.naive_nvm.naive_nvm_engine` -- the
+  Section III-B motivation: TADOC directly ported to NVM with no
+  NVM-aware design.
+"""
+
+from repro.baselines.naive_nvm import naive_nvm_engine
+from repro.baselines.tadoc_dram import tadoc_dram_engine
+from repro.baselines.uncompressed import UncompressedEngine
+
+__all__ = ["UncompressedEngine", "naive_nvm_engine", "tadoc_dram_engine"]

@@ -1,0 +1,42 @@
+"""TADOC directly ported to NVM (the Section III-B motivation baseline).
+
+"We overloaded the allocator of the data structures from previous work to
+point to NVM while keeping methods unchanged.  Directly applying Optane
+PM to TADOC incurs 13.37x performance overhead compared to the original
+version."
+
+The direct port keeps every DRAM-era design decision:
+
+* heap-style scattered allocation (objects land on random device lines),
+* per-rule objects reached through pointer indirection instead of the
+  adjacent pool layout,
+* growable containers with no upper-bound pre-sizing, paying full
+  read-modify-write reconstruction on every overflow.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import EngineConfig, NTadocEngine
+from repro.core.grammar import CompressedCorpus
+
+
+class _NaiveNvmEngine(NTadocEngine):
+    system_name = "naive_nvm"
+
+
+def naive_nvm_engine(
+    corpus: CompressedCorpus,
+    base: EngineConfig | None = None,
+) -> NTadocEngine:
+    """Build the naive NVM-port engine for a corpus."""
+    from dataclasses import replace
+
+    base = base or EngineConfig()
+    config = replace(
+        base,
+        device="nvm",
+        persistence="operation",  # PMDK libpmemobj default: transactional
+        naive=True,
+        op_batch=1,  # "methods unchanged": no transaction batching
+    )
+    return _NaiveNvmEngine(corpus, config)

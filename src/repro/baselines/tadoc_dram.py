@@ -1,0 +1,42 @@
+"""Original TADOC on a pure DRAM platform (the Fig. 6 upper bound).
+
+Same compressed-analytics algorithms, but every structure lives on the
+DRAM device, with no persistence and with STL-style growable containers
+(the original TADOC did not pre-size from upper bounds -- growth is cheap
+on DRAM, which is precisely why the technique was unnecessary there).
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import EngineConfig, NTadocEngine
+from repro.core.grammar import CompressedCorpus
+
+
+class _TadocDramEngine(NTadocEngine):
+    system_name = "tadoc_dram"
+
+
+def tadoc_dram_engine(
+    corpus: CompressedCorpus,
+    base: EngineConfig | None = None,
+) -> NTadocEngine:
+    """Build the TADOC-on-DRAM engine for a corpus.
+
+    ``base`` carries over workload knobs (traversal strategy, n-gram
+    length, term-vector k) so comparisons hold everything but the storage
+    platform constant.
+    """
+    from dataclasses import replace
+
+    base = base or EngineConfig()
+    config = replace(
+        base,
+        device="dram",
+        persistence="none",
+        naive=False,
+        # Original TADOC: STL-style growable containers, no pool layout
+        # discipline needed on DRAM.
+        growable_structures=True,
+        scattered_layout=False,
+    )
+    return _TadocDramEngine(corpus, config)

@@ -1,0 +1,311 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands::
+
+    compress    text files -> .ntdc compressed corpus
+    decompress  .ntdc -> original text files
+    stats       Table-I style statistics of a corpus
+    dataset     generate a synthetic A/B/C/D profile corpus
+    run         run one analytics task under one system
+    compare     run one task under several systems, print speedups
+    search      find the documents containing given words
+    query       boolean document query ("error AND NOT retry")
+    reproduce   regenerate a paper figure/table (wraps the benchmarks)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analytics import ALL_TASKS, task_by_name
+from repro.core.engine import EngineConfig, serialized_size
+from repro.datasets.profiles import PROFILES, dataset_files
+from repro.harness.runner import SYSTEMS, run_system
+from repro.metrics.report import comparison_report, format_bytes, run_report
+from repro.sequitur import serialization
+from repro.sequitur.compressor import compress_files
+
+_TASK_NAMES = [cls.name for cls in ALL_TASKS]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="N-TADOC: NVM text analytics without decompression",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("compress", help="compress text files into a corpus")
+    p.add_argument("files", nargs="+", type=Path)
+    p.add_argument("-o", "--output", type=Path, required=True)
+    p.add_argument(
+        "--chars",
+        action="store_true",
+        help="character-level tokens (for text without word boundaries)",
+    )
+
+    p = sub.add_parser("decompress", help="expand a corpus back to text")
+    p.add_argument("corpus", type=Path)
+    p.add_argument("-d", "--directory", type=Path, default=Path("."))
+
+    p = sub.add_parser("stats", help="show corpus statistics")
+    p.add_argument("corpus", type=Path)
+
+    p = sub.add_parser("dataset", help="generate a synthetic dataset profile")
+    p.add_argument("profile", choices=sorted(PROFILES))
+    p.add_argument("-o", "--output", type=Path, required=True)
+    p.add_argument("--scale", type=float, default=1.0)
+
+    p = sub.add_parser("run", help="run one analytics task")
+    p.add_argument("task", choices=_TASK_NAMES)
+    p.add_argument("corpus", type=Path)
+    p.add_argument("--system", choices=sorted(SYSTEMS), default="ntadoc")
+    p.add_argument(
+        "--traversal", choices=("auto", "topdown", "bottomup"), default="auto"
+    )
+    p.add_argument("--ngram", type=int, default=2, help="sequence length")
+    p.add_argument("--top", type=int, default=10, help="result rows to print")
+
+    p = sub.add_parser("compare", help="compare systems on one task")
+    p.add_argument("task", choices=_TASK_NAMES)
+    p.add_argument("corpus", type=Path)
+    p.add_argument(
+        "--systems",
+        nargs="+",
+        choices=sorted(SYSTEMS),
+        default=["tadoc_dram", "ntadoc", "uncompressed_nvm"],
+    )
+
+    p = sub.add_parser("search", help="find documents containing words")
+    p.add_argument("corpus", type=Path)
+    p.add_argument("words", nargs="+")
+
+    p = sub.add_parser(
+        "query", help='boolean document query, e.g. "error AND NOT retry"'
+    )
+    p.add_argument("corpus", type=Path)
+    p.add_argument("expression")
+
+    p = sub.add_parser(
+        "reproduce", help="regenerate a paper figure/table"
+    )
+    from repro.harness.figures import FIGURES
+
+    p.add_argument(
+        "figure",
+        choices=sorted(FIGURES) + ["all"],
+        help="paper artifact to regenerate",
+    )
+    p.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="dataset scale (1.0 = the calibrated EXPERIMENTS.md scale)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="corpus cache directory (skips Sequitur on reruns)",
+    )
+    return parser
+
+
+def _cmd_compress(args) -> int:
+    files = [(str(p), p.read_text(encoding="utf-8")) for p in args.files]
+    corpus = compress_files(files, token_mode="chars" if args.chars else "words")
+    size = serialization.save(corpus, args.output)
+    raw = sum(len(text) for _, text in files)
+    print(
+        f"compressed {len(files)} file(s), {format_bytes(raw)} of text -> "
+        f"{format_bytes(size)} ({corpus.n_rules} rules, "
+        f"{corpus.vocabulary_size} words)"
+    )
+    return 0
+
+
+def _cmd_decompress(args) -> int:
+    corpus = serialization.load(args.corpus)
+    args.directory.mkdir(parents=True, exist_ok=True)
+    for name, text in zip(corpus.file_names, corpus.expand_text()):
+        target = args.directory / Path(name).name
+        target.write_text(text + "\n", encoding="utf-8")
+        print(f"wrote {target}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.core.stats import grammar_stats, rule_length_histogram
+
+    corpus = serialization.load(args.corpus)
+    stats = grammar_stats(corpus)
+    print(stats.describe())
+    print(f"on-disk size     : {format_bytes(serialized_size(corpus))}")
+    if stats.total_tokens:
+        ratio = serialized_size(corpus) / (stats.total_tokens * 4)
+        print(
+            f"vs token array   : {ratio:.3f} ({(1 - ratio) * 100:.1f}% saved)"
+        )
+    print("rule length histogram:")
+    for label, count in rule_length_histogram(corpus).items():
+        print(f"  {label:>5s}: {count}")
+    return 0
+
+
+def _cmd_dataset(args) -> int:
+    corpus = compress_files(dataset_files(args.profile, args.scale))
+    size = serialization.save(corpus, args.output)
+    print(
+        f"dataset {args.profile} (scale {args.scale:g}): {corpus.n_files} "
+        f"files, {corpus.n_rules} rules -> {args.output} "
+        f"({format_bytes(size)})"
+    )
+    return 0
+
+
+def _render_result(run, corpus, top: int) -> None:
+    from repro.analytics.inverted_index import render_inverted_index
+    from repro.analytics.ranked_inverted_index import render_ranked_index
+    from repro.analytics.sequence_count import render_sequence_counts
+    from repro.analytics.sort_task import render_sorted_counts
+    from repro.analytics.term_vector import render_term_vectors
+    from repro.analytics.word_count import render_word_counts
+
+    print(f"\nfirst {top} result rows:")
+    if run.task == "word_count":
+        rendered = render_word_counts(run.result, corpus.vocab)
+        for word, count in sorted(rendered.items(), key=lambda p: -p[1])[:top]:
+            print(f"  {word:20s} {count}")
+    elif run.task == "sort":
+        for word, count in render_sorted_counts(run.result, corpus.vocab)[:top]:
+            print(f"  {word:20s} {count}")
+    elif run.task == "term_vector":
+        rendered = render_term_vectors(
+            run.result, corpus.vocab, corpus.file_names
+        )
+        for name, vector in list(rendered.items())[:top]:
+            head = ", ".join(f"{w}:{c}" for w, c in vector[:5])
+            print(f"  {name}: {head}")
+    elif run.task == "inverted_index":
+        rendered = render_inverted_index(
+            run.result, corpus.vocab, corpus.file_names
+        )
+        for word, docs in list(rendered.items())[:top]:
+            print(f"  {word:20s} {len(docs)} file(s)")
+    elif run.task == "sequence_count":
+        rendered = render_sequence_counts(
+            run.result, run.ngram_names, corpus.vocab
+        )
+        ordered = sorted(rendered.items(), key=lambda p: -p[1])[:top]
+        for ngram, count in ordered:
+            print(f"  {' '.join(ngram):30s} {count}")
+    elif run.task == "ranked_inverted_index":
+        rendered = render_ranked_index(
+            run.result, run.ngram_names, corpus.vocab, corpus.file_names
+        )
+        for ngram, posting in list(rendered.items())[:top]:
+            head = ", ".join(f"{d}:{c}" for d, c in posting[:3])
+            print(f"  {' '.join(ngram):30s} {head}")
+
+
+def _cmd_run(args) -> int:
+    corpus = serialization.load(args.corpus)
+    config = EngineConfig(traversal=args.traversal, ngram_n=args.ngram)
+    run = run_system(args.system, corpus, task_by_name(args.task), config)
+    print(run_report(run))
+    _render_result(run, corpus, args.top)
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    corpus = serialization.load(args.corpus)
+    runs = [
+        run_system(system, corpus, task_by_name(args.task))
+        for system in args.systems
+    ]
+    first = runs[0].result
+    for run in runs[1:]:
+        if run.result != first:
+            print("ERROR: systems disagree on the result", file=sys.stderr)
+            return 1
+    print(comparison_report(runs))
+    return 0
+
+
+def _cmd_search(args) -> int:
+    from repro.analytics.search import WordSearch
+    from repro.core.engine import NTadocEngine
+
+    corpus = serialization.load(args.corpus)
+    word_ids = []
+    for word in args.words:
+        lowered = word.lower()
+        if lowered not in corpus.vocab:
+            print(f"{word!r} does not occur anywhere in the corpus")
+            continue
+        word_ids.append(corpus.vocab.index(lowered))
+    if not word_ids:
+        return 1
+    run = NTadocEngine(corpus).run(WordSearch(word_ids))
+    for word_id, posting in run.result.items():
+        docs = ", ".join(corpus.file_names[f] for f in posting) or "(none)"
+        print(f"{corpus.vocab[word_id]}: {docs}")
+    print(f"({run.total_ns / 1e3:.1f} simulated us)")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    from repro.analytics.query import QueryEngine, QueryError
+
+    corpus = serialization.load(args.corpus)
+    engine = QueryEngine(corpus)
+    try:
+        matches = engine.query_names(args.expression)
+    except QueryError as exc:
+        print(f"bad query: {exc}", file=sys.stderr)
+        return 1
+    if matches:
+        for name in matches:
+            print(name)
+    else:
+        print("(no matching documents)")
+    print(f"({engine.sim_ns_spent / 1e3:.1f} simulated us)")
+    return 0
+
+
+def _cmd_reproduce(args) -> int:
+    from repro.harness.cache import RunCache
+    from repro.harness.figures import FIGURES
+
+    cache = RunCache(scale=args.scale, cache_dir=args.cache_dir)
+    names = sorted(FIGURES) if args.figure == "all" else [args.figure]
+    for name in names:
+        figure = FIGURES[name](cache)
+        print(figure.render())
+        print()
+    return 0
+
+
+_COMMANDS = {
+    "compress": _cmd_compress,
+    "decompress": _cmd_decompress,
+    "stats": _cmd_stats,
+    "dataset": _cmd_dataset,
+    "run": _cmd_run,
+    "compare": _cmd_compare,
+    "search": _cmd_search,
+    "query": _cmd_query,
+    "reproduce": _cmd_reproduce,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

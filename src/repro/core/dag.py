@@ -1,0 +1,145 @@
+"""DAG view of a compressed corpus.
+
+TADOC rules "can be further represented as a directed acyclic graph"
+(Fig. 1e): nodes are rules, and an edge R -> R' with multiplicity f means
+R' occurs f times in R's body.  Analytics become DAG-traversal problems:
+top-down weight propagation in topological order, or bottom-up word-list
+merging in reverse topological order.
+
+This module computes the graph structure once, in plain Python (it is
+metadata about the corpus, not data resident on the simulated device; the
+device-resident form is built by :mod:`repro.core.pruning`).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.core.grammar import CompressedCorpus, is_rule_ref, is_word, rule_index
+from repro.errors import GrammarError
+
+
+class Dag:
+    """Rule-level DAG of a compressed corpus.
+
+    Attributes:
+        n_rules: Number of nodes.
+        subrule_freq: Per rule, a ``{subrule_index: multiplicity}`` map.
+        word_freq: Per rule, a ``{word_id: multiplicity}`` map
+            (separators excluded).
+        in_degree: Number of distinct rules referencing each rule.
+        out_degree: Number of distinct subrules of each rule.
+    """
+
+    def __init__(self, corpus: CompressedCorpus) -> None:
+        self.corpus = corpus
+        self.n_rules = corpus.n_rules
+        self.subrule_freq: list[dict[int, int]] = []
+        self.word_freq: list[dict[int, int]] = []
+        for body in corpus.rules:
+            subs: Counter[int] = Counter()
+            words: Counter[int] = Counter()
+            for symbol in body:
+                if is_rule_ref(symbol):
+                    subs[rule_index(symbol)] += 1
+                elif is_word(symbol):
+                    words[symbol] += 1
+            self.subrule_freq.append(dict(subs))
+            self.word_freq.append(dict(words))
+        self.out_degree = [len(subs) for subs in self.subrule_freq]
+        self.in_degree = [0] * self.n_rules
+        for subs in self.subrule_freq:
+            for target in subs:
+                self.in_degree[target] += 1
+
+    # ------------------------------------------------------------------
+    # Orderings
+    # ------------------------------------------------------------------
+
+    def topological_order(self) -> list[int]:
+        """Rules ordered so every rule precedes its subrules.
+
+        Kahn's algorithm over reference edges; the root comes first.
+
+        Raises:
+            GrammarError: if the grammar contains a reference cycle.
+        """
+        remaining = list(self.in_degree)
+        queue = [r for r in range(self.n_rules) if remaining[r] == 0]
+        order: list[int] = []
+        head = 0
+        while head < len(queue):
+            rule = queue[head]
+            head += 1
+            order.append(rule)
+            for target in self.subrule_freq[rule]:
+                remaining[target] -= 1
+                if remaining[target] == 0:
+                    queue.append(target)
+        if len(order) != self.n_rules:
+            raise GrammarError("reference cycle detected in grammar")
+        return order
+
+    def reverse_topological_order(self) -> list[int]:
+        """Rules ordered so every rule follows its subrules (leaves first)."""
+        return list(reversed(self.topological_order()))
+
+    def topological_levels(self) -> list[list[int]]:
+        """Rules grouped by longest-path depth from the root.
+
+        Every rule's referencing rules sit in strictly earlier levels, so
+        all rules within one level can be processed concurrently once the
+        previous level is complete -- the level-synchronous decomposition
+        G-TADOC uses for massively parallel rule processing.
+        """
+        depth = [0] * self.n_rules
+        for rule in self.topological_order():
+            for target in self.subrule_freq[rule]:
+                depth[target] = max(depth[target], depth[rule] + 1)
+        levels: list[list[int]] = [[] for _ in range(max(depth, default=0) + 1)]
+        for rule, level in enumerate(depth):
+            levels[level].append(rule)
+        return levels
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+
+    def weights(self) -> list[int]:
+        """Expansion count of every rule (the paper's rule *weight*).
+
+        ``weights[0]`` is 1; a rule referenced f times by rules of total
+        weight w accumulates weight w*f.  This is the Step 1-2 propagation
+        of the paper's word-count example.
+        """
+        weight = [0] * self.n_rules
+        weight[0] = 1
+        for rule in self.topological_order():
+            w = weight[rule]
+            if w == 0:
+                continue
+            for target, freq in self.subrule_freq[rule].items():
+                weight[target] += w * freq
+        return weight
+
+    def expansion_lengths(self) -> list[int]:
+        """Fully-expanded word count of every rule (separators excluded)."""
+        lengths = [0] * self.n_rules
+        for rule in self.reverse_topological_order():
+            total = sum(self.word_freq[rule].values())
+            for target, freq in self.subrule_freq[rule].items():
+                total += freq * lengths[target]
+            lengths[rule] = total
+        return lengths
+
+    def reachable_from(self, roots: list[int]) -> set[int]:
+        """All rules reachable from the given rule indices (inclusive)."""
+        seen: set[int] = set()
+        stack = list(roots)
+        while stack:
+            rule = stack.pop()
+            if rule in seen:
+                continue
+            seen.add(rule)
+            stack.extend(t for t in self.subrule_freq[rule] if t not in seen)
+        return seen

@@ -1,0 +1,404 @@
+"""The N-TADOC engine: phases, devices, persistence, and task execution.
+
+The engine stitches every subsystem together along the paper's workflow
+(Section IV-A):
+
+* **initialization phase** -- stream the compressed corpus from disk,
+  derive the DAG metadata, run the bottom-up summation, build the pruned
+  DAG pool (and head/tail store) on the configured device, and persist.
+* **graph traversal phase** -- hand the task a
+  :class:`~repro.analytics.base.CompressedTaskContext`, collect its
+  result, write the result blob into the pool, persist, and charge the
+  write-back to disk.
+
+All timing is simulated nanoseconds from the shared clock; the same
+engine class also realizes the paper's baselines by configuration:
+
+=====================  ==============================================
+Paper system           EngineConfig
+=====================  ==============================================
+N-TADOC (Fig. 5a)      device="nvm", persistence="phase"
+N-TADOC (Fig. 5b)      device="nvm", persistence="operation"
+TADOC on DRAM (Fig. 6) device="dram", persistence="none"
+N-TADOC on SSD/HDD     device="ssd"/"hdd" (Fig. 7)
+naive NVM port         device="nvm", naive=True (Section III-B)
+=====================  ==============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.core.dag import Dag
+from repro.core.grammar import CompressedCorpus
+from repro.core.pruning import PrunedDag
+from repro.core.summation import head_tail_lists, summate_all
+from repro.errors import ReproError
+from repro.metrics.ledger import MemoryLedger
+from repro.metrics.timer import PhaseTimeline
+from repro.nvm.device import DeviceProfile
+from repro.nvm.memory import SimulatedClock, SimulatedMemory, charge_sequential_io
+from repro.nvm.persist import PhasePersistence
+from repro.nvm.pool import NvmPool
+from repro.pstruct import layout
+from repro.pstruct.layout import next_power_of_two
+from repro.sequitur import serialization
+
+if TYPE_CHECKING:  # avoid a circular import; tasks import core.grammar
+    from repro.analytics.base import AnalyticsTask
+
+#: Estimated DRAM bytes per dictionary word (string + index overhead).
+_DICT_WORD_OVERHEAD = 60
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Configuration of one engine run.
+
+    Attributes:
+        device: Pool device profile name ("nvm", "dram", "ssd", "hdd").
+        persistence: "phase" (flush at phase ends), "operation" (commit
+            marker + flush after every logical operation), or "none".
+        traversal: "auto" picks bottom-up when the corpus has more files
+            than ``bottomup_threshold`` (the Section VI-E heuristic),
+            otherwise the stated strategy is forced.
+        disk: Device profile used for initial load and final write-back.
+        naive: Direct-port mode (Section III-B): scattered allocations,
+            per-rule indirected layout, growable structures ignoring the
+            Algorithm-2 bounds.
+        ngram_n: Sequence length for sequence tasks (head/tail width is
+            derived from it).
+        term_vector_k: Vector length for the term-vector task.
+        pool_bytes: Pool size override; auto-sized when None.
+        cache_bytes: CPU-cache model capacity for the pool device.
+        bottomup_threshold: File count above which "auto" picks bottom-up.
+        op_batch: With operation-level persistence, how many logical
+            operations one commit covers (libpmemobj transactions batch
+            updates for throughput; the naive port commits singly).
+        scattered_layout: Ablation flag -- scattered per-rule allocation
+            without the adjacent pool layout (one of the two ingredients
+            of ``naive``).
+        growable_structures: Ablation flag -- ignore the Algorithm-2
+            bounds and grow structures on demand (the other ingredient).
+    """
+
+    device: str = "nvm"
+    persistence: str = "phase"
+    traversal: str = "auto"
+    disk: str = "ssd"
+    naive: bool = False
+    ngram_n: int = 2
+    term_vector_k: int = 10
+    pool_bytes: int | None = None
+    cache_bytes: int = 1 << 21
+    bottomup_threshold: int = 200
+    op_batch: int = 8
+    scattered_layout: bool = False
+    growable_structures: bool = False
+
+    def __post_init__(self) -> None:
+        if self.persistence not in ("phase", "operation", "none"):
+            raise ValueError(f"unknown persistence {self.persistence!r}")
+        if self.traversal not in ("auto", "topdown", "bottomup"):
+            raise ValueError(f"unknown traversal {self.traversal!r}")
+
+    @property
+    def use_scattered_layout(self) -> bool:
+        """Naive mode implies the scattered, indirected layout."""
+        return self.naive or self.scattered_layout
+
+    @property
+    def use_growable_structures(self) -> bool:
+        """Naive mode implies unbounded, growable structures."""
+        return self.naive or self.growable_structures
+
+
+@dataclass
+class RunResult:
+    """Outcome of one (engine, task) execution."""
+
+    task: str
+    system: str
+    result: Any
+    phase_ns: dict[str, float]
+    total_ns: float
+    dram_peak: int
+    pool_peak: int
+    pool_device: str
+    strategy: str
+    ngram_names: dict[int, tuple[int, ...]] = field(default_factory=dict)
+    pool_stats: Any = None
+
+    @property
+    def init_ns(self) -> float:
+        return self.phase_ns.get("initialization", 0.0)
+
+    @property
+    def traversal_ns(self) -> float:
+        return self.phase_ns.get("traversal", 0.0)
+
+
+def serialized_size(corpus: CompressedCorpus) -> int:
+    """Byte size of the corpus's on-disk form (memoized on the corpus)."""
+    cached = getattr(corpus, "_serialized_size", None)
+    if cached is None:
+        cached = len(serialization.serialize(corpus))
+        corpus._serialized_size = cached  # type: ignore[attr-defined]
+    return cached
+
+
+def _dictionary_bytes(corpus: CompressedCorpus) -> int:
+    """DRAM footprint of the word dictionary."""
+    return sum(len(w) for w in corpus.vocab) + _DICT_WORD_OVERHEAD * len(
+        corpus.vocab
+    )
+
+
+class NTadocEngine:
+    """Runs analytics tasks on a compressed corpus under one configuration.
+
+    The heavyweight per-corpus derivations (DAG view, topological orders,
+    bounds, head/tail lists) are computed once in Python and *charged*
+    per run; the device-resident state is rebuilt per run so every run is
+    measured from a cold pool.
+    """
+
+    system_name = "ntadoc"
+
+    def __init__(
+        self, corpus: CompressedCorpus, config: EngineConfig | None = None
+    ) -> None:
+        self.corpus = corpus
+        self.config = config or EngineConfig()
+        self._dag = Dag(corpus)
+        self._topo = self._dag.topological_order()
+        self._reverse_topo = list(reversed(self._topo))
+        self._topo_position = [0] * corpus.n_rules
+        for position, rule in enumerate(self._topo):
+            self._topo_position[rule] = position
+        # Algorithm 2 bounds, clamped by two further safe upper bounds on
+        # a rule's distinct-word count: its expansion length and the
+        # vocabulary size (an implementation refinement over the paper's
+        # raw summation; see DESIGN.md).
+        raw_bounds = summate_all(self._dag)
+        explens = self._dag.expansion_lengths()
+        vocab_size = max(len(corpus.vocab), 1)
+        self._bounds = [
+            min(bound, explen, vocab_size)
+            for bound, explen in zip(raw_bounds, explens)
+        ]
+        k = max(self.config.ngram_n - 1, 1)
+        self._heads, self._tails = head_tail_lists(self._dag, k)
+        self._headtail_k = k
+
+    # ------------------------------------------------------------------
+    # Sizing
+    # ------------------------------------------------------------------
+
+    def _estimate_pool_bytes(self) -> int:
+        corpus = self.corpus
+        glen = corpus.grammar_length()
+        n = corpus.n_rules
+        base = 4096 + n * 64 + glen * 16
+        headtail = n * (4 + 8 * self._headtail_k)
+        wordlists = sum(
+            next_power_of_two(int(max(b, 1) / 0.7) + 1) * 17 + 64
+            for b in self._bounds
+        )
+        counters = len(corpus.vocab) * 24 + 4096
+        queue = n * 8 + 4096
+        results = glen * 16 + len(corpus.vocab) * 16 + 65536
+        estimate = base + headtail + wordlists + counters + queue + results
+        if self.config.naive or self.config.scattered_layout or self.config.growable_structures:
+            # Scatter gaps (up to 8 lines per allocation) plus growth garbage.
+            line = DeviceProfile.by_name(self.config.device).line_size
+            estimate = estimate * 3 + (4 * n + 4096) * 9 * line
+        return estimate * 2 + (1 << 22)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, task: "AnalyticsTask") -> RunResult:
+        """Execute ``task`` through both phases; return the measurement."""
+        from repro.analytics.base import CompressedTaskContext
+
+        config = self.config
+        corpus = self.corpus
+        clock = SimulatedClock()
+        profile = DeviceProfile.by_name(config.device)
+        pool_bytes = config.pool_bytes or self._estimate_pool_bytes()
+        cache_bytes = config.cache_bytes
+        if not profile.byte_addressable:
+            # Block devices sit behind the OS page cache; the paper caps
+            # the memory budget at 20% of the dataset.
+            cache_bytes = max(cache_bytes, pool_bytes // 5)
+        pool_mem = SimulatedMemory(
+            profile, pool_bytes, clock, cache_bytes=cache_bytes, name="pool"
+        )
+        dram_mem = SimulatedMemory(
+            DeviceProfile.dram(), 1 << 24, clock, name="dram-scratch"
+        )
+        from repro.nvm.allocator import PoolAllocator
+
+        dram_alloc = PoolAllocator(dram_mem, base=0, capacity=dram_mem.size)
+        pool = NvmPool(pool_mem, scatter=config.use_scattered_layout)
+        ledger = MemoryLedger()
+        timeline = PhaseTimeline(clock)
+        disk = DeviceProfile.by_name(config.disk)
+
+        phase_persist = (
+            PhasePersistence(pool) if config.persistence == "phase" else None
+        )
+        op_commit = self._make_op_commit(pool)
+
+        with timeline.phase("initialization"):
+            # Stream the compressed artifact from disk.
+            charge_sequential_io(clock, disk, serialized_size(corpus))
+            # Dictionary resides in DRAM for every system.
+            ledger.charge("dram", "dictionary", _dictionary_bytes(corpus))
+            # Metadata derivation cost (DAG build, topo sort, Algorithm 2,
+            # head/tail preprocessing) -- linear passes over the grammar.
+            glen = corpus.grammar_length()
+            clock.cpu(4 * glen + 6 * corpus.n_rules)
+            pruned = PrunedDag.build(
+                pool,
+                corpus,
+                self._dag,
+                bounds=None if config.use_growable_structures else self._bounds,
+                headtail_k=self._headtail_k,
+                heads=self._heads,
+                tails=self._tails,
+                per_rule=config.use_scattered_layout,
+                on_rule=op_commit if config.persistence == "operation" else None,
+            )
+
+        strategy = self._resolve_strategy()
+        ctx = CompressedTaskContext(
+            pruned=pruned,
+            allocator=pool.allocator,
+            dram=dram_mem,
+            dram_allocator=dram_alloc,
+            clock=clock,
+            ledger=ledger,
+            vocab=corpus.vocab,
+            file_names=corpus.file_names,
+            topo_order=self._topo,
+            reverse_topo=self._reverse_topo,
+            topo_position=self._topo_position,
+            strategy=strategy,
+            strategy_forced=config.traversal != "auto",
+            growable=config.use_growable_structures,
+            ngram_n=config.ngram_n,
+            term_vector_k=config.term_vector_k,
+            op_commit=op_commit if config.persistence == "operation" else (lambda: None),
+        )
+
+        # Task-specific precomputation belongs to the initialization
+        # phase (Table II's accounting); re-enter it for the prepare hook
+        # and the phase checkpoint.
+        with timeline.phase("initialization"):
+            task.prepare(ctx)
+            self._persist_phase(pool, phase_persist, "initialization")
+
+        with timeline.phase("traversal"):
+            result = task.run_compressed(ctx)
+            result_bytes = task.result_size_bytes(result)
+            self._write_result_blob(pool, result_bytes)
+            self._persist_phase(pool, phase_persist, "traversal")
+            # Write analytics output back to disk (end of measurement window).
+            charge_sequential_io(clock, disk, result_bytes, write=True)
+
+        dram_peak = ledger.peak("dram") + dram_alloc.peak_bytes
+        pool_peak = pool.allocator.peak_bytes
+        if config.device == "dram":
+            dram_peak += pool_peak
+        return RunResult(
+            task=task.name,
+            system=self.system_name,
+            result=result,
+            phase_ns=timeline.as_dict(),
+            total_ns=timeline.total_sim_ns(),
+            dram_peak=dram_peak,
+            pool_peak=pool_peak,
+            pool_device=config.device,
+            strategy=strategy,
+            ngram_names=ctx.ngram_names,
+            pool_stats=pool_mem.stats,
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+
+    def _resolve_strategy(self) -> str:
+        if self.config.traversal != "auto":
+            return self.config.traversal
+        if self.corpus.n_files > self.config.bottomup_threshold:
+            return "bottomup"
+        return "topdown"
+
+    def _make_op_commit(self, pool: NvmPool):
+        """Operation-level persistence: commit marker + flush per batch."""
+        if self.config.persistence != "operation":
+            return lambda: None
+        marker_off = pool.alloc_region("__opmarker__", 8)
+        mem = pool.memory
+        batch = max(1, self.config.op_batch)
+        pending = 0
+
+        def op_commit() -> None:
+            nonlocal pending
+            pending += 1
+            if pending < batch:
+                return
+            pending = 0
+            count = layout.read_u64(mem, marker_off)
+            layout.write_u64(mem, marker_off, count + 1)
+            mem.flush()
+
+        return op_commit
+
+    def _persist_phase(
+        self, pool: NvmPool, phase_persist: PhasePersistence | None, name: str
+    ) -> None:
+        if phase_persist is not None:
+            pool.save_directory()
+            phase_persist.complete_phase(name)
+        elif self.config.persistence == "operation":
+            pool.flush()
+
+    def _write_result_blob(self, pool: NvmPool, result_bytes: int) -> None:
+        """Write the serialized result into the pool (sequential stream)."""
+        if result_bytes <= 0:
+            return
+        region = f"results_{len(pool.region_names())}"
+        offset = pool.alloc_region(region, result_bytes)
+        mem = pool.memory
+        chunk = bytes(4096)
+        written = 0
+        while written < result_bytes:
+            step = min(4096, result_bytes - written)
+            mem.write(offset + written, chunk[:step])
+            written += step
+
+
+def run_task(
+    corpus: CompressedCorpus,
+    task: "AnalyticsTask",
+    config: EngineConfig | None = None,
+) -> RunResult:
+    """One-shot convenience: build an engine and run a single task."""
+    return NTadocEngine(corpus, config).run(task)
+
+
+def check_pool_fits(result: RunResult) -> None:
+    """Sanity guard used by the harness.
+
+    Raises:
+        ReproError: if the run reported a zero-byte pool footprint, which
+            would indicate the engine did no device-resident work.
+    """
+    if result.pool_peak <= 0:
+        raise ReproError("engine run left no footprint on the pool device")

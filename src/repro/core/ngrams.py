@@ -1,0 +1,160 @@
+"""N-gram (word sequence) counting over compressed rules.
+
+Sequence tasks cannot use pruned (order-free) entries; they walk each
+rule's *ordered* body and use the head/tail structure (Section IV-D) to
+count windows that span a subrule boundary without expanding the subrule.
+
+The accounting discipline that avoids double counting:
+
+* windows **fully inside** a subrule's expansion are counted by that
+  subrule's own profile, scaled by its weight;
+* windows **spanning a junction** (some words before the subrule, some
+  from its head) are counted by the *enclosing* rule's walk.
+
+So the corpus-wide count of an n-gram is ``sum_r weight(r) * profile(r)``
+where ``profile(r)`` counts the windows the walk of r's body owns.
+
+Keys: an n-gram is packed into a u64.  Bigrams pack exactly (two 29-bit
+word ids); longer n-grams are folded through SplitMix64, with a
+negligible collision probability at library scale (documented in
+DESIGN.md).  A side table mapping key -> word tuple is maintained for
+rendering results.
+"""
+
+from __future__ import annotations
+
+from repro.core.grammar import is_rule_ref, is_separator, rule_index
+from repro.core.pruning import PrunedDag
+from repro.pstruct.phashtable import hash64
+
+
+def pack_ngram(words: tuple[int, ...]) -> int:
+    """Pack a word-id tuple into a u64 key.
+
+    Exact (collision-free) for n <= 2; hashed for longer n-grams.
+    """
+    if len(words) == 1:
+        return words[0]
+    if len(words) == 2:
+        return (words[0] << 29) | words[1]
+    key = 0x9E3779B97F4A7C15
+    for word in words:
+        key = hash64(key ^ word)
+    return key
+
+
+class NgramWalker:
+    """Counts the windows a rule body owns, via head/tail bridging.
+
+    Args:
+        pruned: The device-resident DAG (supplies ordered bodies and the
+            head/tail store).
+        n: Window length in words (n >= 2).
+        key_names: Optional dict populated with key -> word tuple so
+            results can be rendered; pass the same dict across calls.
+    """
+
+    def __init__(
+        self,
+        pruned: PrunedDag,
+        n: int,
+        key_names: dict[int, tuple[int, ...]] | None = None,
+    ) -> None:
+        if n < 2:
+            raise ValueError("sequence length must be at least 2")
+        if pruned.headtail is None:
+            raise ValueError("pruned DAG was built without head/tail buffers")
+        if pruned.headtail.k < n - 1:
+            raise ValueError(
+                f"head/tail width {pruned.headtail.k} too small for {n}-grams"
+            )
+        self.pruned = pruned
+        self.n = n
+        self.key_names = key_names
+        self._clock = pruned.pool.memory.clock
+
+    def _count(self, counts: dict[int, int], window: tuple[int, ...]) -> None:
+        key = pack_ngram(window)
+        counts[key] = counts.get(key, 0) + 1
+        if self.key_names is not None and key not in self.key_names:
+            self.key_names[key] = window
+
+    def walk_symbols(self, symbols: list[int]) -> dict[int, int]:
+        """Profile the windows owned by this symbol sequence.
+
+        ``symbols`` is a rule body or a root-rule file segment.  Returns
+        ``{ngram_key: count}`` for windows that include at least one
+        position at this level (bare word or junction bridge).
+        """
+        n = self.n
+        headtail = self.pruned.headtail
+        counts: dict[int, int] = {}
+        context: list[int] = []  # last <= n-1 effective words
+        for symbol in symbols:
+            self._clock.cpu(1)
+            if is_separator(symbol):
+                context = []
+            elif is_rule_ref(symbol):
+                sub = rule_index(symbol)
+                head, tail = headtail.get(sub)
+                bridge = context + head[: n - 1]
+                # Windows that span the junction: they start in `context`
+                # and end inside the subrule's head.
+                for start in range(len(bridge) - n + 1):
+                    if start < len(context) and start + n > len(context):
+                        self._count(counts, tuple(bridge[start : start + n]))
+                        self._clock.cpu(1)
+                if len(tail) >= n - 1:
+                    context = tail[-(n - 1) :]
+                else:
+                    # Short expansion: head == tail == full expansion, so
+                    # the pre-junction context survives through it.
+                    context = (context + tail)[-(n - 1) :]
+            else:
+                context.append(symbol)
+                if len(context) >= n:
+                    self._count(counts, tuple(context[-n:]))
+                    self._clock.cpu(1)
+                context = context[-(n - 1) :] if len(context) > n - 1 else context
+        return counts
+
+    def rule_profile(self, rule: int) -> dict[int, int]:
+        """Windows owned by rule ``rule`` (reads its ordered body)."""
+        return self.walk_symbols(self.pruned.raw_body(rule))
+
+    def all_profiles(self) -> list[dict[int, int]]:
+        """Profiles for every rule (the sequence-task preprocessing)."""
+        return [self.rule_profile(rule) for rule in range(self.pruned.n_rules)]
+
+
+def combine_profiles(
+    profiles: list[dict[int, int]],
+    weights: dict[int, int] | list[int],
+) -> dict[int, int]:
+    """Total n-gram counts: ``sum_r weight(r) * profile(r)``."""
+    totals: dict[int, int] = {}
+    if isinstance(weights, list):
+        weight_items = [(r, w) for r, w in enumerate(weights) if w]
+    else:
+        weight_items = list(weights.items())
+    for rule, weight in weight_items:
+        for key, count in profiles[rule].items():
+            totals[key] = totals.get(key, 0) + weight * count
+    return totals
+
+
+def scan_ngrams(
+    token_files: list[list[int]],
+    n: int,
+    key_names: dict[int, tuple[int, ...]] | None = None,
+) -> dict[int, int]:
+    """Reference/baseline n-gram counter over uncompressed token files."""
+    counts: dict[int, int] = {}
+    for tokens in token_files:
+        for i in range(len(tokens) - n + 1):
+            window = tuple(tokens[i : i + n])
+            key = pack_ngram(window)
+            counts[key] = counts.get(key, 0) + 1
+            if key_names is not None and key not in key_names:
+                key_names[key] = window
+    return counts

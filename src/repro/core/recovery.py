@@ -1,0 +1,111 @@
+"""Crash recovery for N-TADOC pools (Section IV-E's failure story).
+
+Phase-level persistence means a crash rolls the pool back to its last
+completed phase: "in the event of failure, N-TADOC returns to the
+previous checkpoint ... the recovery process can directly overwrite the
+dirty data."  Operation-level persistence additionally leaves an undo
+log that may need rolling back.
+
+:func:`recover_pool` performs the full procedure on a crashed memory:
+
+1. reload the pool directory from the persisted header,
+2. roll back any interrupted undo-log transaction,
+3. read the phase marker to learn where execution should resume,
+4. reattach the pruned DAG if the initialization phase had completed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pruning import PrunedDag
+from repro.errors import PoolLayoutError, RecoveryError
+from repro.nvm.memory import SimulatedMemory
+from repro.nvm.persist import PhasePersistence, TransactionLog
+from repro.nvm.pool import NvmPool
+
+#: Phase names the engine writes, in execution order.
+PHASE_ORDER = ("initialization", "traversal")
+
+
+@dataclass
+class RecoveryReport:
+    """Outcome of :func:`recover_pool`."""
+
+    pool: NvmPool
+    last_completed_phase: str | None
+    resume_phase: str
+    transactions_rolled_back: int
+    pruned: PrunedDag | None
+
+    @property
+    def needs_full_rebuild(self) -> bool:
+        """True when not even initialization survived the crash."""
+        return self.last_completed_phase is None
+
+
+def next_phase(
+    last_completed: str | None,
+    phase_order: tuple[str, ...] = PHASE_ORDER,
+) -> str:
+    """The phase to (re)run after a crash, given the last completed one.
+
+    Raises:
+        RecoveryError: if the marker names a phase outside ``phase_order``.
+    """
+    if last_completed is None:
+        return phase_order[0]
+    try:
+        index = phase_order.index(last_completed)
+    except ValueError:
+        raise RecoveryError(f"unknown phase marker {last_completed!r}") from None
+    if index + 1 < len(phase_order):
+        return phase_order[index + 1]
+    return "done"
+
+
+def recover_pool(
+    memory: SimulatedMemory,
+    phase_order: tuple[str, ...] = PHASE_ORDER,
+) -> RecoveryReport:
+    """Recover a (possibly crashed) pool image into a usable state.
+
+    Args:
+        memory: The crashed (or reopened) device.
+        phase_order: The pipeline's phase names, in execution order; the
+            engine's initialization/traversal pipeline by default.
+
+    Raises:
+        RecoveryError: when the image contains no recoverable pool at all
+            (e.g. the crash hit before the first flush) -- callers should
+            restart the whole run from the compressed input on disk.
+    """
+    pool = NvmPool(memory)
+    try:
+        pool.load_directory()
+    except PoolLayoutError as exc:
+        raise RecoveryError(
+            "no recoverable pool image; restart from the compressed input"
+        ) from exc
+
+    rolled_back = 0
+    if pool.has_region("__txlog__"):
+        log = TransactionLog(pool)
+        if log.needs_recovery():
+            rolled_back = log.recover()
+
+    last: str | None = None
+    if pool.has_region("__phases__"):
+        last = PhasePersistence(pool).last_completed()
+
+    pruned: PrunedDag | None = None
+    if last is not None and pool.has_region("dag_info"):
+        pruned = PrunedDag.attach(pool)
+
+    return RecoveryReport(
+        pool=pool,
+        last_completed_phase=last,
+        resume_phase=next_phase(last, phase_order),
+        transactions_rolled_back=rolled_back,
+        pruned=pruned,
+    )

@@ -1,0 +1,282 @@
+"""Streaming ingestion: analytics over incrementally compressed chunks.
+
+The TADOC line includes CompressStreamDB [ICDE'23], "fine-grained
+adaptive stream processing without decompression": data arrives in
+batches, each batch is compressed on arrival, and analytics run over the
+accumulated chunks.  This module provides that capability on top of the
+N-TADOC engine:
+
+* every ingested batch becomes its own :class:`CompressedCorpus` chunk,
+  compressed against a **shared dictionary** so word ids are stable
+  across chunks;
+* analytics tasks run per chunk (each chunk has its own pool) and the
+  results are merged -- exact, because chunks are file-aligned, so no
+  word window or document ever spans a chunk boundary;
+* the trade-off is fidelity to the streaming setting: cross-chunk
+  redundancy is not compressed (later chunks cannot reference earlier
+  chunks' rules), so the total grammar is larger than a monolithic
+  compression of the same corpus.
+
+Example::
+
+    stream = StreamingCorpus()
+    stream.ingest([("day1.log", ...), ("day2.log", ...)])
+    stream.ingest([("day3.log", ...)])
+    merged = stream.run(WordCount())
+    merged.result          # same as compressing everything at once
+    merged.total_ns        # summed simulated time over chunks
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.core.engine import EngineConfig, NTadocEngine
+from repro.core.grammar import CompressedCorpus
+from repro.errors import ReproError
+from repro.sequitur.compressor import TadocCompressor
+from repro.sequitur.dictionary import Dictionary
+
+if TYPE_CHECKING:  # avoid a circular import; tasks import core.grammar
+    from repro.analytics.base import AnalyticsTask
+
+
+@dataclass
+class MergedRun:
+    """Result of one task over every ingested chunk."""
+
+    task: str
+    result: Any
+    total_ns: float
+    chunk_ns: list[float]
+    ngram_names: dict[int, tuple[int, ...]] = field(default_factory=dict)
+
+
+def _shift_files(postings: dict, offset: int) -> dict:
+    """Shift the file ids inside a postings-style result."""
+    shifted = {}
+    for key, value in postings.items():
+        if value and isinstance(value[0], tuple):  # [(file, count), ...]
+            shifted[key] = [(f + offset, c) for f, c in value]
+        else:  # [file, ...]
+            shifted[key] = [f + offset for f in value]
+    return shifted
+
+
+def _merge_postings(merged: dict, chunk_result: dict, offset: int) -> None:
+    for key, value in _shift_files(chunk_result, offset).items():
+        merged.setdefault(key, []).extend(value)
+
+
+class StreamingCorpus:
+    """Incrementally ingested, chunk-compressed corpus with merged analytics."""
+
+    def __init__(self, config: EngineConfig | None = None) -> None:
+        self.config = config or EngineConfig()
+        self.dictionary = Dictionary()
+        self.chunks: list[CompressedCorpus] = []
+        self._engines: dict[int, NTadocEngine] = {}
+        #: Global file indices logically deleted (tombstones).  Chunks are
+        #: immutable, so deletion is a merge-time filter -- the same
+        #: tombstone discipline LSM-style stores use.
+        self._deleted: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def ingest(self, files: list[tuple[str, str]]) -> CompressedCorpus:
+        """Compress one batch of files into a new chunk.
+
+        Returns the chunk's corpus.  Word ids are assigned from the
+        stream-wide shared dictionary, so ids already seen keep their
+        meaning in every earlier chunk.
+
+        Raises:
+            ValueError: for an empty batch.
+        """
+        if not files:
+            raise ValueError("cannot ingest an empty batch")
+        compressor = TadocCompressor(dictionary=self.dictionary)
+        for name, text in files:
+            compressor.add_file(name, text)
+        chunk = compressor.freeze()
+        self.chunks.append(chunk)
+        return chunk
+
+    @property
+    def n_files(self) -> int:
+        """Total ingested files, including logically deleted ones.
+
+        Global file indices are stable: deletion never renumbers.
+        """
+        return sum(chunk.n_files for chunk in self.chunks)
+
+    @property
+    def live_files(self) -> list[int]:
+        """Global indices of files that have not been deleted."""
+        return [i for i in range(self.n_files) if i not in self._deleted]
+
+    def delete_file(self, name: str) -> int:
+        """Logically delete a file by name; returns its global index.
+
+        The chunk data is untouched (chunks are immutable compressed
+        artifacts); every subsequent :meth:`run` filters the file out of
+        merged results.
+
+        Raises:
+            KeyError: if no ingested file has this name.
+        """
+        try:
+            index = self.file_names.index(name)
+        except ValueError:
+            raise KeyError(f"no ingested file named {name!r}") from None
+        self._deleted.add(index)
+        return index
+
+    @property
+    def file_names(self) -> list[str]:
+        return [name for chunk in self.chunks for name in chunk.file_names]
+
+    @property
+    def vocab(self) -> list[str]:
+        """The stream-wide vocabulary (grows monotonically)."""
+        return self.dictionary.words()
+
+    def grammar_length(self) -> int:
+        """Total grammar symbols across all chunks."""
+        return sum(chunk.grammar_length() for chunk in self.chunks)
+
+    # ------------------------------------------------------------------
+    # Analytics
+    # ------------------------------------------------------------------
+
+    def _engine(self, index: int) -> NTadocEngine:
+        if index not in self._engines:
+            self._engines[index] = NTadocEngine(self.chunks[index], self.config)
+        return self._engines[index]
+
+    def run(self, task: "AnalyticsTask") -> MergedRun:
+        """Run ``task`` over every chunk and merge the results.
+
+        Raises:
+            ReproError: if nothing has been ingested yet, or the task's
+                result type has no merge rule.
+        """
+        if not self.chunks:
+            raise ReproError("ingest at least one batch before running tasks")
+        runs = [self._engine(i).run(task) for i in range(len(self.chunks))]
+        merged = self._merge(task.name, runs)
+        if self._deleted:
+            merged = self._filter_deleted(task.name, merged, runs)
+        names: dict[int, tuple[int, ...]] = {}
+        for run in runs:
+            names.update(run.ngram_names)
+        return MergedRun(
+            task=task.name,
+            result=merged,
+            total_ns=sum(run.total_ns for run in runs),
+            chunk_ns=[run.total_ns for run in runs],
+            ngram_names=names,
+        )
+
+    def _merge(self, task_name: str, runs) -> Any:
+        offsets = []
+        offset = 0
+        for chunk in self.chunks:
+            offsets.append(offset)
+            offset += chunk.n_files
+
+        if task_name in ("word_count", "sequence_count"):
+            totals: dict[int, int] = {}
+            for run in runs:
+                for key, count in run.result.items():
+                    totals[key] = totals.get(key, 0) + count
+            return totals
+        if task_name == "sort":
+            totals = {}
+            for run in runs:
+                for word, count in run.result:
+                    totals[word] = totals.get(word, 0) + count
+            vocab = self.vocab
+            return sorted(totals.items(), key=lambda pair: vocab[pair[0]])
+        if task_name == "term_vector":
+            vectors: list = []
+            for run in runs:
+                vectors.extend(run.result)
+            return vectors
+        if task_name in ("inverted_index", "word_search"):
+            merged: dict = {}
+            for run, offset in zip(runs, offsets):
+                _merge_postings(merged, run.result, offset)
+            return merged
+        if task_name == "ranked_inverted_index":
+            merged = {}
+            for run, offset in zip(runs, offsets):
+                _merge_postings(merged, run.result, offset)
+            for posting in merged.values():
+                posting.sort(key=lambda pair: (-pair[1], pair[0]))
+            return merged
+        raise ReproError(f"no merge rule for task {task_name!r}")
+
+    def _filter_deleted(self, task_name: str, merged: Any, runs) -> Any:
+        """Remove tombstoned files' contributions from a merged result."""
+        deleted = self._deleted
+        if task_name in ("inverted_index", "word_search"):
+            filtered = {
+                key: [f for f in files if f not in deleted]
+                for key, files in merged.items()
+            }
+            return {k: v for k, v in filtered.items() if v or task_name == "word_search"}
+        if task_name == "ranked_inverted_index":
+            filtered = {
+                key: [(f, c) for f, c in posting if f not in deleted]
+                for key, posting in merged.items()
+            }
+            return {k: v for k, v in filtered.items() if v}
+        if task_name == "term_vector":
+            return [
+                vector if i not in deleted else []
+                for i, vector in enumerate(merged)
+            ]
+        if task_name in ("word_count", "sort", "sequence_count"):
+            # Corpus-global counts must exclude deleted files' content:
+            # recompute the deleted files' own counts and subtract.
+            offsets = []
+            offset = 0
+            for chunk in self.chunks:
+                offsets.append(offset)
+                offset += chunk.n_files
+            removals: dict[int, int] = {}
+            for global_index in deleted:
+                chunk_index = max(
+                    i for i, off in enumerate(offsets) if off <= global_index
+                )
+                local = global_index - offsets[chunk_index]
+                tokens = self.chunks[chunk_index].expand_files()[local]
+                if task_name == "sequence_count":
+                    from repro.core.ngrams import pack_ngram
+
+                    n = self.config.ngram_n
+                    for i in range(len(tokens) - n + 1):
+                        key = pack_ngram(tuple(tokens[i : i + n]))
+                        removals[key] = removals.get(key, 0) + 1
+                else:
+                    for token in tokens:
+                        removals[token] = removals.get(token, 0) + 1
+            if task_name == "sort":
+                counts = {w: c for w, c in merged}
+                for key, removed in removals.items():
+                    counts[key] -= removed
+                vocab = self.vocab
+                return sorted(
+                    ((w, c) for w, c in counts.items() if c > 0),
+                    key=lambda pair: vocab[pair[0]],
+                )
+            for key, removed in removals.items():
+                merged[key] -= removed
+            return {k: v for k, v in merged.items() if v > 0}
+        raise ReproError(
+            f"no deletion filter for task {task_name!r}"
+        )  # pragma: no cover - merge rule check fires first

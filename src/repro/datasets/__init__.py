@@ -1,0 +1,30 @@
+"""Synthetic dataset generators standing in for the paper's corpora.
+
+The paper evaluates on Yelp COVID-19 reviews (A), NSF Research Award
+Abstracts (B), and two Wikipedia dumps (C, D) -- none of which ship with
+this repository.  The generators reproduce the *structural* properties
+Table I documents (one big file vs. a swarm of small files vs. few huge
+files; vocabulary-to-rule ratios; repetitive phrase structure that
+grammar compression exploits), scaled to laptop size with an explicit
+``scale`` knob.
+"""
+
+from repro.datasets.generator import CorpusSpec, generate_corpus_files
+from repro.datasets.loader import iter_text_files, load_directory
+from repro.datasets.profiles import (
+    PROFILES,
+    DatasetProfile,
+    corpus_for,
+    dataset_files,
+)
+
+__all__ = [
+    "CorpusSpec",
+    "DatasetProfile",
+    "PROFILES",
+    "corpus_for",
+    "dataset_files",
+    "generate_corpus_files",
+    "iter_text_files",
+    "load_directory",
+]

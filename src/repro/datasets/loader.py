@@ -1,0 +1,62 @@
+"""Load real text corpora from the filesystem.
+
+The synthetic profiles stand in for the paper's datasets, but the
+library is equally usable on your own text: point the loader at a
+directory (or glob) of files and get a compressed corpus back.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable
+
+from repro.core.grammar import CompressedCorpus
+from repro.errors import ReproError
+from repro.sequitur.compressor import compress_files
+
+
+def iter_text_files(
+    root: str | Path,
+    pattern: str = "**/*.txt",
+    max_bytes_per_file: int | None = None,
+) -> Iterable[tuple[str, str]]:
+    """Yield ``(relative_name, text)`` for files under ``root``.
+
+    Files are yielded in sorted path order (deterministic corpora).
+    Undecodable files are skipped; oversized files are truncated at the
+    last whitespace before ``max_bytes_per_file``.
+    """
+    root = Path(root)
+    for path in sorted(root.glob(pattern)):
+        if not path.is_file():
+            continue
+        try:
+            text = path.read_text(encoding="utf-8")
+        except UnicodeDecodeError:
+            continue
+        if max_bytes_per_file is not None and len(text) > max_bytes_per_file:
+            cut = text.rfind(" ", 0, max_bytes_per_file)
+            text = text[: cut if cut > 0 else max_bytes_per_file]
+        yield str(path.relative_to(root)), text
+
+
+def load_directory(
+    root: str | Path,
+    pattern: str = "**/*.txt",
+    max_files: int | None = None,
+    max_bytes_per_file: int | None = None,
+    token_mode: str = "words",
+) -> CompressedCorpus:
+    """Compress every matching file under ``root`` into one corpus.
+
+    Raises:
+        ReproError: if no files match.
+    """
+    files = []
+    for name, text in iter_text_files(root, pattern, max_bytes_per_file):
+        files.append((name, text))
+        if max_files is not None and len(files) >= max_files:
+            break
+    if not files:
+        raise ReproError(f"no files matching {pattern!r} under {root}")
+    return compress_files(files, token_mode=token_mode)

@@ -1,0 +1,59 @@
+"""Exception hierarchy for the N-TADOC reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class OutOfMemoryError(ReproError):
+    """An allocation request could not be satisfied by a pool or device."""
+
+
+class InvalidAccessError(ReproError):
+    """A read or write touched bytes outside an allocated device range."""
+
+
+class CapacityError(ReproError):
+    """A fixed-capacity persistent structure overflowed.
+
+    This is the error that the paper's bottom-up summation technique is
+    designed to avoid: when a structure sized without an upper bound fills
+    up, it either raises this error or (if growable) pays an expensive
+    read-modify-write reconstruction on NVM.
+    """
+
+
+class PoolLayoutError(ReproError):
+    """The pool directory is malformed or a named region is missing."""
+
+
+class CorruptDataError(ReproError):
+    """A serialized artifact failed validation (bad magic, truncation...)."""
+
+
+class TransactionError(ReproError):
+    """Misuse of the operation-level transaction API."""
+
+
+class CrashPoint(ReproError):
+    """Injected failure used by the crash/recovery test harness.
+
+    Raising :class:`CrashPoint` models a power failure: the simulated NVM
+    discards everything written since its last flush, and recovery code is
+    expected to restart from the previous checkpoint.
+    """
+
+
+class RecoveryError(ReproError):
+    """Recovery could not restore a consistent state."""
+
+
+class GrammarError(ReproError):
+    """A context-free grammar artifact is structurally invalid."""

@@ -1,0 +1,19 @@
+"""Experiment harness: system registry, runners, and table formatting."""
+
+from repro.harness.cache import RunCache
+from repro.harness.comparisons import geometric_mean, speedup
+from repro.harness.figures import FIGURES, Figure
+from repro.harness.runner import SYSTEMS, build_engine, run_system
+from repro.harness.tables import format_table
+
+__all__ = [
+    "FIGURES",
+    "Figure",
+    "RunCache",
+    "SYSTEMS",
+    "build_engine",
+    "format_table",
+    "geometric_mean",
+    "run_system",
+    "speedup",
+]

@@ -1,0 +1,81 @@
+"""Memoized experiment runner shared by benchmarks and the CLI.
+
+Engine runs are deterministic on the simulated clock, so each
+(system, dataset, task, config) cell needs to execute exactly once; the
+cache hands the same RunResult to every figure that asks for it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analytics import task_by_name
+from repro.core.engine import EngineConfig, RunResult
+from repro.core.grammar import CompressedCorpus
+from repro.datasets import corpus_for
+from repro.harness.runner import run_system
+
+
+class RunCache:
+    """Runs (system, dataset, task) cells once and memoizes the results.
+
+    Args:
+        scale: Dataset scale factor applied to every profile (1.0 is the
+            calibrated laptop scale used by EXPERIMENTS.md).
+        cache_dir: Directory for on-disk corpus caching (skips Sequitur
+            on reruns); in-process memoization applies regardless.
+        base_config: Workload knobs shared by every run (traversal,
+            n-gram length, ...); per-get overrides take precedence.
+    """
+
+    def __init__(
+        self,
+        scale: float = 1.0,
+        cache_dir: str | Path | None = None,
+        base_config: EngineConfig | None = None,
+    ) -> None:
+        self.scale = scale
+        self.cache_dir = cache_dir
+        self.base_config = base_config or EngineConfig()
+        self._runs: dict[tuple, RunResult] = {}
+
+    def corpus(self, dataset: str, scale: float | None = None) -> CompressedCorpus:
+        """The (memoized) compressed corpus for a dataset profile."""
+        return corpus_for(
+            dataset,
+            scale=self.scale if scale is None else scale,
+            cache_dir=self.cache_dir,
+        )
+
+    def get(
+        self,
+        system: str,
+        dataset: str,
+        task: str,
+        scale: float | None = None,
+        **config_overrides,
+    ) -> RunResult:
+        """Run (or recall) one experiment cell."""
+        effective_scale = self.scale if scale is None else scale
+        key = (
+            system,
+            dataset,
+            task,
+            effective_scale,
+            tuple(sorted(config_overrides.items())),
+        )
+        if key not in self._runs:
+            from dataclasses import replace
+
+            config = (
+                replace(self.base_config, **config_overrides)
+                if config_overrides
+                else self.base_config
+            )
+            self._runs[key] = run_system(
+                system,
+                self.corpus(dataset, effective_scale),
+                task_by_name(task),
+                config,
+            )
+        return self._runs[key]

@@ -1,0 +1,37 @@
+"""Speedup arithmetic used by the figure benchmarks."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.core.engine import RunResult
+
+
+def speedup(baseline: RunResult, candidate: RunResult) -> float:
+    """How many times faster ``candidate`` is than ``baseline``.
+
+    > 1 means the candidate wins; this is the quantity the paper's bar
+    charts plot ("speedup over X").
+    """
+    if candidate.total_ns <= 0:
+        raise ValueError("candidate reported non-positive time")
+    return baseline.total_ns / candidate.total_ns
+
+
+def phase_speedup(baseline: RunResult, candidate: RunResult, phase: str) -> float:
+    """Speedup restricted to one phase (Table II commentary)."""
+    denom = candidate.phase_ns.get(phase, 0.0)
+    if denom <= 0:
+        raise ValueError(f"candidate spent no time in phase {phase!r}")
+    return baseline.phase_ns.get(phase, 0.0) / denom
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (the conventional average for speedups)."""
+    values = list(values)
+    if not values:
+        raise ValueError("no values to average")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,354 @@
+"""Figure and table builders: the paper's evaluation as library functions.
+
+Each builder takes a :class:`~repro.harness.cache.RunCache`, executes the
+experiment cells it needs (memoized), and returns a :class:`Figure` with
+both a renderable table and a machine-readable ``data`` payload.  The
+benchmark suite asserts on the payloads; ``python -m repro reproduce``
+renders them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.engine import serialized_size
+from repro.harness.cache import RunCache
+from repro.harness.comparisons import geometric_mean, phase_speedup, speedup
+from repro.harness.tables import format_table
+
+DATASETS = ("A", "B", "C", "D")
+TASKS = (
+    "word_count",
+    "sort",
+    "term_vector",
+    "inverted_index",
+    "sequence_count",
+    "ranked_inverted_index",
+)
+
+
+@dataclass
+class Figure:
+    """One regenerated paper artifact."""
+
+    name: str
+    title: str
+    headers: list[str]
+    rows: list[list[Any]]
+    data: dict[str, Any] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        """Monospace rendering: table plus notes."""
+        text = format_table(self.headers, self.rows, title=self.title)
+        if self.notes:
+            text += "\n" + "\n".join(self.notes)
+        return text
+
+
+def _speedup_matrix(cache: RunCache, candidate: str, baseline: str) -> dict:
+    matrix: dict[tuple[str, str], float] = {}
+    for dataset in DATASETS:
+        for task in TASKS:
+            cand = cache.get(candidate, dataset, task)
+            base = cache.get(baseline, dataset, task)
+            assert cand.result == base.result, (
+                f"{dataset}/{task}: {candidate} and {baseline} disagree"
+            )
+            matrix[dataset, task] = speedup(base, cand)
+    return matrix
+
+
+def _matrix_rows(matrix: dict) -> list[list[Any]]:
+    return [
+        [dataset] + [f"{matrix[dataset, task]:.2f}" for task in TASKS]
+        for dataset in DATASETS
+    ]
+
+
+def table1(cache: RunCache) -> Figure:
+    """Table I: dataset statistics."""
+    rows = []
+    stats = {}
+    for name in DATASETS:
+        corpus = cache.corpus(name)
+        tokens = sum(len(f) for f in corpus.expand_files())
+        ratio = serialized_size(corpus) / (tokens * 4)
+        stats[name] = {
+            "files": corpus.n_files,
+            "rules": corpus.n_rules,
+            "vocabulary": corpus.vocabulary_size,
+            "tokens": tokens,
+            "compressed_ratio": ratio,
+        }
+        rows.append(
+            [name, corpus.n_files, corpus.n_rules, corpus.vocabulary_size,
+             tokens, f"{ratio:.3f}"]
+        )
+    return Figure(
+        name="table1",
+        title="TABLE I analog: datasets (scaled)",
+        headers=["Dataset", "File#", "Rule#", "Vocabulary", "Tokens",
+                 "Compressed/Raw"],
+        rows=rows,
+        data={"stats": stats},
+    )
+
+
+def fig5(cache: RunCache, persistence: str = "phase") -> Figure:
+    """Fig. 5a/5b: speedup over uncompressed analytics on NVM."""
+    if persistence == "phase":
+        matrix = _speedup_matrix(cache, "ntadoc", "uncompressed_nvm")
+        paper = 2.04
+        label = "5a"
+    else:
+        matrix = _speedup_matrix(cache, "ntadoc_op", "uncompressed_nvm_op")
+        paper = 1.40
+        label = "5b"
+    average = geometric_mean(matrix.values())
+    return Figure(
+        name=f"fig{label}",
+        title=(
+            f"Fig. {label} analog: speedup over uncompressed "
+            f"({persistence}-level; paper avg {paper}x)"
+        ),
+        headers=["Dataset"] + list(TASKS),
+        rows=_matrix_rows(matrix),
+        data={"matrix": matrix, "geomean": average, "paper": paper},
+        notes=[f"geometric mean speedup: {average:.2f}x"],
+    )
+
+
+def fig6(cache: RunCache) -> Figure:
+    """Fig. 6: slowdown of N-TADOC vs TADOC on pure DRAM."""
+    matrix: dict[tuple[str, str], float] = {}
+    for dataset in DATASETS:
+        for task in TASKS:
+            nt = cache.get("ntadoc", dataset, task)
+            dram = cache.get("tadoc_dram", dataset, task)
+            assert nt.result == dram.result
+            matrix[dataset, task] = nt.total_ns / dram.total_ns
+    average = geometric_mean(matrix.values())
+    return Figure(
+        name="fig6",
+        title="Fig. 6 analog: slowdown of N-TADOC vs TADOC-on-DRAM "
+        "(paper avg 1.59x)",
+        headers=["Dataset"] + list(TASKS),
+        rows=_matrix_rows(matrix),
+        data={"matrix": matrix, "geomean": average, "paper": 1.59},
+        notes=[f"geometric mean slowdown: {average:.2f}x"],
+    )
+
+
+def fig7(cache: RunCache) -> Figure:
+    """Fig. 7: speedups over the same pipeline on SSD and HDD."""
+    ssd = _speedup_matrix(cache, "ntadoc", "ntadoc_ssd")
+    hdd = _speedup_matrix(cache, "ntadoc", "ntadoc_hdd")
+    # speedup() above is baseline/candidate with candidate=ntadoc -- i.e.
+    # how much faster NVM is than the block device, which is the figure.
+    rows = []
+    for device, matrix in (("SSD", ssd), ("HDD", hdd)):
+        for dataset in DATASETS:
+            rows.append(
+                [device, dataset]
+                + [f"{matrix[dataset, task]:.2f}" for task in TASKS]
+            )
+    return Figure(
+        name="fig7",
+        title="Fig. 7 analog: N-TADOC speedup over SSD/HDD variants "
+        "(paper: 1.87x / 2.92x)",
+        headers=["Device", "Dataset"] + list(TASKS),
+        rows=rows,
+        data={
+            "ssd": ssd,
+            "hdd": hdd,
+            "ssd_geomean": geometric_mean(ssd.values()),
+            "hdd_geomean": geometric_mean(hdd.values()),
+        },
+        notes=[
+            f"geomean over SSD: {geometric_mean(ssd.values()):.2f}x, "
+            f"over HDD: {geometric_mean(hdd.values()):.2f}x"
+        ],
+    )
+
+
+def dram_savings(cache: RunCache) -> Figure:
+    """Section VI-C: DRAM space savings vs TADOC."""
+    from repro.metrics.ledger import MemoryLedger
+
+    matrix: dict[tuple[str, str], float] = {}
+    for dataset in DATASETS:
+        for task in TASKS:
+            nt = cache.get("ntadoc", dataset, task)
+            dram = cache.get("tadoc_dram", dataset, task)
+            matrix[dataset, task] = MemoryLedger.dram_saving(
+                dram.dram_peak, nt.dram_peak
+            )
+    rows = [
+        [dataset] + [f"{matrix[dataset, task] * 100:.1f}%" for task in TASKS]
+        for dataset in DATASETS
+    ]
+    average = sum(matrix.values()) / len(matrix)
+    return Figure(
+        name="dram-savings",
+        title="Section VI-C analog: DRAM savings vs TADOC (paper avg 70.7%)",
+        headers=["Dataset"] + list(TASKS),
+        rows=rows,
+        data={"matrix": matrix, "average": average},
+        notes=[f"average saving: {average * 100:.1f}%"],
+    )
+
+
+def table2(cache: RunCache) -> Figure:
+    """Table II: initialization/traversal breakdown for C and D."""
+    rows = []
+    cells: dict[tuple[str, str], tuple[float, float]] = {}
+    phase_gains: dict[str, tuple[float, float]] = {}
+    for dataset in ("C", "D"):
+        init_gains, trav_gains = [], []
+        for task in TASKS:
+            nt = cache.get("ntadoc", dataset, task)
+            base = cache.get("uncompressed_nvm", dataset, task)
+            cells[dataset, task] = (nt.init_ns, nt.traversal_ns)
+            init_gains.append(phase_speedup(base, nt, "initialization"))
+            trav_gains.append(phase_speedup(base, nt, "traversal"))
+            rows.append(
+                [
+                    dataset,
+                    task,
+                    nt.init_ns / 1e6,
+                    nt.traversal_ns / 1e6,
+                    f"{nt.init_ns / nt.total_ns * 100:.0f}%",
+                ]
+            )
+        phase_gains[dataset] = (
+            geometric_mean(init_gains),
+            geometric_mean(trav_gains),
+        )
+    notes = [
+        f"dataset {d}: init speedup {g[0]:.2f}x, traversal speedup {g[1]:.2f}x"
+        for d, g in phase_gains.items()
+    ]
+    return Figure(
+        name="table2",
+        title="TABLE II analog: time breakdown (simulated ms)",
+        headers=["Dataset", "Benchmark", "Init", "Traversal", "Init share"],
+        rows=rows,
+        data={"cells": cells, "phase_gains": phase_gains},
+        notes=notes,
+    )
+
+
+def naive_port(cache: RunCache) -> Figure:
+    """Section III-B / VI-F: the direct NVM port of TADOC."""
+    rows = []
+    overheads, crosses = [], []
+    for dataset in DATASETS:
+        naive = cache.get("naive_nvm", dataset, "word_count")
+        dram = cache.get("tadoc_dram", dataset, "word_count")
+        nt = cache.get("ntadoc", dataset, "word_count")
+        assert naive.result == dram.result == nt.result
+        overhead = naive.total_ns / dram.total_ns
+        cross = naive.total_ns / nt.total_ns
+        overheads.append(overhead)
+        crosses.append(cross)
+        rows.append([dataset, f"{overhead:.2f}", f"{cross:.2f}"])
+    return Figure(
+        name="naive-port",
+        title="Section III-B / VI-F analog: the direct NVM port "
+        "(paper: 13.37x overhead, ~5x cross-eval)",
+        headers=["Dataset", "naive/DRAM", "naive/N-TADOC"],
+        rows=rows,
+        data={
+            "overhead_geomean": geometric_mean(overheads),
+            "cross_geomean": geometric_mean(crosses),
+        },
+        notes=[
+            f"geomean overhead vs DRAM TADOC: {geometric_mean(overheads):.2f}x",
+            f"geomean N-TADOC speedup over port: {geometric_mean(crosses):.2f}x",
+        ],
+    )
+
+
+def traversal_strategies(
+    cache: RunCache, scales: tuple[float, ...] = (0.1, 0.2, 0.4)
+) -> Figure:
+    """Section VI-E: top-down vs bottom-up on the many-file dataset."""
+    points = []
+    rows = []
+    for scale in scales:
+        corpus = cache.corpus("B", scale=scale)
+        bottomup = cache.get(
+            "ntadoc", "B", "term_vector", scale=scale, traversal="bottomup"
+        )
+        topdown = cache.get(
+            "ntadoc", "B", "term_vector", scale=scale, traversal="topdown"
+        )
+        assert bottomup.result == topdown.result
+        ratio = topdown.traversal_ns / bottomup.traversal_ns
+        points.append((corpus.n_files, ratio))
+        rows.append(
+            [
+                corpus.n_files,
+                corpus.n_rules,
+                bottomup.traversal_ns / 1e6,
+                topdown.traversal_ns / 1e6,
+                f"{ratio:.1f}x",
+            ]
+        )
+    (f1, r1), (f2, r2) = points[0], points[-1]
+    slope = (r2 - r1) / (f2 - f1) if f2 != f1 else 0.0
+    projected = r1 + slope * (134_631 - f1)
+    return Figure(
+        name="traversal",
+        title="Section VI-E analog: per-file traversal strategies on B",
+        headers=["Files", "Rules", "Bottom-up (ms)", "Top-down (ms)", "Ratio"],
+        rows=rows,
+        data={"points": points, "projected_at_paper_scale": projected},
+        notes=[
+            f"ratio grows ~linearly with file count; projected at the "
+            f"paper's 134631 files: ~{projected:.0f}x (paper: ~1000x)"
+        ],
+    )
+
+
+def pruning(cache: RunCache) -> Figure:
+    """Section IV-B: grammar redundancy eliminated by pruning."""
+    from repro.core.pruning import prune_rule, redundancy_savings
+
+    rows = []
+    corpus_savings = {}
+    best_rules = {}
+    for name in DATASETS:
+        corpus = cache.corpus(name)
+        saving = redundancy_savings(corpus)
+        best = max(
+            (prune_rule(body).savings for body in corpus.rules), default=0.0
+        )
+        corpus_savings[name] = saving
+        best_rules[name] = best
+        rows.append([name, f"{saving * 100:.1f}%", f"{best * 100:.1f}%"])
+    return Figure(
+        name="pruning",
+        title="Section IV-B analog: redundancy eliminated by pruning "
+        "(paper: up to 50.2%)",
+        headers=["Dataset", "Corpus-wide reduction", "Best single rule"],
+        rows=rows,
+        data={"corpus_savings": corpus_savings, "best_rules": best_rules},
+    )
+
+
+#: name -> builder; the CLI and benchmarks dispatch through this.
+FIGURES: dict[str, Callable[[RunCache], Figure]] = {
+    "table1": table1,
+    "fig5a": lambda cache: fig5(cache, "phase"),
+    "fig5b": lambda cache: fig5(cache, "operation"),
+    "fig6": fig6,
+    "fig7": fig7,
+    "dram-savings": dram_savings,
+    "table2": table2,
+    "naive-port": naive_port,
+    "traversal": traversal_strategies,
+    "pruning": pruning,
+}

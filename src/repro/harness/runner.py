@@ -1,0 +1,78 @@
+"""System registry used by every benchmark.
+
+A *system* is a named engine configuration matching one of the paper's
+evaluation configurations.  Benchmarks refer to systems by name so each
+figure's code reads like its caption.  The base config's workload knobs
+(traversal, n-gram length, ablation flags...) are preserved; only the
+fields that define the system (device, persistence, naive mode) are
+overridden.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+from repro.baselines.naive_nvm import naive_nvm_engine
+from repro.baselines.tadoc_dram import tadoc_dram_engine
+from repro.baselines.uncompressed import UncompressedEngine
+from repro.core.engine import EngineConfig, NTadocEngine, RunResult
+from repro.core.grammar import CompressedCorpus
+
+
+def _ntadoc(device: str, persistence: str) -> Callable:
+    def build(corpus: CompressedCorpus, base: EngineConfig) -> NTadocEngine:
+        return NTadocEngine(
+            corpus, replace(base, device=device, persistence=persistence)
+        )
+
+    return build
+
+
+def _uncompressed(device: str, persistence: str) -> Callable:
+    def build(corpus: CompressedCorpus, base: EngineConfig) -> UncompressedEngine:
+        return UncompressedEngine(
+            corpus, replace(base, device=device, persistence=persistence)
+        )
+
+    return build
+
+
+#: name -> engine factory(corpus, base_config)
+SYSTEMS: dict[str, Callable] = {
+    # The paper's system, both persistence levels (Fig. 5a / 5b).
+    "ntadoc": _ntadoc("nvm", "phase"),
+    "ntadoc_op": _ntadoc("nvm", "operation"),
+    # Fig. 5 baseline: uncompressed scans on NVM, matching persistence.
+    "uncompressed_nvm": _uncompressed("nvm", "phase"),
+    "uncompressed_nvm_op": _uncompressed("nvm", "operation"),
+    # Fig. 6 upper bound.
+    "tadoc_dram": lambda corpus, base: tadoc_dram_engine(corpus, base),
+    # Section III-B / VI-F motivation baseline.
+    "naive_nvm": lambda corpus, base: naive_nvm_engine(corpus, base),
+    # Fig. 7: the same compressed pipeline on block devices.
+    "ntadoc_ssd": _ntadoc("ssd", "phase"),
+    "ntadoc_hdd": _ntadoc("hdd", "phase"),
+    # Escape hatch: run the N-TADOC engine with the base config verbatim
+    # (used for the Section VI-F ReRAM/PCM migration comparisons).
+    "ntadoc_custom": lambda corpus, base: NTadocEngine(corpus, base),
+}
+
+
+def build_engine(system: str, corpus: CompressedCorpus, base: EngineConfig | None = None):
+    """Instantiate the engine for a named system.
+
+    Raises:
+        KeyError: for unknown system names.
+    """
+    return SYSTEMS[system](corpus, base or EngineConfig())
+
+
+def run_system(
+    system: str,
+    corpus: CompressedCorpus,
+    task,
+    base: EngineConfig | None = None,
+) -> RunResult:
+    """Run one task under one named system configuration."""
+    return build_engine(system, corpus, base).run(task)

@@ -1,0 +1,6 @@
+"""Measurement utilities: memory ledger, phase timer, report formatting."""
+
+from repro.metrics.ledger import MemoryLedger
+from repro.metrics.timer import PhaseTimeline
+
+__all__ = ["MemoryLedger", "PhaseTimeline"]

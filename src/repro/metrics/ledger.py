@@ -1,0 +1,59 @@
+"""Memory ledger: who holds how many bytes on which device.
+
+The paper's DRAM-saving numbers (Section VI-C) compare the resident set
+size of TADOC (everything in DRAM) against N-TADOC (bulk data on NVM,
+only the dictionary and transient working buffers in DRAM).  An OS RSS
+measurement would be meaningless for a simulator, so the ledger tracks
+the same quantity directly: peak bytes resident per device class, with a
+per-label breakdown for reports.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+class MemoryLedger:
+    """Tracks current and peak resident bytes per device, per label."""
+
+    def __init__(self) -> None:
+        self._current: dict[str, int] = defaultdict(int)
+        self._peak: dict[str, int] = defaultdict(int)
+        self._by_label: dict[str, dict[str, int]] = defaultdict(
+            lambda: defaultdict(int)
+        )
+
+    def charge(self, device: str, label: str, nbytes: int) -> None:
+        """Record ``nbytes`` becoming resident on ``device``."""
+        if nbytes < 0:
+            raise ValueError("use release() to free bytes")
+        self._current[device] += nbytes
+        self._by_label[device][label] += nbytes
+        if self._current[device] > self._peak[device]:
+            self._peak[device] = self._current[device]
+
+    def release(self, device: str, label: str, nbytes: int) -> None:
+        """Record ``nbytes`` leaving ``device`` (peak is unaffected)."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        self._current[device] -= nbytes
+        self._by_label[device][label] -= nbytes
+
+    def current(self, device: str) -> int:
+        """Bytes currently resident on ``device``."""
+        return self._current[device]
+
+    def peak(self, device: str) -> int:
+        """Peak bytes ever resident on ``device``."""
+        return self._peak[device]
+
+    def breakdown(self, device: str) -> dict[str, int]:
+        """Current bytes per label on ``device``."""
+        return dict(self._by_label[device])
+
+    @staticmethod
+    def dram_saving(tadoc_dram_peak: int, ntadoc_dram_peak: int) -> float:
+        """Fractional DRAM saving of N-TADOC relative to TADOC."""
+        if tadoc_dram_peak <= 0:
+            return 0.0
+        return 1.0 - ntadoc_dram_peak / tadoc_dram_peak

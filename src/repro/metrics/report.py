@@ -1,0 +1,74 @@
+"""Human-readable reports for engine runs (used by the CLI)."""
+
+from __future__ import annotations
+
+from repro.core.engine import RunResult
+from repro.harness.tables import format_table
+
+
+def format_ns(ns: float) -> str:
+    """Render simulated nanoseconds with an adaptive unit."""
+    if ns >= 1e9:
+        return f"{ns / 1e9:.3f} s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.3f} ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.1f} us"
+    return f"{ns:.0f} ns"
+
+
+def format_bytes(n: int) -> str:
+    """Render a byte count with an adaptive unit."""
+    if n >= 1 << 30:
+        return f"{n / (1 << 30):.2f} GiB"
+    if n >= 1 << 20:
+        return f"{n / (1 << 20):.2f} MiB"
+    if n >= 1 << 10:
+        return f"{n / (1 << 10):.1f} KiB"
+    return f"{n} B"
+
+
+def run_report(run: RunResult) -> str:
+    """One run, one block of text."""
+    lines = [
+        f"task      : {run.task}",
+        f"system    : {run.system} (pool on {run.pool_device}, "
+        f"{run.strategy} traversal)",
+        f"total     : {format_ns(run.total_ns)} simulated",
+    ]
+    for phase, ns in run.phase_ns.items():
+        share = ns / run.total_ns * 100 if run.total_ns else 0.0
+        lines.append(f"  {phase:<14s} {format_ns(ns):>12s}  ({share:.0f}%)")
+    lines.append(f"DRAM peak : {format_bytes(run.dram_peak)}")
+    lines.append(f"pool peak : {format_bytes(run.pool_peak)}")
+    if run.pool_stats is not None:
+        stats = run.pool_stats
+        lines.append(
+            f"pool I/O  : {format_bytes(stats.bytes_read)} read, "
+            f"{format_bytes(stats.bytes_written)} written, "
+            f"cache hit rate {stats.cache_hit_rate * 100:.1f}%"
+        )
+    return "\n".join(lines)
+
+
+def comparison_report(runs: list[RunResult], baseline_index: int = 0) -> str:
+    """Several runs of the same task, as a speedup table."""
+    if not runs:
+        raise ValueError("no runs to compare")
+    reference = runs[baseline_index].total_ns
+    rows = []
+    for run in runs:
+        rows.append(
+            [
+                run.system,
+                run.pool_device,
+                format_ns(run.total_ns),
+                f"{reference / run.total_ns:.2f}x",
+                format_bytes(run.dram_peak),
+            ]
+        )
+    return format_table(
+        ["system", "device", "simulated time", "speedup", "DRAM peak"],
+        rows,
+        title=f"task: {runs[0].task}",
+    )

@@ -1,0 +1,63 @@
+"""Phase timing on the simulated clock (Table II's columns).
+
+The paper breaks analytics time into an *initialization phase* (load the
+compressed dataset, build the DAG pool, allocate structures) and a *graph
+traversal phase* (propagate weights, collect and persist results).  The
+timeline records the simulated nanoseconds spent in each phase plus wall
+time for diagnostics.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.nvm.memory import SimulatedClock
+
+
+@dataclass
+class PhaseRecord:
+    """One completed phase."""
+
+    name: str
+    sim_ns: float
+    wall_s: float
+
+
+@dataclass
+class PhaseTimeline:
+    """Accumulates phase records against a simulated clock."""
+
+    clock: SimulatedClock
+    records: list[PhaseRecord] = field(default_factory=list)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a phase on both the simulated clock and the wall clock."""
+        sim_start = self.clock.ns
+        wall_start = time.perf_counter()
+        yield
+        self.records.append(
+            PhaseRecord(
+                name=name,
+                sim_ns=self.clock.ns - sim_start,
+                wall_s=time.perf_counter() - wall_start,
+            )
+        )
+
+    def sim_ns(self, name: str) -> float:
+        """Total simulated time across all phases with this name."""
+        return sum(r.sim_ns for r in self.records if r.name == name)
+
+    def total_sim_ns(self) -> float:
+        """Total simulated time across all recorded phases."""
+        return sum(r.sim_ns for r in self.records)
+
+    def as_dict(self) -> dict[str, float]:
+        """Phase name -> simulated ns (summed over repeats)."""
+        out: dict[str, float] = {}
+        for record in self.records:
+            out[record.name] = out.get(record.name, 0.0) + record.sim_ns
+        return out

@@ -1,0 +1,184 @@
+"""Device cost profiles for the storage media used in the paper's evaluation.
+
+A :class:`DeviceProfile` is a pure cost table: it says how many nanoseconds
+a media access costs, at which granularity the media is accessed, and
+whether the device retains data across a crash.  The profiles below are
+calibrated from published measurements of the corresponding hardware:
+
+* **DRAM** -- DDR4-3200: ~60 ns random line fill, 64 B lines.
+* **NVM** -- Intel Optane PMem 200 in App Direct mode: 256 B media
+  granularity (3D-XPoint), read latency ~2.5x DRAM, write latency higher
+  still, and a real cost for flushing dirty lines (CLWB + fence).
+* **SSD** -- Intel Optane SSD P5800X: 4 KiB blocks, ~10 us per random block.
+* **HDD** -- 7.2k RPM SAS disk: 4 KiB blocks behind a multi-millisecond
+  seek for non-sequential access.
+
+Absolute values only need to be *mutually plausible*: every experiment in
+the paper is a ratio between two systems measured on the same clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """Latency/granularity model for one storage medium.
+
+    Attributes:
+        name: Human-readable medium name ("dram", "nvm", "ssd", "hdd").
+        line_size: Media access granularity in bytes.  Every access is
+            rounded up to whole lines; this is what produces the access
+            amplification the paper describes for scattered 3D-XPoint data.
+        read_ns: Cost of reading one line at a random address.
+        write_ns: Cost of writing one line at a random address.
+        seq_read_ns: Cost of reading the line that immediately follows the
+            previously accessed line (row-buffer / prefetch / streaming hit).
+        seq_write_ns: Sequential-write analog of ``seq_read_ns``.
+        flush_ns: Cost of persisting one dirty line (CLWB+fence for NVM,
+            block writeback for SSD/HDD).  Zero for volatile DRAM.
+        syscall_ns: Software overhead per media access.  Zero for
+            load/store media; block devices are reached through the file
+            system (syscall, page-cache management, request queueing),
+            which costs microseconds per I/O regardless of device speed.
+        persistent: Whether flushed data survives a crash.
+        byte_addressable: ``True`` for load/store media (DRAM, NVM);
+            ``False`` for block devices that always move whole blocks.
+    """
+
+    name: str
+    line_size: int
+    read_ns: float
+    write_ns: float
+    seq_read_ns: float
+    seq_write_ns: float
+    flush_ns: float
+    persistent: bool
+    byte_addressable: bool
+    syscall_ns: float = 0.0
+
+    def line_of(self, offset: int) -> int:
+        """Return the line index containing byte ``offset``."""
+        return offset // self.line_size
+
+    def lines_spanned(self, offset: int, size: int) -> range:
+        """Return the range of line indices touched by ``[offset, offset+size)``."""
+        if size <= 0:
+            return range(0)
+        first = offset // self.line_size
+        last = (offset + size - 1) // self.line_size
+        return range(first, last + 1)
+
+    @staticmethod
+    def dram() -> "DeviceProfile":
+        """DDR4-class volatile memory."""
+        return DeviceProfile(
+            name="dram",
+            line_size=64,
+            read_ns=60.0,
+            write_ns=60.0,
+            seq_read_ns=8.0,
+            seq_write_ns=8.0,
+            flush_ns=0.0,
+            persistent=False,
+            byte_addressable=True,
+        )
+
+    @staticmethod
+    def nvm() -> "DeviceProfile":
+        """Optane-PMem-class persistent memory (direct access mode)."""
+        return DeviceProfile(
+            name="nvm",
+            line_size=256,
+            read_ns=160.0,
+            write_ns=420.0,
+            seq_read_ns=28.0,
+            seq_write_ns=75.0,
+            flush_ns=110.0,
+            persistent=True,
+            byte_addressable=True,
+        )
+
+    @staticmethod
+    def ssd() -> "DeviceProfile":
+        """Optane-SSD-class block device (fast NVMe)."""
+        return DeviceProfile(
+            name="ssd",
+            line_size=4096,
+            read_ns=11_000.0,
+            write_ns=13_000.0,
+            seq_read_ns=1_700.0,
+            seq_write_ns=2_000.0,
+            flush_ns=2_500.0,
+            persistent=True,
+            byte_addressable=False,
+            syscall_ns=2_200.0,
+        )
+
+    @staticmethod
+    def hdd() -> "DeviceProfile":
+        """Rotating SAS disk: sequential streaming is fine, seeks are ruinous."""
+        return DeviceProfile(
+            name="hdd",
+            line_size=4096,
+            read_ns=37_000.0,
+            write_ns=41_000.0,
+            seq_read_ns=14_500.0,
+            seq_write_ns=15_500.0,
+            flush_ns=6_500.0,
+            persistent=True,
+            byte_addressable=False,
+            syscall_ns=2_200.0,
+        )
+
+    @staticmethod
+    def reram() -> "DeviceProfile":
+        """ReRAM-class persistent memory (the paper's SectionVI-F migration
+        candidate): finer access granularity and faster, more symmetric
+        writes than 3D-XPoint, per published device projections."""
+        return DeviceProfile(
+            name="reram",
+            line_size=128,
+            read_ns=110.0,
+            write_ns=200.0,
+            seq_read_ns=13.0,
+            seq_write_ns=30.0,
+            flush_ns=50.0,
+            persistent=True,
+            byte_addressable=True,
+        )
+
+    @staticmethod
+    def pcm() -> "DeviceProfile":
+        """PCM-class persistent memory (the other SectionVI-F candidate):
+        reads near DRAM, but SET/RESET writes are markedly slower than
+        Optane's."""
+        return DeviceProfile(
+            name="pcm",
+            line_size=128,
+            read_ns=130.0,
+            write_ns=900.0,
+            seq_read_ns=25.0,
+            seq_write_ns=210.0,
+            flush_ns=250.0,
+            persistent=True,
+            byte_addressable=True,
+        )
+
+    @staticmethod
+    def by_name(name: str) -> "DeviceProfile":
+        """Look up a built-in profile by name.
+
+        Raises:
+            KeyError: if ``name`` is not one of dram/nvm/ssd/hdd/reram/pcm.
+        """
+        factories = {
+            "dram": DeviceProfile.dram,
+            "nvm": DeviceProfile.nvm,
+            "ssd": DeviceProfile.ssd,
+            "hdd": DeviceProfile.hdd,
+            "reram": DeviceProfile.reram,
+            "pcm": DeviceProfile.pcm,
+        }
+        return factories[name]()

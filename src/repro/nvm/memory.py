@@ -1,0 +1,303 @@
+"""Byte-addressable simulated memory with deterministic cost accounting.
+
+A :class:`SimulatedMemory` is the load/store surface every persistent data
+structure in this library is built on.  Each ``read``/``write`` call:
+
+1. rounds the touched byte range up to device lines,
+2. runs each line through an LRU :class:`~repro.nvm.cache.LineCache`,
+3. charges misses and write-backs to a shared :class:`SimulatedClock`
+   using the memory's :class:`~repro.nvm.device.DeviceProfile`, with a
+   sequential-access discount when a miss continues the previous line.
+
+Because the clock is shared, several memories (a DRAM and an NVM, say) can
+participate in one experiment and the resulting ``clock.ns`` is directly
+comparable across systems -- which is how every figure in the paper is a
+ratio of two configurations.
+
+Crash semantics (ADR): a persistent memory that crashes reverts to the
+image captured by its most recent :meth:`SimulatedMemory.flush`.  This
+matches the paper's phase-level checkpoint model, where recovery restarts
+from the last completed phase and overwrites dirty intermediate state.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import InvalidAccessError
+from repro.nvm.cache import LineCache
+from repro.nvm.device import DeviceProfile
+from repro.nvm.stats import MemoryStats
+
+
+class SimulatedClock:
+    """A monotonically advancing nanosecond counter shared by devices.
+
+    The clock also offers a tiny CPU cost model (:meth:`cpu`) so that
+    compute-heavy inner loops (hash probing, comparisons, sorting) are not
+    free relative to memory traffic.
+    """
+
+    #: Default cost of one abstract CPU operation, in nanoseconds.
+    CPU_OP_NS = 1.2
+
+    def __init__(self) -> None:
+        self.ns: float = 0.0
+
+    def advance(self, ns: float) -> None:
+        """Move the clock forward by ``ns`` nanoseconds."""
+        if ns < 0:
+            raise ValueError("time cannot move backwards")
+        self.ns += ns
+
+    def cpu(self, ops: int | float) -> None:
+        """Charge ``ops`` abstract CPU operations."""
+        self.ns += ops * self.CPU_OP_NS
+
+
+def charge_sequential_io(
+    clock: SimulatedClock,
+    profile: "DeviceProfile",
+    nbytes: int,
+    write: bool = False,
+) -> float:
+    """Charge the cost of streaming ``nbytes`` to/from a device.
+
+    Used to model bulk disk I/O (loading a dataset, writing results back)
+    without materializing a device image: the stream touches
+    ``ceil(nbytes / line_size)`` lines, the first at random cost and the
+    rest at the sequential rate.  Returns the nanoseconds charged.
+    """
+    if nbytes <= 0:
+        return 0.0
+    lines = -(-nbytes // profile.line_size)  # ceil division
+    if write:
+        cost = profile.write_ns + (lines - 1) * profile.seq_write_ns
+    else:
+        cost = profile.read_ns + (lines - 1) * profile.seq_read_ns
+    clock.advance(cost)
+    return cost
+
+
+class SimulatedMemory:
+    """A fixed-size byte array fronted by a line cache and a cost model.
+
+    Args:
+        profile: The device cost table.
+        size: Capacity in bytes.
+        clock: Shared simulated clock; a private one is created if omitted.
+        cache_bytes: Capacity of the CPU-cache model for this device.
+        name: Optional label used in error messages and reports.
+    """
+
+    def __init__(
+        self,
+        profile: DeviceProfile,
+        size: int,
+        clock: SimulatedClock | None = None,
+        cache_bytes: int = 1 << 20,
+        name: str | None = None,
+        track_wear: bool = False,
+    ) -> None:
+        if size <= 0:
+            raise ValueError("memory size must be positive")
+        self.profile = profile
+        self.size = size
+        self.clock = clock if clock is not None else SimulatedClock()
+        self.name = name or profile.name
+        self.stats = MemoryStats()
+        self._buf = bytearray(size)
+        self._cache = LineCache(cache_bytes, profile.line_size)
+        self._media_lines: set[int] = set()  # lines that ever reached media
+        self._last_media_line: int | None = None
+        self._dirty_lines: set[int] = set()
+        self._flushed_image: bytearray | None = None
+        self._backing_path: Path | None = None
+        #: Per-line media program counts (endurance accounting); only
+        #: populated when ``track_wear`` is enabled.
+        self.wear: dict[int, int] | None = {} if track_wear else None
+
+    # ------------------------------------------------------------------
+    # Load/store interface
+    # ------------------------------------------------------------------
+
+    def read(self, offset: int, size: int) -> bytes:
+        """Read ``size`` bytes at ``offset``, charging device cost."""
+        self._check_range(offset, size)
+        self._touch(offset, size, dirty=False)
+        self.stats.read_ops += 1
+        self.stats.bytes_read += size
+        return bytes(self._buf[offset : offset + size])
+
+    def write(self, offset: int, data: bytes | bytearray | memoryview) -> None:
+        """Write ``data`` at ``offset``, charging device cost.
+
+        A write that covers an entire line does not pay the fetch-on-miss
+        cost (write-allocate without fetch): the old contents are fully
+        overwritten, as a page cache or WPQ buffer would recognize.
+        """
+        size = len(data)
+        self._check_range(offset, size)
+        self._touch(offset, size, dirty=True)
+        self.stats.write_ops += 1
+        self.stats.bytes_written += size
+        self._buf[offset : offset + size] = data
+
+    def fill(self, offset: int, size: int, value: int = 0) -> None:
+        """Write ``size`` copies of ``value`` starting at ``offset``."""
+        self.write(offset, bytes([value]) * size)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def flush(self) -> int:
+        """Persist all lines dirtied since the previous flush.
+
+        Returns the number of lines flushed.  For a persistent device this
+        also updates the crash-recovery image incrementally (and the
+        backing file when one is attached).  Flushing a volatile device is
+        a no-op beyond clearing dirty tracking.
+        """
+        flushed = len(self._dirty_lines)
+        if flushed:
+            self.clock.advance(flushed * (self.profile.flush_ns + self.profile.syscall_ns))
+            self.stats.flushed_lines += flushed
+            self._media_lines.update(self._dirty_lines)
+            if self.wear is not None:
+                for line in self._dirty_lines:
+                    self.wear[line] = self.wear.get(line, 0) + 1
+        self.stats.flush_ops += 1
+        if self.profile.persistent:
+            if self._flushed_image is None:
+                self._flushed_image = bytearray(self.size)
+            line_size = self.profile.line_size
+            image = self._flushed_image
+            for line in self._dirty_lines:
+                start = line * line_size
+                end = min(start + line_size, self.size)
+                image[start:end] = self._buf[start:end]
+        for line in self._dirty_lines:
+            self._cache.clean(line)
+        self._dirty_lines.clear()
+        if self.profile.persistent and self._backing_path is not None:
+            self._backing_path.write_bytes(bytes(self._flushed_image))
+        return flushed
+
+    def crash(self) -> None:
+        """Simulate a power failure.
+
+        A persistent device reverts to its last flushed image (or zeroes if
+        it was never flushed); a volatile device loses everything.  The
+        line cache is invalidated either way.
+        """
+        if self.profile.persistent and self._flushed_image is not None:
+            self._buf[:] = self._flushed_image
+        else:
+            self._buf[:] = bytes(self.size)
+        self._cache.invalidate_all()
+        self._dirty_lines.clear()
+        self._last_media_line = None
+
+    def attach_file(self, path: str | Path, load: bool = False) -> None:
+        """Attach a backing file that receives the image on every flush.
+
+        Args:
+            path: Backing file location.
+            load: When ``True`` and the file exists, load its contents as
+                the current (and flushed) image -- i.e. reopen a pool.
+        """
+        self._backing_path = Path(path)
+        if load and self._backing_path.exists():
+            image = self._backing_path.read_bytes()
+            if len(image) > self.size:
+                raise InvalidAccessError(
+                    f"backing image ({len(image)} B) larger than device ({self.size} B)"
+                )
+            self._buf[: len(image)] = image
+            self._flushed_image = bytearray(self._buf)
+
+    @property
+    def dirty_line_count(self) -> int:
+        """Number of lines dirtied since the last flush."""
+        return len(self._dirty_lines)
+
+    # ------------------------------------------------------------------
+    # Raw access (no cost) -- verification and test support only
+    # ------------------------------------------------------------------
+
+    def peek(self, offset: int, size: int) -> bytes:
+        """Read without charging cost.  For tests and integrity checks."""
+        self._check_range(offset, size)
+        return bytes(self._buf[offset : offset + size])
+
+    def poke(self, offset: int, data: bytes) -> None:
+        """Write without charging cost.  For tests and image loading."""
+        self._check_range(offset, len(data))
+        self._buf[offset : offset + len(data)] = data
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _check_range(self, offset: int, size: int) -> None:
+        if offset < 0 or size < 0 or offset + size > self.size:
+            raise InvalidAccessError(
+                f"{self.name}: access [{offset}, {offset + size}) outside "
+                f"device of {self.size} bytes"
+            )
+
+    def _touch(self, offset: int, size: int, dirty: bool) -> None:
+        """Run each touched line through the cache and charge the clock."""
+        profile = self.profile
+        clock = self.clock
+        stats = self.stats
+        line_size = profile.line_size
+        for line in profile.lines_spanned(offset, size):
+            hit, evicted_dirty = self._cache.access(line, dirty)
+            if dirty:
+                self._dirty_lines.add(line)
+                stats.lines_written += 1
+            else:
+                stats.lines_read += 1
+            # A miss needs no media fetch when the write covers the whole
+            # line, or when the line never reached media (fresh pool space
+            # has nothing to fetch -- like writing past EOF of a new file).
+            no_fetch = dirty and (
+                line not in self._media_lines
+                or (
+                    offset <= line * line_size
+                    and offset + size >= (line + 1) * line_size
+                )
+            )
+            if hit or no_fetch:
+                stats.cache_hits += 1 if hit else 0
+                if not hit:
+                    stats.cache_misses += 1
+                    self._last_media_line = line
+                clock.advance(1.0)  # cache-hit / no-fetch-allocate latency
+            else:
+                stats.cache_misses += 1
+                sequential = (
+                    self._last_media_line is not None
+                    and line == self._last_media_line + 1
+                )
+                cost = profile.seq_read_ns if sequential else profile.read_ns
+                cost += profile.syscall_ns
+                clock.advance(cost)
+                stats.device_ns += cost
+                self._last_media_line = line
+            if evicted_dirty is not None:
+                # Write-back of an evicted dirty line reaches the media.
+                sequential = (
+                    self._last_media_line is not None
+                    and evicted_dirty == self._last_media_line + 1
+                )
+                cost = profile.seq_write_ns if sequential else profile.write_ns
+                cost += profile.syscall_ns
+                clock.advance(cost)
+                stats.device_ns += cost
+                stats.writebacks += 1
+                self._media_lines.add(evicted_dirty)
+                if self.wear is not None:
+                    self.wear[evicted_dirty] = self.wear.get(evicted_dirty, 0) + 1

@@ -1,0 +1,231 @@
+"""Persistence strategies: phase-level checkpoints and undo-log transactions.
+
+The paper evaluates two persistence costs (SectionIV-E):
+
+* **Phase-level** (libpmem analog): data is flushed only at the end of
+  each phase.  Cheap during normal execution; on failure the whole phase
+  is re-run from the previous checkpoint.
+  Implemented by :class:`PhasePersistence`.
+* **Operation-level** (libpmemobj-cpp analog): every logical operation runs
+  inside a transaction whose undo records are persisted *before* the data
+  is modified, so a crash rolls back to the operation boundary.  The log
+  writes and extra flushes are the write amplification the paper measures
+  as the Fig.5a vs Fig.5b gap.
+  Implemented by :class:`TransactionLog` / :class:`Transaction`.
+"""
+
+from __future__ import annotations
+
+import struct
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.errors import RecoveryError, TransactionError
+from repro.nvm.pool import NvmPool
+
+_PHASE_REGION = "__phases__"
+_PHASE_FMT = "<I32s"
+_PHASE_SLOT = struct.calcsize(_PHASE_FMT)
+
+_LOG_REGION = "__txlog__"
+_LOG_HEADER_FMT = "<II"  # active flag, record count
+_LOG_HEADER_SIZE = struct.calcsize(_LOG_HEADER_FMT)
+_LOG_RECORD_FMT = "<QI"  # offset, length (old data follows)
+_LOG_RECORD_SIZE = struct.calcsize(_LOG_RECORD_FMT)
+
+
+class PhasePersistence:
+    """Checkpoint marker persisted at each completed phase.
+
+    The marker region stores the number of completed phases plus the name
+    of the last one.  :meth:`phase` is the normal entry point::
+
+        pp = PhasePersistence(pool)
+        with pp.phase("initialization"):
+            ...build the DAG pool...
+        with pp.phase("traversal"):
+            ...traverse and collect results...
+
+    On exit from the ``with`` block the pool directory and all dirty lines
+    are flushed, so a crash inside the *next* phase recovers to this one.
+    """
+
+    def __init__(self, pool: NvmPool) -> None:
+        self.pool = pool
+        if not pool.has_region(_PHASE_REGION):
+            pool.alloc_region(_PHASE_REGION, _PHASE_SLOT)
+
+    def completed_count(self) -> int:
+        """Return how many phases have been completed and persisted."""
+        offset, _ = self.pool.get_region(_PHASE_REGION)
+        count, _name = struct.unpack(
+            _PHASE_FMT, self.pool.memory.read(offset, _PHASE_SLOT)
+        )
+        return count
+
+    def last_completed(self) -> str | None:
+        """Return the name of the last completed phase, or ``None``."""
+        offset, _ = self.pool.get_region(_PHASE_REGION)
+        count, name = struct.unpack(
+            _PHASE_FMT, self.pool.memory.read(offset, _PHASE_SLOT)
+        )
+        if count == 0:
+            return None
+        return name.rstrip(b"\x00").decode("utf-8")
+
+    def complete_phase(self, name: str) -> None:
+        """Record ``name`` as completed and flush the pool."""
+        encoded = name.encode("utf-8")[:32]
+        offset, _ = self.pool.get_region(_PHASE_REGION)
+        count = self.completed_count()
+        self.pool.memory.write(
+            offset, struct.pack(_PHASE_FMT, count + 1, encoded.ljust(32, b"\x00"))
+        )
+        self.pool.flush()
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Run a phase; persist the checkpoint only on successful exit."""
+        yield
+        self.complete_phase(name)
+
+
+class TransactionLog:
+    """Undo log stored in its own pool region (libpmemobj analog).
+
+    Args:
+        pool: Pool that hosts both the data and the log.
+        capacity: Log region size in bytes; bounds the amount of data a
+            single transaction may modify.
+    """
+
+    def __init__(self, pool: NvmPool, capacity: int = 1 << 16) -> None:
+        self.pool = pool
+        self.capacity = capacity
+        if not pool.has_region(_LOG_REGION):
+            offset = pool.alloc_region(_LOG_REGION, capacity)
+            pool.memory.write(offset, struct.pack(_LOG_HEADER_FMT, 0, 0))
+        self._active: Transaction | None = None
+
+    def begin(self) -> "Transaction":
+        """Start a transaction.
+
+        Raises:
+            TransactionError: if another transaction is already active.
+        """
+        if self._active is not None:
+            raise TransactionError("nested transactions are not supported")
+        self._active = Transaction(self)
+        return self._active
+
+    @contextmanager
+    def transaction(self) -> Iterator["Transaction"]:
+        """Context-manager form of :meth:`begin`; commits on success."""
+        tx = self.begin()
+        try:
+            yield tx
+        except BaseException:
+            tx.abort()
+            raise
+        else:
+            tx.commit()
+
+    def needs_recovery(self) -> bool:
+        """Return whether the persisted log shows an interrupted transaction."""
+        offset, _ = self.pool.get_region(_LOG_REGION)
+        active, count = struct.unpack(
+            _LOG_HEADER_FMT, self.pool.memory.read(offset, _LOG_HEADER_SIZE)
+        )
+        return bool(active) and count > 0
+
+    def recover(self) -> int:
+        """Roll back an interrupted transaction; return records undone."""
+        mem = self.pool.memory
+        offset, _ = self.pool.get_region(_LOG_REGION)
+        active, count = struct.unpack(
+            _LOG_HEADER_FMT, mem.read(offset, _LOG_HEADER_SIZE)
+        )
+        if not active:
+            return 0
+        records: list[tuple[int, bytes]] = []
+        pos = offset + _LOG_HEADER_SIZE
+        for _ in range(count):
+            try:
+                target, length = struct.unpack(
+                    _LOG_RECORD_FMT, mem.read(pos, _LOG_RECORD_SIZE)
+                )
+            except Exception as exc:  # pragma: no cover - corrupt image
+                raise RecoveryError("corrupt undo log record") from exc
+            pos += _LOG_RECORD_SIZE
+            records.append((target, mem.read(pos, length)))
+            pos += length
+        for target, old in reversed(records):
+            mem.write(target, old)
+        mem.write(offset, struct.pack(_LOG_HEADER_FMT, 0, 0))
+        mem.flush()
+        return count
+
+    # Internal hooks used by Transaction -------------------------------
+
+    def _clear_active(self) -> None:
+        self._active = None
+
+
+class Transaction:
+    """One undo-logged transaction.  Use via ``TransactionLog.transaction``."""
+
+    def __init__(self, log: TransactionLog) -> None:
+        self._log = log
+        self._pool = log.pool
+        self._count = 0
+        offset, _ = self._pool.get_region(_LOG_REGION)
+        self._base = offset
+        self._write_pos = offset + _LOG_HEADER_SIZE
+        self._open = True
+        # Mark the log active and persist the marker before any data write.
+        self._pool.memory.write(offset, struct.pack(_LOG_HEADER_FMT, 1, 0))
+        self._pool.memory.flush()
+
+    def write(self, offset: int, data: bytes) -> None:
+        """Log the old contents of ``[offset, offset+len)``, then write.
+
+        The undo record is persisted *before* the data write reaches the
+        pool, which is what makes the operation atomic -- and what makes
+        operation-level persistence expensive.
+
+        Raises:
+            TransactionError: if the transaction is closed or the log is full.
+        """
+        if not self._open:
+            raise TransactionError("transaction already finished")
+        mem = self._pool.memory
+        record_size = _LOG_RECORD_SIZE + len(data)
+        if self._write_pos + record_size > self._base + self._log.capacity:
+            raise TransactionError("undo log full; split the transaction")
+        old = mem.read(offset, len(data))
+        mem.write(self._write_pos, struct.pack(_LOG_RECORD_FMT, offset, len(data)))
+        mem.write(self._write_pos + _LOG_RECORD_SIZE, old)
+        self._write_pos += record_size
+        self._count += 1
+        mem.write(self._base, struct.pack(_LOG_HEADER_FMT, 1, self._count))
+        mem.flush()  # persist undo record before mutating data
+        mem.write(offset, data)
+
+    def commit(self) -> None:
+        """Persist the data writes and retire the log."""
+        if not self._open:
+            raise TransactionError("transaction already finished")
+        mem = self._pool.memory
+        mem.flush()  # persist the data itself
+        mem.write(self._base, struct.pack(_LOG_HEADER_FMT, 0, 0))
+        mem.flush()  # persist the log retirement
+        self._open = False
+        self._log._clear_active()
+
+    def abort(self) -> None:
+        """Undo every write performed inside this transaction."""
+        if not self._open:
+            return
+        self._open = False
+        self._log._clear_active()
+        self._log.recover()

@@ -1,0 +1,171 @@
+"""Named-region pool on top of a simulated memory.
+
+An :class:`NvmPool` owns one :class:`~repro.nvm.memory.SimulatedMemory`
+and a :class:`~repro.nvm.allocator.PoolAllocator`, and keeps a *directory*
+mapping region names to ``(offset, size)`` pairs.  The directory is
+serialized into a fixed header at the start of the memory so a pool image
+written by one process (or surviving a simulated crash) can be reopened:
+``load_directory`` restores both the name table and the allocator's bump
+pointer.
+
+Header layout (little-endian)::
+
+    0x00  u64  magic ("NTADOCPL")
+    0x08  u32  version
+    0x0C  u32  entry count
+    0x10  u64  allocator top
+    0x18  entries: u16 name length, name bytes, u64 offset, u64 size
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import PoolLayoutError
+from repro.nvm.allocator import PoolAllocator
+from repro.nvm.memory import SimulatedMemory
+
+_MAGIC = 0x4E5441444F43504C  # "NTADOCPL"
+_VERSION = 1
+_HEADER_FMT = "<QII Q".replace(" ", "")
+_HEADER_SIZE = struct.calcsize(_HEADER_FMT)
+
+
+class NvmPool:
+    """A memory pool with a persistent directory of named regions.
+
+    Args:
+        memory: Backing simulated memory.
+        header_bytes: Bytes reserved at offset 0 for the directory.
+        scatter: Forwarded to the allocator (naive-baseline mode).
+    """
+
+    def __init__(
+        self,
+        memory: SimulatedMemory,
+        header_bytes: int = 4096,
+        scatter: bool = False,
+    ) -> None:
+        if header_bytes < _HEADER_SIZE:
+            raise ValueError("header too small for pool metadata")
+        self.memory = memory
+        self.header_bytes = header_bytes
+        self.allocator = PoolAllocator(
+            memory,
+            base=header_bytes,
+            capacity=memory.size - header_bytes,
+            scatter=scatter,
+        )
+        self._regions: dict[str, tuple[int, int]] = {}
+
+    # ------------------------------------------------------------------
+    # Region management
+    # ------------------------------------------------------------------
+
+    def alloc_region(self, name: str, size: int, align: int = 8) -> int:
+        """Allocate a named region and return its offset.
+
+        Raises:
+            PoolLayoutError: if ``name`` already exists.
+        """
+        if name in self._regions:
+            raise PoolLayoutError(f"region {name!r} already exists")
+        offset = self.allocator.alloc(size, align)
+        self._regions[name] = (offset, size)
+        return offset
+
+    def get_region(self, name: str) -> tuple[int, int]:
+        """Return ``(offset, size)`` of a named region.
+
+        Raises:
+            PoolLayoutError: if the region does not exist.
+        """
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise PoolLayoutError(f"no region named {name!r}") from None
+
+    def has_region(self, name: str) -> bool:
+        """Return whether a region with this name exists."""
+        return name in self._regions
+
+    def free_region(self, name: str) -> None:
+        """Release a named region back to the allocator."""
+        offset, size = self.get_region(name)
+        del self._regions[name]
+        self.allocator.free(offset, size)
+
+    def region_names(self) -> list[str]:
+        """Return region names in insertion order."""
+        return list(self._regions)
+
+    def register_region(self, name: str, offset: int, size: int) -> None:
+        """Record a region allocated directly through the allocator.
+
+        Raises:
+            PoolLayoutError: if ``name`` already exists.
+        """
+        if name in self._regions:
+            raise PoolLayoutError(f"region {name!r} already exists")
+        self._regions[name] = (offset, size)
+
+    # ------------------------------------------------------------------
+    # Directory persistence
+    # ------------------------------------------------------------------
+
+    def save_directory(self) -> None:
+        """Serialize the directory into the pool header (charged I/O)."""
+        parts = [
+            struct.pack(
+                _HEADER_FMT, _MAGIC, _VERSION, len(self._regions), self.allocator.top
+            )
+        ]
+        for name, (offset, size) in self._regions.items():
+            encoded = name.encode("utf-8")
+            if len(encoded) > 255:
+                raise PoolLayoutError(f"region name too long: {name!r}")
+            parts.append(struct.pack("<H", len(encoded)))
+            parts.append(encoded)
+            parts.append(struct.pack("<QQ", offset, size))
+        blob = b"".join(parts)
+        if len(blob) > self.header_bytes:
+            raise PoolLayoutError(
+                f"directory ({len(blob)} B) exceeds header ({self.header_bytes} B)"
+            )
+        self.memory.write(0, blob)
+
+    def load_directory(self) -> None:
+        """Restore the directory (and allocator top) from the pool header.
+
+        Raises:
+            PoolLayoutError: on bad magic or a truncated/corrupt header.
+        """
+        raw = self.memory.read(0, self.header_bytes)
+        try:
+            magic, version, count, top = struct.unpack_from(_HEADER_FMT, raw, 0)
+        except struct.error as exc:
+            raise PoolLayoutError("truncated pool header") from exc
+        if magic != _MAGIC:
+            raise PoolLayoutError("bad pool magic: not an N-TADOC pool image")
+        if version != _VERSION:
+            raise PoolLayoutError(f"unsupported pool version {version}")
+        regions: dict[str, tuple[int, int]] = {}
+        pos = _HEADER_SIZE
+        for _ in range(count):
+            try:
+                (name_len,) = struct.unpack_from("<H", raw, pos)
+                pos += 2
+                name = raw[pos : pos + name_len].decode("utf-8")
+                pos += name_len
+                offset, size = struct.unpack_from("<QQ", raw, pos)
+                pos += 16
+            except (struct.error, UnicodeDecodeError) as exc:
+                raise PoolLayoutError("corrupt pool directory entry") from exc
+            regions[name] = (offset, size)
+        self._regions = regions
+        self.allocator._top = max(top, self.allocator.base)
+
+    def flush(self) -> int:
+        """Persist the directory and all dirty lines; return lines flushed."""
+        self.save_directory()
+        return self.memory.flush()

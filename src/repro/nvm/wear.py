@@ -1,0 +1,71 @@
+"""Write-endurance accounting (the paper's Section VII concern).
+
+NVM cells wear out: 3D-XPoint endures ~10^6-10^7 writes per cell, PCM
+similar -- far below DRAM's effectively unlimited endurance.  The paper
+positions N-TADOC as endurance-friendly because it "reduces the write
+operations on NVM during text analytics tasks to improve write
+endurance".
+
+Enable per-line program counting with
+``SimulatedMemory(..., track_wear=True)``; every media program event (a
+line flushed, or a dirty line written back on eviction) increments that
+line's counter.  :func:`wear_report` turns the raw counters into an
+endurance summary that experiments can compare across design
+alternatives (e.g. bound-presized structures vs growable ones, or
+N-TADOC vs the naive port).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.nvm.memory import SimulatedMemory
+
+
+@dataclass(frozen=True)
+class WearReport:
+    """Endurance summary for one memory."""
+
+    total_programs: int       # line-program events that reached media
+    lines_touched: int        # distinct lines ever programmed
+    max_line_programs: int    # hottest line's program count
+    mean_line_programs: float
+
+    @property
+    def imbalance(self) -> float:
+        """Hottest line vs the mean (1.0 = perfectly even wear)."""
+        if self.mean_line_programs == 0:
+            return 0.0
+        return self.max_line_programs / self.mean_line_programs
+
+    def lifetime_fraction_used(self, endurance_cycles: int = 10**7) -> float:
+        """Fraction of the hottest line's endurance budget consumed.
+
+        Raises:
+            ValueError: for a non-positive endurance budget.
+        """
+        if endurance_cycles <= 0:
+            raise ValueError("endurance_cycles must be positive")
+        return self.max_line_programs / endurance_cycles
+
+
+def wear_report(memory: SimulatedMemory) -> WearReport:
+    """Summarize a wear-tracked memory's program counters.
+
+    Raises:
+        ValueError: if the memory was created without ``track_wear=True``.
+    """
+    if memory.wear is None:
+        raise ValueError(
+            "memory was not created with track_wear=True; no wear data"
+        )
+    counters = memory.wear
+    if not counters:
+        return WearReport(0, 0, 0, 0.0)
+    total = sum(counters.values())
+    return WearReport(
+        total_programs=total,
+        lines_touched=len(counters),
+        max_line_programs=max(counters.values()),
+        mean_line_programs=total / len(counters),
+    )

@@ -1,0 +1,28 @@
+"""Persistent data structures allocated inside an NVM pool.
+
+These are the Section IV-D structures of the paper: a fixed-capacity
+vector, the status/key/value open-addressing hash table of Fig. 4, a ring
+buffer used as the DAG traversal queue, a frequency counter that picks
+between dense (vector) and sparse (hash table) representations, and the
+head/tail structure that supports sequence analytics.
+
+Every structure stores its payload in simulated device memory through
+byte-level struct packing, so its cost is governed by the device profile
+and cache model -- not by Python object overhead.
+"""
+
+from repro.pstruct.headtail import HeadTailStore
+from repro.pstruct.pbitmap import PBitmap
+from repro.pstruct.pcounter import FrequencyCounter
+from repro.pstruct.phashtable import PHashTable
+from repro.pstruct.pqueue import PQueue
+from repro.pstruct.pvector import PVector
+
+__all__ = [
+    "FrequencyCounter",
+    "PBitmap",
+    "HeadTailStore",
+    "PHashTable",
+    "PQueue",
+    "PVector",
+]

@@ -1,0 +1,84 @@
+"""Scalar packing helpers over a simulated memory.
+
+Thin wrappers around precompiled :mod:`struct` codecs so persistent
+structures read the same on every device.  All integers are little-endian.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.nvm.memory import SimulatedMemory
+
+U8 = struct.Struct("<B")
+U16 = struct.Struct("<H")
+U32 = struct.Struct("<I")
+U64 = struct.Struct("<Q")
+I64 = struct.Struct("<q")
+F64 = struct.Struct("<d")
+
+
+def read_u8(mem: SimulatedMemory, offset: int) -> int:
+    return U8.unpack(mem.read(offset, 1))[0]
+
+
+def write_u8(mem: SimulatedMemory, offset: int, value: int) -> None:
+    mem.write(offset, U8.pack(value))
+
+
+def read_u16(mem: SimulatedMemory, offset: int) -> int:
+    return U16.unpack(mem.read(offset, 2))[0]
+
+
+def write_u16(mem: SimulatedMemory, offset: int, value: int) -> None:
+    mem.write(offset, U16.pack(value))
+
+
+def read_u32(mem: SimulatedMemory, offset: int) -> int:
+    return U32.unpack(mem.read(offset, 4))[0]
+
+
+def write_u32(mem: SimulatedMemory, offset: int, value: int) -> None:
+    mem.write(offset, U32.pack(value))
+
+
+def read_u64(mem: SimulatedMemory, offset: int) -> int:
+    return U64.unpack(mem.read(offset, 8))[0]
+
+
+def write_u64(mem: SimulatedMemory, offset: int, value: int) -> None:
+    mem.write(offset, U64.pack(value))
+
+
+def read_i64(mem: SimulatedMemory, offset: int) -> int:
+    return I64.unpack(mem.read(offset, 8))[0]
+
+
+def write_i64(mem: SimulatedMemory, offset: int, value: int) -> None:
+    mem.write(offset, I64.pack(value))
+
+
+def read_u32_array(mem: SimulatedMemory, offset: int, count: int) -> list[int]:
+    """Read ``count`` consecutive u32 values in one device access."""
+    if count == 0:
+        return []
+    raw = mem.read(offset, 4 * count)
+    return list(struct.unpack(f"<{count}I", raw))
+
+
+def write_u32_array(mem: SimulatedMemory, offset: int, values: list[int]) -> None:
+    """Write consecutive u32 values in one device access."""
+    if not values:
+        return
+    mem.write(offset, struct.pack(f"<{len(values)}I", *values))
+
+
+def next_power_of_two(value: int) -> int:
+    """Smallest power of two >= max(value, 1).
+
+    The paper rounds hash-table lengths up to a power of two "for alignment
+    to improve the hit rate of the cache" (Section IV-D).
+    """
+    if value <= 1:
+        return 1
+    return 1 << (value - 1).bit_length()

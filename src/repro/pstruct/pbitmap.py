@@ -1,0 +1,119 @@
+"""Persistent bitset over pool memory.
+
+Used by membership-style analytics (e.g. word search: one bit per rule
+meaning "this rule's expansion contains the query word").  Bits pack 8
+per byte, so a per-rule flag array touches ~64x fewer device lines than
+a byte-per-flag layout -- the same cache-density argument the paper
+makes for its hash-table status buffer.
+
+Layout::
+
+    header (8 B): u32 n_bits | u32 reserved
+    data:         ceil(n_bits / 8) bytes
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.nvm.allocator import PoolAllocator
+
+_HEADER = struct.Struct("<II")
+
+
+class PBitmap:
+    """A fixed-size persistent bitset."""
+
+    def __init__(self, allocator: PoolAllocator, header_offset: int) -> None:
+        self._mem = allocator.memory
+        self.header_offset = header_offset
+        n_bits, _ = _HEADER.unpack(self._mem.read(header_offset, _HEADER.size))
+        self.n_bits = n_bits
+        self._data_offset = header_offset + _HEADER.size
+
+    @classmethod
+    def create(cls, allocator: PoolAllocator, n_bits: int) -> "PBitmap":
+        """Allocate an all-zero bitmap of ``n_bits`` bits."""
+        if n_bits <= 0:
+            raise ValueError("n_bits must be positive")
+        n_bytes = (n_bits + 7) // 8
+        header_offset = allocator.alloc(_HEADER.size + n_bytes)
+        allocator.memory.write(header_offset, _HEADER.pack(n_bits, 0))
+        if allocator.last_alloc_reused:
+            allocator.memory.write(header_offset + _HEADER.size, bytes(n_bytes))
+        return cls(allocator, header_offset)
+
+    @classmethod
+    def attach(cls, allocator: PoolAllocator, header_offset: int) -> "PBitmap":
+        """Reopen a bitmap from its persisted header."""
+        return cls(allocator, header_offset)
+
+    def _check(self, index: int) -> None:
+        if not 0 <= index < self.n_bits:
+            raise IndexError(f"bit {index} out of range [0, {self.n_bits})")
+
+    def get(self, index: int) -> bool:
+        """Read one bit."""
+        self._check(index)
+        byte = self._mem.read(self._data_offset + index // 8, 1)[0]
+        return bool(byte >> (index % 8) & 1)
+
+    def set(self, index: int, value: bool = True) -> None:
+        """Write one bit."""
+        self._check(index)
+        offset = self._data_offset + index // 8
+        byte = self._mem.read(offset, 1)[0]
+        mask = 1 << (index % 8)
+        new = (byte | mask) if value else (byte & ~mask)
+        if new != byte:
+            self._mem.write(offset, bytes([new]))
+
+    def count(self) -> int:
+        """Number of set bits (bulk sequential scan)."""
+        n_bytes = (self.n_bits + 7) // 8
+        total = 0
+        for start in range(0, n_bytes, 1024):
+            chunk = self._mem.read(
+                self._data_offset + start, min(1024, n_bytes - start)
+            )
+            total += sum(bin(b).count("1") for b in chunk)
+        return total
+
+    def or_into(self, other: "PBitmap") -> None:
+        """``other |= self`` via bulk chunked reads/writes.
+
+        Raises:
+            ValueError: when the bitmaps differ in size.
+        """
+        if other.n_bits != self.n_bits:
+            raise ValueError("bitmap sizes differ")
+        n_bytes = (self.n_bits + 7) // 8
+        for start in range(0, n_bytes, 1024):
+            size = min(1024, n_bytes - start)
+            mine = self._mem.read(self._data_offset + start, size)
+            theirs = other._mem.read(other._data_offset + start, size)
+            merged = bytes(a | b for a, b in zip(mine, theirs))
+            if merged != theirs:
+                other._mem.write(other._data_offset + start, merged)
+
+    def to_indices(self) -> list[int]:
+        """Indices of all set bits, ascending."""
+        n_bytes = (self.n_bits + 7) // 8
+        indices: list[int] = []
+        for start in range(0, n_bytes, 1024):
+            chunk = self._mem.read(
+                self._data_offset + start, min(1024, n_bytes - start)
+            )
+            for byte_index, byte in enumerate(chunk):
+                if not byte:
+                    continue
+                base = (start + byte_index) * 8
+                for bit in range(8):
+                    if byte >> bit & 1 and base + bit < self.n_bits:
+                        indices.append(base + bit)
+        return indices
+
+    def clear(self) -> None:
+        """Zero every bit."""
+        n_bytes = (self.n_bits + 7) // 8
+        self._mem.write(self._data_offset, bytes(n_bytes))

@@ -1,0 +1,105 @@
+"""Frequency counter that picks a dense or sparse representation.
+
+Section IV-B: "The counter records the frequencies of words or sequences
+based on the requirements of the task.  It consists of vectors or hash
+tables."  A word-frequency counter over a known vocabulary is dense (one
+slot per word id); a sequence counter over an open n-gram domain is
+sparse (hash table keyed by the packed n-gram).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.nvm.allocator import PoolAllocator
+from repro.pstruct.phashtable import PHashTable
+from repro.pstruct.pvector import PVector
+
+#: Use the dense layout when the domain is at most this multiple of the
+#: expected number of distinct keys (otherwise the vector is mostly holes
+#: and a hash table touches fewer device lines).
+_DENSE_DOMAIN_FACTOR = 8
+
+
+class FrequencyCounter:
+    """A persistent ``key -> count`` accumulator.
+
+    Create with :meth:`dense` when the key domain is ``[0, domain_size)``
+    and reasonably full, or :meth:`sparse` for open/sparse domains.
+    :meth:`auto` applies the paper's rule of thumb.
+    """
+
+    def __init__(self, backend: PVector | PHashTable, dense: bool) -> None:
+        self._backend = backend
+        self._dense = dense
+
+    @classmethod
+    def dense(cls, allocator: PoolAllocator, domain_size: int) -> "FrequencyCounter":
+        """A vector of 8-byte counts indexed directly by key.
+
+        A zero-sized domain (empty corpus) yields a counter that is
+        always empty.
+        """
+        capacity = max(domain_size, 1)
+        vec = PVector.create(allocator, capacity, elem_size=8)
+        vec.extend([0] * domain_size)
+        return cls(vec, dense=True)
+
+    @classmethod
+    def sparse(
+        cls,
+        allocator: PoolAllocator,
+        expected_distinct: int,
+        growable: bool = False,
+    ) -> "FrequencyCounter":
+        """A hash table sized for ``expected_distinct`` keys."""
+        table = PHashTable.create(allocator, expected_distinct, growable=growable)
+        return cls(table, dense=False)
+
+    @classmethod
+    def auto(
+        cls,
+        allocator: PoolAllocator,
+        domain_size: int,
+        expected_distinct: int,
+    ) -> "FrequencyCounter":
+        """Pick dense vs sparse from domain size and expected occupancy."""
+        if domain_size <= expected_distinct * _DENSE_DOMAIN_FACTOR:
+            return cls.dense(allocator, domain_size)
+        return cls.sparse(allocator, expected_distinct, growable=True)
+
+    @property
+    def is_dense(self) -> bool:
+        return self._dense
+
+    def add(self, key: int, delta: int) -> None:
+        """Accumulate ``delta`` into ``key``'s count."""
+        if self._dense:
+            self._backend.set(key, self._backend.get(key) + delta)
+        else:
+            self._backend.add(key, delta)
+
+    def get(self, key: int) -> int:
+        """Return the count for ``key`` (0 when never seen)."""
+        if self._dense:
+            if not 0 <= key < len(self._backend):
+                return 0
+            return self._backend.get(key)
+        return self._backend.get(key, 0)
+
+    def items(self) -> Iterator[tuple[int, int]]:
+        """Yield ``(key, count)`` for every key with a nonzero count."""
+        if self._dense:
+            for key, count in enumerate(self._backend):
+                if count:
+                    yield key, count
+        else:
+            yield from self._backend.items()
+
+    def to_dict(self) -> dict[int, int]:
+        """Materialize nonzero counts as a Python dict."""
+        return dict(self.items())
+
+    def distinct(self) -> int:
+        """Number of keys with a nonzero count."""
+        return sum(1 for _ in self.items())

@@ -1,0 +1,323 @@
+"""Open-addressing persistent hash table (Fig. 4 of the paper).
+
+The table keeps three parallel buffers allocated as one contiguous block:
+
+* a **status buffer** (1 byte/slot: empty, occupied, tombstone),
+* a **key buffer** (u64/slot),
+* a **value buffer** (i64/slot).
+
+Capacity is rounded up to a power of two "for alignment to improve the hit
+rate of the cache" (Section IV-D), and collisions are resolved by
+deterministic pseudo-random (triangular) probing, which visits every slot
+exactly once for power-of-two capacities.
+
+As with :class:`~repro.pstruct.pvector.PVector`, the table can be created
+pre-sized from a bottom-up summation bound (overflow raises
+:class:`~repro.errors.CapacityError`) or growable (overflow triggers a
+full rehash through the device, the cost the paper eliminates).
+
+Layout::
+
+    header (24 B): u32 capacity | u32 count | u32 flags | u32 tombstones
+                   | u64 data_offset
+    data:          capacity * (1 + 8 + 8) bytes
+                   [status | keys | values] as three adjacent buffers
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator
+
+from repro.errors import CapacityError
+from repro.nvm.allocator import PoolAllocator
+from repro.pstruct import layout
+from repro.pstruct.layout import next_power_of_two
+
+_HEADER = struct.Struct("<IIIIQ")
+_FLAG_GROWABLE = 1
+
+_EMPTY = 0
+_OCCUPIED = 1
+_TOMBSTONE = 2
+
+#: Grow when count+tombstones exceeds this fraction of capacity.
+_MAX_LOAD = 0.7
+
+_SLOT_BYTES = 1 + 8 + 8
+
+
+def hash64(key: int) -> int:
+    """SplitMix64 finalizer: deterministic, well-mixed 64-bit hash."""
+    x = (key + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return x ^ (x >> 31)
+
+
+class PHashTable:
+    """Persistent u64 -> i64 hash table with open addressing."""
+
+    def __init__(self, allocator: PoolAllocator, header_offset: int) -> None:
+        self._allocator = allocator
+        self._mem = allocator.memory
+        self.header_offset = header_offset
+        raw = self._mem.read(header_offset, _HEADER.size)
+        (
+            self._capacity,
+            self._count,
+            flags,
+            self._tombstones,
+            self._data_offset,
+        ) = _HEADER.unpack(raw)
+        self.growable = bool(flags & _FLAG_GROWABLE)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        allocator: PoolAllocator,
+        expected_entries: int,
+        growable: bool = False,
+    ) -> "PHashTable":
+        """Allocate a table sized for ``expected_entries`` live keys.
+
+        The slot count is ``expected_entries / MAX_LOAD`` rounded up to a
+        power of two, so a table created from an exact upper bound never
+        rehashes.
+        """
+        if expected_entries <= 0:
+            raise ValueError("expected_entries must be positive")
+        capacity = next_power_of_two(int(expected_entries / _MAX_LOAD) + 1)
+        mem = allocator.memory
+        header_offset = allocator.alloc(_HEADER.size)
+        data_offset = cls._alloc_buffers(allocator, capacity)
+        flags = _FLAG_GROWABLE if growable else 0
+        mem.write(
+            header_offset, _HEADER.pack(capacity, 0, flags, 0, data_offset)
+        )
+        return cls(allocator, header_offset)
+
+    @classmethod
+    def attach(cls, allocator: PoolAllocator, header_offset: int) -> "PHashTable":
+        """Reopen a table from its persisted header."""
+        return cls(allocator, header_offset)
+
+    @staticmethod
+    def _alloc_buffers(allocator: PoolAllocator, capacity: int) -> int:
+        """Allocate the status/key/value block; return its offset.
+
+        Only the status buffer needs zeroing for correctness, and only
+        when the allocator handed back a *reused* block: virgin pool
+        space is already zero-filled (the calloc-from-fresh-pages
+        optimization every real allocator makes).
+        """
+        data_offset = allocator.alloc(capacity * _SLOT_BYTES)
+        if allocator.last_alloc_reused:
+            allocator.memory.write(data_offset, bytes(capacity))
+        return data_offset
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def load_factor(self) -> float:
+        return self._count / self._capacity
+
+    @property
+    def reconstructions(self) -> int:
+        """How many full rehashes this table has paid."""
+        return getattr(self, "_reconstructions", 0)
+
+    def put(self, key: int, value: int) -> None:
+        """Insert or overwrite ``key``."""
+        slot, existing = self._locate(key)
+        if existing:
+            self._write_value(slot, value)
+            return
+        capacity_before = self._capacity
+        self._ensure_room()
+        if self._capacity != capacity_before:
+            # _ensure_room rehashed; re-locate in the new table.
+            slot, _ = self._locate(key)
+        self._write_slot(slot, key, value)
+        self._count += 1
+        self._store_header()
+
+    def get(self, key: int, default: int | None = None) -> int | None:
+        """Return the value for ``key`` or ``default``."""
+        slot, existing = self._locate(key)
+        if not existing:
+            return default
+        return self._read_value(slot)
+
+    def add(self, key: int, delta: int) -> int:
+        """Add ``delta`` to the value for ``key`` (missing keys start at 0).
+
+        Returns the new value.  This is the counter-update primitive used
+        by every analytics task.
+        """
+        slot, existing = self._locate(key)
+        if existing:
+            new_value = self._read_value(slot) + delta
+            self._write_value(slot, new_value)
+            return new_value
+        capacity_before = self._capacity
+        self._ensure_room()
+        if self._capacity != capacity_before:
+            slot, _ = self._locate(key)
+        self._write_slot(slot, key, delta)
+        self._count += 1
+        self._store_header()
+        return delta
+
+    def delete(self, key: int) -> bool:
+        """Remove ``key``; return whether it was present."""
+        slot, existing = self._locate(key)
+        if not existing:
+            return False
+        layout.write_u8(self._mem, self._status_off(slot), _TOMBSTONE)
+        self._count -= 1
+        self._tombstones += 1
+        self._store_header()
+        return True
+
+    def __contains__(self, key: int) -> bool:
+        _, existing = self._locate(key)
+        return existing
+
+    def items(self) -> Iterator[tuple[int, int]]:
+        """Yield ``(key, value)`` pairs in slot order.
+
+        Scans the three parallel buffers with bulk sequential reads --
+        the access pattern Fig. 4's adjacent-buffer layout is built for.
+        A chunk of statuses is read first; the key and value buffers are
+        only touched for chunks that contain occupied slots.
+        """
+        chunk = 512
+        key_base = self._data_offset + self._capacity
+        value_base = self._data_offset + self._capacity * 9
+        for start in range(0, self._capacity, chunk):
+            count = min(chunk, self._capacity - start)
+            statuses = self._mem.read(self._data_offset + start, count)
+            if _OCCUPIED not in statuses:
+                continue
+            keys = struct.unpack(
+                f"<{count}Q", self._mem.read(key_base + start * 8, count * 8)
+            )
+            values = struct.unpack(
+                f"<{count}q", self._mem.read(value_base + start * 8, count * 8)
+            )
+            for i, status in enumerate(statuses):
+                if status == _OCCUPIED:
+                    yield keys[i], values[i]
+
+    def to_dict(self) -> dict[int, int]:
+        """Materialize the table as a Python dict."""
+        return dict(self.items())
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _status_off(self, slot: int) -> int:
+        return self._data_offset + slot
+
+    def _key_off(self, slot: int) -> int:
+        return self._data_offset + self._capacity + slot * 8
+
+    def _value_off(self, slot: int) -> int:
+        return self._data_offset + self._capacity * 9 + slot * 8
+
+    def _read_key(self, slot: int) -> int:
+        return layout.read_u64(self._mem, self._key_off(slot))
+
+    def _read_value(self, slot: int) -> int:
+        return layout.read_i64(self._mem, self._value_off(slot))
+
+    def _write_value(self, slot: int, value: int) -> None:
+        layout.write_i64(self._mem, self._value_off(slot), value)
+
+    def _write_slot(self, slot: int, key: int, value: int) -> None:
+        layout.write_u8(self._mem, self._status_off(slot), _OCCUPIED)
+        layout.write_u64(self._mem, self._key_off(slot), key)
+        layout.write_i64(self._mem, self._value_off(slot), value)
+
+    def _locate(self, key: int) -> tuple[int, bool]:
+        """Probe for ``key``.
+
+        Returns ``(slot, True)`` when the key is present, else
+        ``(insert_slot, False)`` where ``insert_slot`` is the first
+        empty/tombstone slot on the probe path.
+        """
+        mask = self._capacity - 1
+        h = hash64(key) & mask
+        first_free = -1
+        clock = self._mem.clock
+        for i in range(self._capacity):
+            slot = (h + (i * (i + 1)) // 2) & mask  # triangular probing
+            clock.cpu(1)
+            status = layout.read_u8(self._mem, self._status_off(slot))
+            if status == _EMPTY:
+                return (first_free if first_free >= 0 else slot), False
+            if status == _TOMBSTONE:
+                if first_free < 0:
+                    first_free = slot
+                continue
+            if self._read_key(slot) == key:
+                return slot, True
+        if first_free >= 0:
+            return first_free, False
+        raise CapacityError("hash table has no free slot")
+
+    def _ensure_room(self) -> None:
+        """Grow (or fail) before an insert that would exceed the load cap."""
+        if (self._count + self._tombstones + 1) <= self._capacity * _MAX_LOAD:
+            return
+        if not self.growable:
+            raise CapacityError(
+                f"hash table at load cap (capacity {self._capacity}); size it "
+                "with the bottom-up upper bound or pass growable=True"
+            )
+        self._rehash(self._capacity * 2)
+
+    def _rehash(self, new_capacity: int) -> None:
+        """Reallocate and reinsert every live entry (full device copy)."""
+        entries = list(self.items())
+        self._allocator.free(self._data_offset, self._capacity * _SLOT_BYTES)
+        old_capacity = self._capacity
+        self._capacity = new_capacity
+        self._data_offset = self._alloc_buffers(self._allocator, new_capacity)
+        self._count = 0
+        self._tombstones = 0
+        self._store_header()
+        for key, value in entries:
+            slot, _ = self._locate(key)
+            self._write_slot(slot, key, value)
+            self._count += 1
+        self._store_header()
+        self._reconstructions = self.reconstructions + 1
+        del old_capacity
+
+    def _store_header(self) -> None:
+        self._mem.write(
+            self.header_offset,
+            _HEADER.pack(
+                self._capacity,
+                self._count,
+                _FLAG_GROWABLE if self.growable else 0,
+                self._tombstones,
+                self._data_offset,
+            ),
+        )

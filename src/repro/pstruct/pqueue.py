@@ -1,0 +1,96 @@
+"""Persistent ring-buffer queue used as the DAG traversal queue.
+
+Section IV-B: "The NVM pool also contains a traversal queue ... used to
+record the progress of a task during a top-down traversal process, take
+out the rule being traversed, and add its subrules to the queue."
+
+Layout::
+
+    header (12 B): u32 head | u32 tail | u32 capacity
+    data:          capacity * 4 bytes (u32 slots)
+
+``head == tail`` means empty; the buffer keeps one slack slot so full is
+``(tail + 1) % capacity == head``.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import CapacityError
+from repro.nvm.allocator import PoolAllocator
+from repro.pstruct import layout
+
+_HEADER = struct.Struct("<III")
+
+
+class PQueue:
+    """A FIFO queue of u32 values stored in pool memory."""
+
+    def __init__(self, allocator: PoolAllocator, header_offset: int) -> None:
+        self._mem = allocator.memory
+        self.header_offset = header_offset
+        head, tail, capacity = _HEADER.unpack(
+            self._mem.read(header_offset, _HEADER.size)
+        )
+        self._head = head
+        self._tail = tail
+        self._capacity = capacity
+        self._data_offset = header_offset + _HEADER.size
+
+    @classmethod
+    def create(cls, allocator: PoolAllocator, capacity: int) -> "PQueue":
+        """Allocate a queue able to hold ``capacity`` entries."""
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        slots = capacity + 1  # one slack slot distinguishes full from empty
+        header_offset = allocator.alloc(_HEADER.size + slots * 4)
+        allocator.memory.write(header_offset, _HEADER.pack(0, 0, slots))
+        return cls(allocator, header_offset)
+
+    @classmethod
+    def attach(cls, allocator: PoolAllocator, header_offset: int) -> "PQueue":
+        """Reopen a queue from its persisted header."""
+        return cls(allocator, header_offset)
+
+    def __len__(self) -> int:
+        return (self._tail - self._head) % self._capacity
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of entries the queue can hold."""
+        return self._capacity - 1
+
+    def is_empty(self) -> bool:
+        return self._head == self._tail
+
+    def push(self, value: int) -> None:
+        """Enqueue ``value``.
+
+        Raises:
+            CapacityError: when the queue is full.
+        """
+        next_tail = (self._tail + 1) % self._capacity
+        if next_tail == self._head:
+            raise CapacityError(f"traversal queue full ({self.capacity} entries)")
+        layout.write_u32(self._mem, self._data_offset + self._tail * 4, value)
+        self._tail = next_tail
+        self._store_header()
+
+    def pop(self) -> int:
+        """Dequeue and return the oldest value.
+
+        Raises:
+            IndexError: when the queue is empty.
+        """
+        if self.is_empty():
+            raise IndexError("pop from empty queue")
+        value = layout.read_u32(self._mem, self._data_offset + self._head * 4)
+        self._head = (self._head + 1) % self._capacity
+        self._store_header()
+        return value
+
+    def _store_header(self) -> None:
+        self._mem.write(
+            self.header_offset, _HEADER.pack(self._head, self._tail, self._capacity)
+        )

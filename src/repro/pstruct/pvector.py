@@ -1,0 +1,208 @@
+"""Fixed-capacity persistent vector with optional (costly) growth.
+
+The vector exists in two modes mirroring the paper's argument:
+
+* **pre-sized** (``growable=False``): the capacity comes from the
+  bottom-up summation upper bound, so an overflow is a logic error and
+  raises :class:`~repro.errors.CapacityError`.
+* **growable** (``growable=True``): models the STL-style container the
+  paper criticizes.  On overflow the data buffer is reallocated at twice
+  the capacity and every element is copied through the device -- the
+  "violent reconstruction" whose read-modify-write traffic N-TADOC's
+  summation technique eliminates.
+
+Layout::
+
+    header (24 B): u32 length | u32 capacity | u32 elem_size | u32 flags
+                   | u64 data_offset
+    data:          capacity * elem_size bytes (relocatable when growable)
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator
+
+from repro.errors import CapacityError
+from repro.nvm.allocator import PoolAllocator
+from repro.pstruct import layout
+
+_HEADER = struct.Struct("<IIIIQ")
+_FLAG_GROWABLE = 1
+
+#: Elements read per device round-trip during iteration.
+_CHUNK = 512
+
+
+class PVector:
+    """A persistent vector of unsigned integers (4- or 8-byte elements)."""
+
+    def __init__(self, allocator: PoolAllocator, header_offset: int) -> None:
+        self._allocator = allocator
+        self._mem = allocator.memory
+        self.header_offset = header_offset
+        raw = self._mem.read(header_offset, _HEADER.size)
+        (
+            self._length,
+            self._capacity,
+            self.elem_size,
+            flags,
+            self._data_offset,
+        ) = _HEADER.unpack(raw)
+        self.growable = bool(flags & _FLAG_GROWABLE)
+        if self.elem_size == 4:
+            self._codec = layout.U32
+        elif self.elem_size == 8:
+            self._codec = layout.U64
+        else:
+            raise ValueError(f"unsupported element size {self.elem_size}")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        allocator: PoolAllocator,
+        capacity: int,
+        elem_size: int = 4,
+        growable: bool = False,
+    ) -> "PVector":
+        """Allocate a new vector in the pool and return a handle to it."""
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if elem_size not in (4, 8):
+            raise ValueError("elem_size must be 4 or 8")
+        mem = allocator.memory
+        header_offset = allocator.alloc(_HEADER.size)
+        data_offset = allocator.alloc(capacity * elem_size)
+        flags = _FLAG_GROWABLE if growable else 0
+        mem.write(
+            header_offset,
+            _HEADER.pack(0, capacity, elem_size, flags, data_offset),
+        )
+        return cls(allocator, header_offset)
+
+    @classmethod
+    def attach(cls, allocator: PoolAllocator, header_offset: int) -> "PVector":
+        """Reopen a vector from its persisted header (e.g. after recovery)."""
+        return cls(allocator, header_offset)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._length
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    @property
+    def reconstructions(self) -> int:
+        """How many times this vector has been grown (and fully copied)."""
+        return getattr(self, "_reconstructions", 0)
+
+    def get(self, index: int) -> int:
+        """Return the element at ``index``."""
+        self._check_index(index)
+        off = self._data_offset + index * self.elem_size
+        return self._codec.unpack(self._mem.read(off, self.elem_size))[0]
+
+    def set(self, index: int, value: int) -> None:
+        """Overwrite the element at ``index``."""
+        self._check_index(index)
+        off = self._data_offset + index * self.elem_size
+        self._mem.write(off, self._codec.pack(value))
+
+    def append(self, value: int) -> None:
+        """Append one element, growing (expensively) if permitted.
+
+        Raises:
+            CapacityError: when full and not growable.
+        """
+        if self._length >= self._capacity:
+            if not self.growable:
+                raise CapacityError(
+                    f"vector full at capacity {self._capacity}; "
+                    "size it with the bottom-up upper bound or pass growable=True"
+                )
+            self._grow()
+        off = self._data_offset + self._length * self.elem_size
+        self._mem.write(off, self._codec.pack(value))
+        self._length += 1
+        self._store_length()
+
+    def extend(self, values: list[int]) -> None:
+        """Bulk append; packs all values into a single device write."""
+        if not values:
+            return
+        while self._length + len(values) > self._capacity:
+            if not self.growable:
+                raise CapacityError(
+                    f"extend of {len(values)} overflows capacity {self._capacity}"
+                )
+            self._grow()
+        fmt = "<%d%s" % (len(values), "I" if self.elem_size == 4 else "Q")
+        off = self._data_offset + self._length * self.elem_size
+        self._mem.write(off, struct.pack(fmt, *values))
+        self._length += len(values)
+        self._store_length()
+
+    def __iter__(self) -> Iterator[int]:
+        """Yield elements in order, reading in line-friendly chunks."""
+        fmt_char = "I" if self.elem_size == 4 else "Q"
+        for start in range(0, self._length, _CHUNK):
+            count = min(_CHUNK, self._length - start)
+            raw = self._mem.read(
+                self._data_offset + start * self.elem_size, count * self.elem_size
+            )
+            yield from struct.unpack(f"<{count}{fmt_char}", raw)
+
+    def to_list(self) -> list[int]:
+        """Return all elements as a Python list."""
+        return list(self)
+
+    def clear(self) -> None:
+        """Logically empty the vector (capacity retained)."""
+        self._length = 0
+        self._store_length()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self._length:
+            raise IndexError(f"index {index} out of range [0, {self._length})")
+
+    def _store_length(self) -> None:
+        layout.write_u32(self._mem, self.header_offset, self._length)
+
+    def _grow(self) -> None:
+        """Reallocate at double capacity, copying every element."""
+        new_capacity = self._capacity * 2
+        new_offset = self._allocator.alloc(new_capacity * self.elem_size)
+        # The read-modify-write reconstruction the paper measures: every
+        # live byte crosses the device twice.
+        live = self._length * self.elem_size
+        for start in range(0, live, _CHUNK * self.elem_size):
+            size = min(_CHUNK * self.elem_size, live - start)
+            chunk = self._mem.read(self._data_offset + start, size)
+            self._mem.write(new_offset + start, chunk)
+        self._allocator.free(self._data_offset, self._capacity * self.elem_size)
+        self._data_offset = new_offset
+        self._capacity = new_capacity
+        self._reconstructions = self.reconstructions + 1
+        self._mem.write(
+            self.header_offset,
+            _HEADER.pack(
+                self._length,
+                self._capacity,
+                self.elem_size,
+                _FLAG_GROWABLE if self.growable else 0,
+                self._data_offset,
+            ),
+        )

@@ -1,0 +1,28 @@
+"""Sequitur grammar inference and the TADOC compression pipeline.
+
+TADOC (the system N-TADOC builds on) extends Sequitur
+[Nevill-Manning & Witten 1997] to convert dictionary-encoded text into a
+context-free grammar whose rules capture repeated word patterns.  This
+subpackage provides:
+
+* :class:`~repro.sequitur.sequitur.Sequitur` -- the linear-time grammar
+  inference algorithm (digram uniqueness + rule utility invariants).
+* :class:`~repro.sequitur.dictionary.Dictionary` -- word <-> id encoding.
+* :class:`~repro.sequitur.compressor.TadocCompressor` -- multi-file
+  corpus -> :class:`~repro.core.grammar.CompressedCorpus`, inserting one
+  unique segmentation symbol per file boundary so per-file analytics can
+  locate documents inside the root rule.
+* :mod:`~repro.sequitur.serialization` -- the varint on-disk format.
+"""
+
+from repro.sequitur.compressor import TadocCompressor, compress_files
+from repro.sequitur.dictionary import Dictionary, tokenize
+from repro.sequitur.sequitur import Sequitur
+
+__all__ = [
+    "Dictionary",
+    "Sequitur",
+    "TadocCompressor",
+    "compress_files",
+    "tokenize",
+]

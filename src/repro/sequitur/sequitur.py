@@ -1,0 +1,354 @@
+"""The Sequitur grammar-inference algorithm.
+
+Sequitur consumes a token stream and incrementally maintains a context-free
+grammar satisfying two invariants:
+
+* **digram uniqueness** -- no pair of adjacent symbols appears more than
+  once in the grammar; a repeated digram is replaced by a nonterminal.
+* **rule utility** -- every rule (except the root) is referenced at least
+  twice; a rule that drops to one reference is inlined and removed.
+
+The implementation mirrors the classic linked-symbol design of
+Nevill-Manning & Witten's reference implementation: each rule body is a
+circular doubly-linked list anchored on a guard node, a hash index maps
+digrams to their (unique) location, and ``join`` removes a stale digram
+from the index whenever a link is about to be rewritten.
+
+Tokens are arbitrary hashable values; the TADOC pipeline feeds integer
+word ids plus unique per-file separator ids (which, being unique, never
+form repeated digrams and therefore stay in the root rule).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+Token = Hashable
+
+
+class _Symbol:
+    """A node in a rule body: a terminal, a rule reference, or a guard."""
+
+    __slots__ = ("grammar", "value", "rule", "prev", "next")
+
+    def __init__(
+        self,
+        grammar: "Sequitur",
+        value: Token = None,
+        rule: "_Rule | None" = None,
+    ) -> None:
+        self.grammar = grammar
+        self.value = value  # terminal payload (None for nonterminals/guards)
+        self.rule = rule    # referenced rule (or owning rule, for guards)
+        self.prev: "_Symbol | None" = None
+        self.next: "_Symbol | None" = None
+
+    # -- classification -------------------------------------------------
+
+    def is_guard(self) -> bool:
+        return self.rule is not None and self.rule.guard is self
+
+    def is_nonterminal(self) -> bool:
+        return self.rule is not None and self.rule.guard is not self
+
+    def key(self) -> Token:
+        """Hashable identity used in digram keys."""
+        if self.is_nonterminal():
+            return ("R", self.rule.rule_id)
+        return ("T", self.value)
+
+    # -- digram index maintenance ----------------------------------------
+
+    def digram(self) -> tuple[Token, Token] | None:
+        """The digram starting at this symbol, or None at a rule edge."""
+        if self.is_guard() or self.next is None or self.next.is_guard():
+            return None
+        return (self.key(), self.next.key())
+
+    def delete_digram(self) -> None:
+        """Remove this digram from the index if the index points here."""
+        digram = self.digram()
+        if digram is None:
+            return
+        index = self.grammar._index
+        if index.get(digram) is self:
+            del index[digram]
+
+    # -- linking ----------------------------------------------------------
+
+    def insert_after(self, symbol: "_Symbol") -> None:
+        _join(symbol, self.next)
+        _join(self, symbol)
+
+    def unlink(self) -> None:
+        """Remove this symbol from its rule, fixing index and refcounts."""
+        _join(self.prev, self.next)
+        if not self.is_guard():
+            self.delete_digram()
+            if self.is_nonterminal():
+                self.rule.deuse()
+
+    # -- the heart of the algorithm ----------------------------------------
+
+    def check(self) -> bool:
+        """Enforce digram uniqueness for the digram starting here.
+
+        Returns True when the grammar was restructured.
+        """
+        digram = self.digram()
+        if digram is None:
+            return False
+        index = self.grammar._index
+        match = index.get(digram)
+        if match is None:
+            index[digram] = self
+            return False
+        if match.next is self:
+            return False  # overlapping occurrence; leave it alone
+        _process_match(self, match)
+        return True
+
+    def substitute(self, rule: "_Rule") -> None:
+        """Replace this symbol and the next with a reference to ``rule``."""
+        prev = self.prev
+        prev.next.unlink()       # removes self
+        prev.next.unlink()       # removes the old next
+        prev.insert_after(_Symbol(self.grammar, rule=rule))
+        rule.reuse()
+        if not prev.check():
+            prev.next.check()
+
+    def expand(self) -> None:
+        """Inline the single-use rule referenced by this nonterminal."""
+        rule = self.rule
+        left = self.prev
+        right = self.next
+        first = rule.guard.next
+        last = rule.guard.prev
+        self.delete_digram()
+        self.grammar._drop_rule(rule)
+        _join(left, first)
+        _join(last, right)
+        digram = last.digram()
+        if digram is not None:
+            self.grammar._index[digram] = last
+
+
+def _join(left: "_Symbol | None", right: "_Symbol | None") -> None:
+    """Link two symbols, evicting the digram that is being rewritten.
+
+    The triple-repeat bookkeeping mirrors the reference implementation:
+    in a run of three equal symbols only one of the two overlapping
+    digrams is indexed, so when a deletion removes that entry the
+    surviving pair must be re-registered or a later repeat of the digram
+    would go undetected (e.g. the stream ``2 1 1 1 2 1 0 1 1``).
+    """
+    if left is None or right is None:
+        return
+    if left.next is not None:
+        left.delete_digram()
+
+        if (
+            right.prev is not None
+            and right.next is not None
+            and not right.is_guard()
+            and not right.prev.is_guard()
+            and not right.next.is_guard()
+            and right.key() == right.prev.key() == right.next.key()
+        ):
+            right.grammar._index[(right.key(), right.next.key())] = right
+        if (
+            left.prev is not None
+            and left.next is not None
+            and not left.is_guard()
+            and not left.prev.is_guard()
+            and not left.next.is_guard()
+            and left.key() == left.prev.key() == left.next.key()
+        ):
+            left.grammar._index[(left.prev.key(), left.key())] = left.prev
+    left.next = right
+    right.prev = left
+
+
+def _process_match(new_symbol: _Symbol, match: _Symbol) -> None:
+    """A digram at ``new_symbol`` repeats an earlier one at ``match``."""
+    grammar = new_symbol.grammar
+    if match.prev.is_guard() and match.next.next.is_guard():
+        # The matching digram is the entire body of an existing rule.
+        rule = match.prev.rule
+        new_symbol.substitute(rule)
+    else:
+        # Create a new rule from copies of the digram, then replace both
+        # occurrences with references to it.
+        rule = grammar._new_rule()
+        first_copy = _Symbol(grammar, new_symbol.value, new_symbol.rule)
+        second_copy = _Symbol(
+            grammar, new_symbol.next.value, new_symbol.next.rule
+        )
+        if first_copy.is_nonterminal():
+            first_copy.rule.reuse()
+        if second_copy.is_nonterminal():
+            second_copy.rule.reuse()
+        rule.guard.insert_after(first_copy)
+        first_copy.insert_after(second_copy)
+        match.substitute(rule)
+        new_symbol.substitute(rule)
+        grammar._index[first_copy.digram()] = first_copy
+    # Rule utility: if the (re)used rule starts with a nonterminal whose
+    # rule has dropped to a single use, inline that rule.
+    first = rule.guard.next
+    if first.is_nonterminal() and first.rule.refcount == 1:
+        first.expand()
+
+
+class _Rule:
+    """A grammar rule: a guarded circular list of symbols."""
+
+    __slots__ = ("rule_id", "refcount", "guard")
+
+    def __init__(self, grammar: "Sequitur", rule_id: int) -> None:
+        self.rule_id = rule_id
+        self.refcount = 0
+        self.guard = _Symbol(grammar, rule=self)
+        self.guard.prev = self.guard
+        self.guard.next = self.guard
+
+    def reuse(self) -> None:
+        self.refcount += 1
+
+    def deuse(self) -> None:
+        self.refcount -= 1
+
+    def symbols(self) -> Iterable["_Symbol"]:
+        symbol = self.guard.next
+        while symbol is not self.guard:
+            yield symbol
+            symbol = symbol.next
+
+
+class Sequitur:
+    """Incremental Sequitur over an arbitrary token alphabet.
+
+    Usage::
+
+        seq = Sequitur()
+        for token in stream:
+            seq.push(token)
+        rules = seq.freeze()   # list of rule bodies; rules[0] is the root
+    """
+
+    def __init__(self) -> None:
+        self._index: dict[tuple[Token, Token], _Symbol] = {}
+        self._rules: dict[int, _Rule] = {}
+        self._next_rule_id = 0
+        self._root = self._new_rule()
+        self.tokens_pushed = 0
+
+    # -- construction -----------------------------------------------------
+
+    def push(self, token: Token) -> None:
+        """Append one terminal to the root rule and restore invariants."""
+        last = self._root.guard.prev
+        last.insert_after(_Symbol(self, value=token))
+        self.tokens_pushed += 1
+        if last is not self._root.guard:
+            last.check()
+
+    def push_all(self, tokens: Iterable[Token]) -> None:
+        """Append a whole stream."""
+        for token in tokens:
+            self.push(token)
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def rule_count(self) -> int:
+        """Number of live rules, including the root."""
+        return len(self._rules)
+
+    def freeze(self) -> list[list[Token | tuple[str, int]]]:
+        """Return rule bodies with contiguous ids; index 0 is the root.
+
+        Terminals appear as their token value; rule references appear as
+        ``("R", new_id)`` tuples using the renumbered ids.
+        """
+        id_map = {self._root.rule_id: 0}
+        ordered = [self._root]
+        for rule_id, rule in sorted(self._rules.items()):
+            if rule is self._root:
+                continue
+            id_map[rule_id] = len(ordered)
+            ordered.append(rule)
+        bodies: list[list[Token | tuple[str, int]]] = []
+        for rule in ordered:
+            body: list[Token | tuple[str, int]] = []
+            for symbol in rule.symbols():
+                if symbol.is_nonterminal():
+                    body.append(("R", id_map[symbol.rule.rule_id]))
+                else:
+                    body.append(symbol.value)
+            bodies.append(body)
+        return bodies
+
+    def expand(self) -> list[Token]:
+        """Re-derive the original token stream (for verification)."""
+        output: list[Token] = []
+
+        def walk(rule: _Rule) -> None:
+            for symbol in rule.symbols():
+                if symbol.is_nonterminal():
+                    walk(symbol.rule)
+                else:
+                    output.append(symbol.value)
+
+        walk(self._root)
+        return output
+
+    def check_invariants(self) -> None:
+        """Assert digram uniqueness and rule utility (testing aid).
+
+        Raises:
+            AssertionError: when either Sequitur invariant is violated.
+        """
+        # Digram uniqueness allows *overlapping* repeats (the classic
+        # "aaa" case): two occurrences only violate the invariant when
+        # they do not share a symbol.
+        seen: dict[tuple[Token, Token], list[_Symbol]] = {}
+        for rule in self._rules.values():
+            for symbol in rule.symbols():
+                digram = symbol.digram()
+                if digram is not None:
+                    seen.setdefault(digram, []).append(symbol)
+        for digram, occurrences in seen.items():
+            for i, first in enumerate(occurrences):
+                for second in occurrences[i + 1 :]:
+                    overlapping = first.next is second or second.next is first
+                    assert overlapping, (
+                        f"digram uniqueness violated: {digram} occurs at two "
+                        "non-overlapping positions"
+                    )
+        refs: dict[int, int] = {}
+        for rule in self._rules.values():
+            for symbol in rule.symbols():
+                if symbol.is_nonterminal():
+                    refs[symbol.rule.rule_id] = refs.get(symbol.rule.rule_id, 0) + 1
+        for rule in self._rules.values():
+            if rule is self._root:
+                continue
+            uses = refs.get(rule.rule_id, 0)
+            assert uses >= 2, f"rule utility violated: R{rule.rule_id} used {uses}x"
+            assert uses == rule.refcount, (
+                f"refcount drift on R{rule.rule_id}: counted {uses}, "
+                f"stored {rule.refcount}"
+            )
+
+    # -- internals ----------------------------------------------------------
+
+    def _new_rule(self) -> _Rule:
+        rule = _Rule(self, self._next_rule_id)
+        self._rules[rule.rule_id] = rule
+        self._next_rule_id += 1
+        return rule
+
+    def _drop_rule(self, rule: _Rule) -> None:
+        self._rules.pop(rule.rule_id, None)

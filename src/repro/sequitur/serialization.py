@@ -1,0 +1,140 @@
+"""Varint on-disk format for compressed corpora.
+
+This is the "TADOC compressed file" that sits on disk before analytics:
+its size is what the paper's storage-saving numbers are measured against.
+
+Format (all integers LEB128 varints unless noted)::
+
+    magic   4 bytes  b"NTDC"
+    version varint
+    n_files varint, then per file: name length + utf-8 bytes
+    vocab   varint count, then per word: length + utf-8 bytes
+    rules   varint count, then per rule: body length + symbols
+            (symbols are stored as varints of the partitioned id space)
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.grammar import CompressedCorpus
+from repro.errors import CorruptDataError
+
+_MAGIC = b"NTDC"
+_VERSION = 2
+
+
+def _write_varint(out: bytearray, value: int) -> None:
+    if value < 0:
+        raise ValueError("varints are unsigned")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+class _Reader:
+    """Cursor over a serialized corpus blob."""
+
+    def __init__(self, blob: bytes) -> None:
+        self.blob = blob
+        self.pos = 0
+
+    def varint(self) -> int:
+        result = 0
+        shift = 0
+        while True:
+            if self.pos >= len(self.blob):
+                raise CorruptDataError("truncated varint")
+            byte = self.blob[self.pos]
+            self.pos += 1
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result
+            shift += 7
+            if shift > 63:
+                raise CorruptDataError("varint too long")
+
+    def take(self, size: int) -> bytes:
+        if self.pos + size > len(self.blob):
+            raise CorruptDataError("truncated payload")
+        chunk = self.blob[self.pos : self.pos + size]
+        self.pos += size
+        return chunk
+
+    def string(self) -> str:
+        length = self.varint()
+        try:
+            return self.take(length).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise CorruptDataError("invalid utf-8 in corpus") from exc
+
+
+def serialize(corpus: CompressedCorpus) -> bytes:
+    """Encode a corpus into the on-disk byte format."""
+    out = bytearray(_MAGIC)
+    _write_varint(out, _VERSION)
+    mode = corpus.token_mode.encode("utf-8")
+    _write_varint(out, len(mode))
+    out.extend(mode)
+    _write_varint(out, len(corpus.file_names))
+    for name in corpus.file_names:
+        encoded = name.encode("utf-8")
+        _write_varint(out, len(encoded))
+        out.extend(encoded)
+    _write_varint(out, len(corpus.vocab))
+    for word in corpus.vocab:
+        encoded = word.encode("utf-8")
+        _write_varint(out, len(encoded))
+        out.extend(encoded)
+    _write_varint(out, len(corpus.rules))
+    for body in corpus.rules:
+        _write_varint(out, len(body))
+        for symbol in body:
+            _write_varint(out, symbol)
+    return bytes(out)
+
+
+def deserialize(blob: bytes) -> CompressedCorpus:
+    """Decode the on-disk byte format back into a corpus.
+
+    Raises:
+        CorruptDataError: on bad magic, truncation, or malformed payloads.
+    """
+    if blob[:4] != _MAGIC:
+        raise CorruptDataError("bad magic: not an N-TADOC corpus")
+    reader = _Reader(blob)
+    reader.pos = 4
+    version = reader.varint()
+    if version != _VERSION:
+        raise CorruptDataError(f"unsupported corpus version {version}")
+    token_mode = reader.string()
+    if token_mode not in ("words", "chars"):
+        raise CorruptDataError(f"unknown token mode {token_mode!r}")
+    file_names = [reader.string() for _ in range(reader.varint())]
+    vocab = [reader.string() for _ in range(reader.varint())]
+    rules = []
+    for _ in range(reader.varint()):
+        body_len = reader.varint()
+        rules.append([reader.varint() for _ in range(body_len)])
+    corpus = CompressedCorpus(
+        rules=rules, vocab=vocab, file_names=file_names, token_mode=token_mode
+    )
+    corpus.validate()
+    return corpus
+
+
+def save(corpus: CompressedCorpus, path: str | Path) -> int:
+    """Write a corpus to disk; return the byte size written."""
+    blob = serialize(corpus)
+    Path(path).write_bytes(blob)
+    return len(blob)
+
+
+def load(path: str | Path) -> CompressedCorpus:
+    """Read a corpus from disk."""
+    return deserialize(Path(path).read_bytes())

@@ -1,0 +1,194 @@
+"""Cross-system correctness: every task, every strategy, vs the oracle.
+
+The pivotal property of TADOC is that analytics on compressed data give
+*exactly* the same answers as analytics on the raw text.  These tests run
+each of the six tasks through:
+
+* N-TADOC top-down,
+* N-TADOC bottom-up,
+* the naive NVM port,
+* the uncompressed baseline scan,
+
+and require bit-identical results against a pure-Python oracle.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytics import task_by_name
+from repro.analytics.sequence_count import SequenceCount
+from repro.analytics.term_vector import TermVector
+from repro.analytics.word_count import WordCount
+from repro.baselines.naive_nvm import naive_nvm_engine
+from repro.baselines.uncompressed import UncompressedEngine
+from repro.core.engine import EngineConfig, NTadocEngine
+from repro.core.ngrams import pack_ngram
+from repro.sequitur.compressor import compress_files
+
+FILES = [
+    ("reviews.txt", "great food great service great food would come again "
+                    "terrible wait terrible food great service"),
+    ("abstract.txt", "this project studies great service systems and "
+                     "great food networks this project studies queues"),
+    ("dump.txt", "the system the system the system of a down the network "
+                 "of queues and the system of networks"),
+    ("empty.txt", ""),
+    ("tiny.txt", "one"),
+]
+
+TASKS = [
+    "word_count",
+    "sort",
+    "term_vector",
+    "inverted_index",
+    "sequence_count",
+    "ranked_inverted_index",
+]
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return compress_files(FILES)
+
+
+@pytest.fixture(scope="module")
+def token_files(corpus):
+    return corpus.expand_files()
+
+
+def oracle(task_name, token_files, vocab=None):
+    task = task_by_name(task_name)
+    if task_name in ("sequence_count", "ranked_inverted_index"):
+        result = task.reference(token_files, 2)
+        return {pack_ngram(k): v for k, v in result.items()}
+    if task_name == "sort":
+        counts = WordCount.reference(token_files)
+        return sorted(counts.items(), key=lambda pair: vocab[pair[0]])
+    return task.reference(token_files)
+
+
+@pytest.mark.parametrize("task_name", TASKS)
+@pytest.mark.parametrize(
+    "strategy", ["topdown", "bottomup"], ids=["topdown", "bottomup"]
+)
+def test_ntadoc_matches_oracle(corpus, token_files, task_name, strategy):
+    engine = NTadocEngine(corpus, EngineConfig(traversal=strategy))
+    run = engine.run(task_by_name(task_name))
+    assert run.result == oracle(task_name, token_files, corpus.vocab)
+    assert run.strategy == strategy
+
+
+@pytest.mark.parametrize("task_name", TASKS)
+def test_uncompressed_matches_oracle(corpus, token_files, task_name):
+    run = UncompressedEngine(corpus, EngineConfig()).run(task_by_name(task_name))
+    assert run.result == oracle(task_name, token_files, corpus.vocab)
+
+
+@pytest.mark.parametrize("task_name", TASKS)
+def test_naive_port_matches_oracle(corpus, token_files, task_name):
+    """The naive port is slow, not wrong: results must be identical."""
+    run = naive_nvm_engine(corpus).run(task_by_name(task_name))
+    assert run.result == oracle(task_name, token_files, corpus.vocab)
+
+
+@pytest.mark.parametrize("task_name", TASKS)
+def test_operation_level_persistence_matches(corpus, token_files, task_name):
+    engine = NTadocEngine(corpus, EngineConfig(persistence="operation"))
+    run = engine.run(task_by_name(task_name))
+    assert run.result == oracle(task_name, token_files, corpus.vocab)
+
+
+class TestTaskDetails:
+    def test_word_count_values(self, corpus):
+        run = NTadocEngine(corpus).run(WordCount())
+        rendered = {corpus.vocab[w]: c for w, c in run.result.items()}
+        assert rendered["great"] == 6
+        assert rendered["system"] == 4
+
+    def test_sort_is_alphabetical(self, corpus):
+        run = NTadocEngine(corpus).run(task_by_name("sort"))
+        words = [corpus.vocab[w] for w, _ in run.result]
+        assert words == sorted(words)
+
+    def test_term_vector_k_limits_length(self, corpus):
+        run = NTadocEngine(
+            corpus, EngineConfig(term_vector_k=3)
+        ).run(TermVector())
+        assert all(len(vector) <= 3 for vector in run.result)
+
+    def test_term_vector_sorted_by_count(self, corpus):
+        run = NTadocEngine(corpus).run(TermVector())
+        for vector in run.result:
+            counts = [c for _, c in vector]
+            assert counts == sorted(counts, reverse=True)
+
+    def test_inverted_index_posting_sorted(self, corpus):
+        run = NTadocEngine(corpus).run(task_by_name("inverted_index"))
+        for posting in run.result.values():
+            assert posting == sorted(posting)
+
+    def test_empty_file_absent_from_index(self, corpus):
+        run = NTadocEngine(corpus).run(task_by_name("inverted_index"))
+        empty_index = FILES.index(("empty.txt", ""))
+        assert all(empty_index not in p for p in run.result.values())
+
+    def test_sequence_count_trigrams(self, corpus, token_files):
+        engine = NTadocEngine(corpus, EngineConfig(ngram_n=3))
+        run = engine.run(SequenceCount())
+        expected = SequenceCount.reference(token_files, 3)
+        assert run.result == {pack_ngram(k): v for k, v in expected.items()}
+
+    def test_ranked_index_order(self, corpus):
+        run = NTadocEngine(corpus).run(task_by_name("ranked_inverted_index"))
+        for posting in run.result.values():
+            counts = [c for _, c in posting]
+            assert counts == sorted(counts, reverse=True)
+
+    def test_ngram_names_renderable(self, corpus):
+        run = NTadocEngine(corpus).run(SequenceCount())
+        for key in run.result:
+            assert key in run.ngram_names
+
+
+class TestRunResultShape:
+    def test_phases_recorded(self, corpus):
+        run = NTadocEngine(corpus).run(WordCount())
+        assert set(run.phase_ns) == {"initialization", "traversal"}
+        assert run.init_ns > 0
+        assert run.traversal_ns > 0
+        assert run.total_ns == pytest.approx(run.init_ns + run.traversal_ns)
+
+    def test_memory_peaks_positive(self, corpus):
+        run = NTadocEngine(corpus).run(WordCount())
+        assert run.dram_peak > 0
+        assert run.pool_peak > 0
+
+    def test_deterministic_simulated_time(self, corpus):
+        first = NTadocEngine(corpus).run(WordCount())
+        second = NTadocEngine(corpus).run(WordCount())
+        assert first.total_ns == second.total_ns
+        assert first.result == second.result
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    texts=st.lists(
+        st.lists(st.sampled_from(["aa", "bb", "cc", "dd"]), max_size=40).map(
+            " ".join
+        ),
+        min_size=1,
+        max_size=4,
+    )
+)
+def test_property_word_count_all_systems_agree(texts):
+    files = [(f"f{i}", t) for i, t in enumerate(texts)]
+    corpus = compress_files(files)
+    expected = WordCount.reference(corpus.expand_files())
+    for strategy in ("topdown", "bottomup"):
+        run = NTadocEngine(corpus, EngineConfig(traversal=strategy)).run(
+            WordCount()
+        )
+        assert run.result == expected
+    base = UncompressedEngine(corpus, EngineConfig()).run(WordCount())
+    assert base.result == expected

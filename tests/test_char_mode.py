@@ -1,0 +1,89 @@
+"""Tests for character-level tokenization (languages without word
+boundaries, per the TADOC line's Chinese-dataset work)."""
+
+import pytest
+
+from repro.analytics.word_count import WordCount
+from repro.analytics.sequence_count import SequenceCount
+from repro.baselines.uncompressed import UncompressedEngine
+from repro.core.engine import EngineConfig, NTadocEngine
+from repro.core.ngrams import pack_ngram
+from repro.sequitur import serialization
+from repro.sequitur.compressor import compress_files
+from repro.sequitur.dictionary import tokenize
+
+CHINESE_FILES = [
+    ("doc1.txt", "数据压缩分析 数据压缩分析 文本分析"),
+    ("doc2.txt", "文本分析不需要解压缩 数据压缩"),
+]
+
+
+class TestTokenizer:
+    def test_words_mode(self):
+        assert tokenize("Ab cD", "words") == ["ab", "cd"]
+
+    def test_chars_mode(self):
+        assert tokenize("ab cd", "chars") == ["a", "b", "c", "d"]
+
+    def test_chars_mode_preserves_case(self):
+        assert tokenize("AaBb", "chars") == ["A", "a", "B", "b"]
+
+    def test_chars_mode_cjk(self):
+        assert tokenize("数据 压缩", "chars") == ["数", "据", "压", "缩"]
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            tokenize("x", "syllables")
+
+
+class TestCharModeCorpus:
+    def test_lossless_roundtrip(self):
+        corpus = compress_files(CHINESE_FILES, token_mode="chars")
+        expected = ["".join(text.split()) for _, text in CHINESE_FILES]
+        assert corpus.expand_text() == expected
+
+    def test_compression_finds_repeats(self):
+        corpus = compress_files(CHINESE_FILES, token_mode="chars")
+        # "数据压缩" repeats; the grammar must be smaller than the input.
+        tokens = sum(len(f) for f in corpus.expand_files())
+        assert corpus.grammar_length() < tokens
+
+    def test_serialization_preserves_mode(self, tmp_path):
+        corpus = compress_files(CHINESE_FILES, token_mode="chars")
+        path = tmp_path / "cjk.ntdc"
+        serialization.save(corpus, path)
+        restored = serialization.load(path)
+        assert restored.token_mode == "chars"
+        assert restored.expand_text() == corpus.expand_text()
+
+    def test_character_count_analytics(self):
+        corpus = compress_files(CHINESE_FILES, token_mode="chars")
+        run = NTadocEngine(corpus).run(WordCount())
+        rendered = {corpus.vocab[w]: c for w, c in run.result.items()}
+        all_chars = "".join(
+            "".join(text.split()) for _, text in CHINESE_FILES
+        )
+        assert rendered["数"] == all_chars.count("数")
+        assert rendered["缩"] == all_chars.count("缩")
+
+    def test_compressed_matches_baseline(self):
+        corpus = compress_files(CHINESE_FILES, token_mode="chars")
+        nt = NTadocEngine(corpus).run(WordCount())
+        base = UncompressedEngine(corpus, EngineConfig()).run(WordCount())
+        assert nt.result == base.result
+
+    def test_character_bigrams(self):
+        """Sequence analytics over characters: the n-grams are substrings."""
+        corpus = compress_files(CHINESE_FILES, token_mode="chars")
+        run = NTadocEngine(corpus).run(SequenceCount())
+        ids = {ch: i for i, ch in enumerate(corpus.vocab)}
+        key = pack_ngram((ids["压"], ids["缩"]))
+        all_text = [
+            "".join(text.split()) for _, text in CHINESE_FILES
+        ]
+        expected = sum(t.count("压缩") for t in all_text)
+        assert run.result[key] == expected
+
+    def test_word_mode_is_default(self):
+        corpus = compress_files([("f", "a b a b")])
+        assert corpus.token_mode == "words"

@@ -1,0 +1,145 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.sequitur import serialization
+
+
+@pytest.fixture
+def text_files(tmp_path):
+    a = tmp_path / "a.txt"
+    a.write_text("the quick brown fox the quick brown fox jumps")
+    b = tmp_path / "b.txt"
+    b.write_text("jumps over the lazy dog the lazy dog")
+    return [a, b]
+
+
+@pytest.fixture
+def corpus_path(tmp_path, text_files):
+    out = tmp_path / "corpus.ntdc"
+    assert main(["compress", *map(str, text_files), "-o", str(out)]) == 0
+    return out
+
+
+class TestCompressDecompress:
+    def test_compress_creates_corpus(self, corpus_path, capsys):
+        assert corpus_path.exists()
+        corpus = serialization.load(corpus_path)
+        assert corpus.n_files == 2
+
+    def test_roundtrip_through_decompress(self, tmp_path, corpus_path):
+        outdir = tmp_path / "restored"
+        assert main(["decompress", str(corpus_path), "-d", str(outdir)]) == 0
+        restored = sorted(p.name for p in outdir.iterdir())
+        assert restored == ["a.txt", "b.txt"]
+        assert (outdir / "a.txt").read_text().strip() == (
+            "the quick brown fox the quick brown fox jumps"
+        )
+
+    def test_compress_reports_sizes(self, tmp_path, text_files, capsys):
+        out = tmp_path / "c.ntdc"
+        main(["compress", *map(str, text_files), "-o", str(out)])
+        captured = capsys.readouterr().out
+        assert "compressed 2 file(s)" in captured
+        assert "rules" in captured
+
+
+class TestStats:
+    def test_stats_output(self, corpus_path, capsys):
+        assert main(["stats", str(corpus_path)]) == 0
+        captured = capsys.readouterr().out
+        assert "files            : 2" in captured
+        assert "grammar length" in captured
+        assert "DAG depth" in captured
+        assert "rule length histogram" in captured
+
+
+class TestDataset:
+    def test_generate_profile(self, tmp_path, capsys):
+        out = tmp_path / "b.ntdc"
+        assert main(["dataset", "B", "--scale", "0.05", "-o", str(out)]) == 0
+        corpus = serialization.load(out)
+        assert corpus.n_files > 10
+
+    def test_unknown_profile_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["dataset", "Z", "-o", str(tmp_path / "x.ntdc")])
+
+
+class TestRun:
+    @pytest.mark.parametrize(
+        "task",
+        [
+            "word_count",
+            "sort",
+            "term_vector",
+            "inverted_index",
+            "sequence_count",
+            "ranked_inverted_index",
+        ],
+    )
+    def test_run_each_task(self, corpus_path, capsys, task):
+        assert main(["run", task, str(corpus_path)]) == 0
+        captured = capsys.readouterr().out
+        assert f"task      : {task}" in captured
+        assert "result rows" in captured
+
+    def test_run_alternate_system(self, corpus_path, capsys):
+        assert main(
+            ["run", "word_count", str(corpus_path), "--system", "tadoc_dram"]
+        ) == 0
+        assert "tadoc_dram" in capsys.readouterr().out
+
+    def test_run_pinned_traversal(self, corpus_path, capsys):
+        assert main(
+            ["run", "word_count", str(corpus_path), "--traversal", "bottomup"]
+        ) == 0
+        assert "bottomup traversal" in capsys.readouterr().out
+
+    def test_unknown_task_rejected(self, corpus_path):
+        with pytest.raises(SystemExit):
+            main(["run", "frequency_hologram", str(corpus_path)])
+
+
+class TestCompare:
+    def test_compare_table(self, corpus_path, capsys):
+        assert main(
+            [
+                "compare",
+                "word_count",
+                str(corpus_path),
+                "--systems",
+                "tadoc_dram",
+                "ntadoc",
+                "uncompressed_nvm",
+            ]
+        ) == 0
+        captured = capsys.readouterr().out
+        assert "speedup" in captured
+        assert "ntadoc" in captured
+        assert "uncompressed" in captured
+
+
+class TestSearch:
+    def test_search_finds_documents(self, corpus_path, capsys):
+        assert main(["search", str(corpus_path), "fox", "dog"]) == 0
+        captured = capsys.readouterr().out
+        assert "fox: " in captured
+        assert "dog: " in captured
+
+    def test_search_unknown_word_reported(self, corpus_path, capsys):
+        assert main(["search", str(corpus_path), "zebra"]) == 1
+        assert "does not occur" in capsys.readouterr().out
+
+    def test_search_mixed_known_unknown(self, corpus_path, capsys):
+        assert main(["search", str(corpus_path), "zebra", "fox"]) == 0
+        captured = capsys.readouterr().out
+        assert "does not occur" in captured
+        assert "fox: " in captured
+
+
+class TestReproduce:
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["reproduce", "fig99"])

@@ -1,0 +1,224 @@
+"""Tests for dictionary, compressor, corpus model, and serialization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.grammar import (
+    RULE_BASE,
+    SEP_BASE,
+    CompressedCorpus,
+    is_rule_ref,
+    is_separator,
+    is_word,
+    rule_index,
+)
+from repro.errors import CorruptDataError, GrammarError
+from repro.sequitur import serialization
+from repro.sequitur.compressor import TadocCompressor, compress_files
+from repro.sequitur.dictionary import Dictionary, tokenize
+
+
+class TestDictionary:
+    def test_ids_dense_first_seen(self):
+        d = Dictionary()
+        assert d.add("apple") == 0
+        assert d.add("banana") == 1
+        assert d.add("apple") == 0
+        assert len(d) == 2
+
+    def test_roundtrip(self):
+        d = Dictionary()
+        d.encode(["x", "y", "z"])
+        assert d.word_of(d.id_of("y")) == "y"
+
+    def test_unknown_word_raises(self):
+        with pytest.raises(KeyError):
+            Dictionary().id_of("ghost")
+
+    def test_bad_id_raises(self):
+        with pytest.raises(IndexError):
+            Dictionary().word_of(0)
+
+    def test_contains(self):
+        d = Dictionary()
+        d.add("w")
+        assert "w" in d
+        assert "x" not in d
+
+    def test_from_words_preserves_order(self):
+        d = Dictionary.from_words(["c", "a", "b"])
+        assert d.words() == ["c", "a", "b"]
+
+    def test_tokenize_lowercases_and_splits(self):
+        assert tokenize("The  QUICK\nfox") == ["the", "quick", "fox"]
+
+    def test_tokenize_empty(self):
+        assert tokenize("   \n\t ") == []
+
+
+class TestSymbolSpace:
+    def test_partitions_disjoint(self):
+        assert is_word(0) and is_word(SEP_BASE - 1)
+        assert is_separator(SEP_BASE) and is_separator(RULE_BASE - 1)
+        assert is_rule_ref(RULE_BASE)
+        assert not is_word(SEP_BASE)
+        assert not is_separator(RULE_BASE)
+
+    def test_rule_index(self):
+        assert rule_index(RULE_BASE + 5) == 5
+        with pytest.raises(GrammarError):
+            rule_index(3)
+
+
+class TestCompressor:
+    def test_single_file_roundtrip(self):
+        corpus = compress_files([("f", "a b a b a b a b")])
+        assert corpus.expand_text() == ["a b a b a b a b"]
+        assert corpus.n_files == 1
+
+    def test_multi_file_roundtrip(self):
+        files = [("f1", "hello world hello world"), ("f2", "world hello"), ("f3", "")]
+        corpus = compress_files(files)
+        assert corpus.expand_text() == ["hello world hello world", "world hello", ""]
+        assert corpus.n_files == 3
+
+    def test_file_boundaries_respected(self):
+        """Repetition across files must not leak words between files."""
+        files = [("f1", "x y z"), ("f2", "x y z"), ("f3", "x y z")]
+        corpus = compress_files(files)
+        assert corpus.expand_files() == [[0, 1, 2]] * 3
+
+    def test_separators_only_in_root(self):
+        files = [(f"f{i}", "common phrase here") for i in range(10)]
+        corpus = compress_files(files)
+        for body in corpus.rules[1:]:
+            assert not any(is_separator(s) for s in body)
+
+    def test_compression_reduces_grammar_size(self):
+        text = "some repeated boilerplate text fragment " * 100
+        corpus = compress_files([("f", text)])
+        assert corpus.grammar_length() < 600 * 0.25
+
+    def test_add_after_freeze_rejected(self):
+        compressor = TadocCompressor()
+        compressor.add_file("f", "a b")
+        compressor.freeze()
+        with pytest.raises(GrammarError):
+            compressor.add_file("g", "c d")
+
+    def test_validate_passes(self):
+        corpus = compress_files([("f", "a b c a b c")])
+        corpus.validate()  # should not raise
+
+    def test_file_segments_match_files(self):
+        files = [("f1", "a b c"), ("f2", "d e")]
+        corpus = compress_files(files)
+        segments = corpus.file_segments()
+        assert len(segments) == 2
+        root = corpus.rules[0]
+        for (start, end), expected in zip(segments, corpus.expand_files()):
+            span = root[start:end]
+            # Expanding the span yields exactly the file's tokens.
+            expanded = []
+            for symbol in span:
+                if is_rule_ref(symbol):
+                    expanded.extend(corpus.expand_rule(rule_index(symbol)))
+                else:
+                    expanded.append(symbol)
+            assert expanded == expected
+
+    def test_stats_columns(self):
+        corpus = compress_files([("f", "a b a b")])
+        stats = corpus.stats()
+        assert set(stats) == {"files", "rules", "vocabulary", "grammar_length"}
+
+
+class TestValidation:
+    def test_dangling_rule_ref(self):
+        corpus = CompressedCorpus(
+            rules=[[RULE_BASE + 5]], vocab=["a"], file_names=[]
+        )
+        with pytest.raises(GrammarError):
+            corpus.validate()
+
+    def test_self_reference(self):
+        corpus = CompressedCorpus(rules=[[RULE_BASE]], vocab=["a"], file_names=[])
+        with pytest.raises(GrammarError):
+            corpus.validate()
+
+    def test_out_of_range_word(self):
+        corpus = CompressedCorpus(rules=[[7]], vocab=["a"], file_names=[])
+        with pytest.raises(GrammarError):
+            corpus.validate()
+
+    def test_separator_in_non_root(self):
+        corpus = CompressedCorpus(
+            rules=[[0, RULE_BASE + 1, SEP_BASE], [SEP_BASE + 1, 0]],
+            vocab=["a"],
+            file_names=["f"],
+        )
+        with pytest.raises(GrammarError):
+            corpus.validate()
+
+    def test_empty_grammar(self):
+        with pytest.raises(GrammarError):
+            CompressedCorpus(rules=[], vocab=[], file_names=[]).validate()
+
+    def test_separator_file_count_mismatch(self):
+        corpus = CompressedCorpus(
+            rules=[[0, SEP_BASE]], vocab=["a"], file_names=["f", "g"]
+        )
+        with pytest.raises(GrammarError):
+            corpus.validate()
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        corpus = compress_files([("f1", "a b c a b c"), ("f2", "c b a")])
+        blob = serialization.serialize(corpus)
+        restored = serialization.deserialize(blob)
+        assert restored.rules == corpus.rules
+        assert restored.vocab == corpus.vocab
+        assert restored.file_names == corpus.file_names
+
+    def test_save_load(self, tmp_path):
+        corpus = compress_files([("f", "x y x y")])
+        path = tmp_path / "corpus.ntdc"
+        size = serialization.save(corpus, path)
+        assert path.stat().st_size == size
+        assert serialization.load(path).expand_text() == corpus.expand_text()
+
+    def test_bad_magic(self):
+        with pytest.raises(CorruptDataError):
+            serialization.deserialize(b"XXXX" + b"\x00" * 10)
+
+    def test_truncated_blob(self):
+        corpus = compress_files([("f", "a b a b")])
+        blob = serialization.serialize(corpus)
+        with pytest.raises(CorruptDataError):
+            serialization.deserialize(blob[: len(blob) // 2])
+
+    def test_smaller_than_token_array(self):
+        text = "repeated phrase over and over " * 200
+        corpus = compress_files([("f", text)])
+        tokens = sum(len(f) for f in corpus.expand_files())
+        assert len(serialization.serialize(corpus)) < tokens * 4 / 2
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    texts=st.lists(
+        st.lists(st.sampled_from("abcdefgh"), max_size=60).map(" ".join),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_property_compression_is_lossless(texts):
+    """Compress/serialize/deserialize/expand is identity on any corpus."""
+    files = [(f"f{i}", text) for i, text in enumerate(texts)]
+    corpus = compress_files(files)
+    blob = serialization.serialize(corpus)
+    restored = serialization.deserialize(blob)
+    expected = [" ".join(tokenize(text)) for text in texts]
+    assert restored.expand_text() == expected

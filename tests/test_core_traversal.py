@@ -1,0 +1,256 @@
+"""Tests for the traversal engines and n-gram walker."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dag import Dag
+from repro.core.grammar import is_separator
+from repro.core.ngrams import (
+    NgramWalker,
+    combine_profiles,
+    pack_ngram,
+    scan_ngrams,
+)
+from repro.core.pruning import PrunedDag
+from repro.core.summation import head_tail_lists, summate_all
+from repro.core.traversal import (
+    compute_wordlists_bottomup,
+    full_sweep_weights_for_segment,
+    local_weights_for_segment,
+    merge_segment_counts,
+    propagate_weights_topdown,
+)
+from repro.nvm.device import DeviceProfile
+from repro.nvm.memory import SimulatedMemory
+from repro.nvm.pool import NvmPool
+from repro.sequitur.compressor import compress_files
+
+
+def setup(files, ngram_n=2):
+    corpus = compress_files(files)
+    dag = Dag(corpus)
+    bounds = summate_all(dag)
+    heads, tails = head_tail_lists(dag, max(ngram_n - 1, 1))
+    pool = NvmPool(SimulatedMemory(DeviceProfile.nvm(), 1 << 22))
+    pruned = PrunedDag.build(
+        pool, corpus, dag,
+        bounds=bounds, headtail_k=max(ngram_n - 1, 1),
+        heads=heads, tails=tails,
+    )
+    return corpus, dag, pruned, pool
+
+
+class TestTopDownWeights:
+    def test_matches_python_dag_weights(self):
+        corpus, dag, pruned, pool = setup(
+            [("f", "m n o m n o p q m n o p q m n " * 6)]
+        )
+        propagate_weights_topdown(pruned, pool.allocator)
+        expected = dag.weights()
+        for rule in range(corpus.n_rules):
+            assert pruned.weight(rule) == expected[rule]
+
+    def test_total_word_mass_equals_token_count(self):
+        files = [("f1", "a b c a b c a b"), ("f2", "c a b c")]
+        corpus, dag, pruned, pool = setup(files)
+        propagate_weights_topdown(pruned, pool.allocator)
+        total = 0
+        for rule in range(corpus.n_rules):
+            weight = pruned.weight(rule)
+            for _word, freq in pruned.words(rule):
+                total += weight * freq
+        tokens = sum(len(f) for f in corpus.expand_files())
+        assert total == tokens
+
+    def test_rerun_is_idempotent(self):
+        corpus, dag, pruned, pool = setup([("f", "x y x y x y x y")])
+        propagate_weights_topdown(pruned, pool.allocator)
+        first = [pruned.weight(r) for r in range(corpus.n_rules)]
+        propagate_weights_topdown(pruned, pool.allocator)
+        assert [pruned.weight(r) for r in range(corpus.n_rules)] == first
+
+
+class TestSegmentWeights:
+    def files(self):
+        return [
+            ("f1", "a b c d a b c d e f"),
+            ("f2", "e f g h a b c d"),
+            ("f3", "g h g h e f"),
+        ]
+
+    def segments(self, corpus, pruned):
+        body = pruned.raw_body(0)
+        segments, current = [], []
+        for symbol in body:
+            if is_separator(symbol):
+                segments.append(current)
+                current = []
+            else:
+                current.append(symbol)
+        return segments
+
+    def test_local_matches_full_sweep(self):
+        corpus, dag, pruned, pool = setup(self.files())
+        topo = dag.topological_order()
+        position = [0] * corpus.n_rules
+        for i, rule in enumerate(topo):
+            position[rule] = i
+        for segment in self.segments(corpus, pruned):
+            local = local_weights_for_segment(pruned, segment, position)
+            full = full_sweep_weights_for_segment(pruned, segment, topo)
+            assert local == full
+
+    def test_segment_weights_sum_to_global(self):
+        corpus, dag, pruned, pool = setup(self.files())
+        topo = dag.topological_order()
+        position = [0] * corpus.n_rules
+        for i, rule in enumerate(topo):
+            position[rule] = i
+        combined: dict[int, int] = {}
+        for segment in self.segments(corpus, pruned):
+            for rule, weight in local_weights_for_segment(
+                pruned, segment, position
+            ).items():
+                combined[rule] = combined.get(rule, 0) + weight
+        global_weights = dag.weights()
+        for rule in range(1, corpus.n_rules):
+            assert combined.get(rule, 0) == global_weights[rule]
+
+
+class TestBottomUpWordlists:
+    def test_root_wordlist_is_global_word_count(self):
+        files = [("f1", "a b c a b c a"), ("f2", "b c a b")]
+        corpus, dag, pruned, pool = setup(files)
+        tables = compute_wordlists_bottomup(
+            pruned, pool.allocator, dag.reverse_topological_order()
+        )
+        expected: dict[int, int] = {}
+        for tokens in corpus.expand_files():
+            for token in tokens:
+                expected[token] = expected.get(token, 0) + 1
+        assert tables[0].to_dict() == expected
+
+    def test_rule_wordlist_matches_expansion(self):
+        corpus, dag, pruned, pool = setup(
+            [("f", "u v w u v w x y u v x y w u v " * 5)]
+        )
+        tables = compute_wordlists_bottomup(
+            pruned, pool.allocator, dag.reverse_topological_order()
+        )
+        for rule in range(1, corpus.n_rules):
+            expansion = corpus.expand_rule(rule)
+            expected: dict[int, int] = {}
+            for token in expansion:
+                expected[token] = expected.get(token, 0) + 1
+            assert tables[rule].to_dict() == expected
+
+    def test_presized_tables_never_rehash(self):
+        corpus, dag, pruned, pool = setup(
+            [("f", "a b c d e f g h a b c d e f g h " * 10)]
+        )
+        tables = compute_wordlists_bottomup(
+            pruned, pool.allocator, dag.reverse_topological_order()
+        )
+        assert all(t.reconstructions == 0 for t in tables)
+
+    def test_growable_mode_rehashes(self):
+        corpus, dag, pruned, pool = setup(
+            [("f", " ".join(f"w{i}" for i in range(64)) + " a b " * 30)]
+        )
+        tables = compute_wordlists_bottomup(
+            pruned, pool.allocator, dag.reverse_topological_order(),
+            growable=True,
+        )
+        assert any(t.reconstructions > 0 for t in tables)
+
+    def test_merge_segment_counts_per_file(self):
+        files = [("f1", "a b c a b c"), ("f2", "c b a"), ("f3", "a a a b")]
+        corpus, dag, pruned, pool = setup(files)
+        tables = compute_wordlists_bottomup(
+            pruned, pool.allocator, dag.reverse_topological_order()
+        )
+        body = pruned.raw_body(0)
+        segments, current = [], []
+        for symbol in body:
+            if is_separator(symbol):
+                segments.append(current)
+                current = []
+            else:
+                current.append(symbol)
+        clock = pool.memory.clock
+        for segment, tokens in zip(segments, corpus.expand_files()):
+            counts = merge_segment_counts(pruned, segment, tables, clock)
+            expected: dict[int, int] = {}
+            for token in tokens:
+                expected[token] = expected.get(token, 0) + 1
+            assert counts == expected
+
+
+class TestNgramWalker:
+    def test_pack_bigram_exact(self):
+        assert pack_ngram((3, 5)) != pack_ngram((5, 3))
+        assert pack_ngram((3, 5)) == (3 << 29) | 5
+
+    def test_total_counts_match_scan(self):
+        files = [("f1", "a b a b c a b a b c d"), ("f2", "c d a b a b")]
+        corpus, dag, pruned, pool = setup(files, ngram_n=2)
+        walker = NgramWalker(pruned, 2)
+        profiles = walker.all_profiles()
+        weights = dag.weights()
+        totals = combine_profiles(profiles, weights)
+        expected = scan_ngrams(corpus.expand_files(), 2)
+        assert totals == expected
+
+    def test_trigram_counts_match_scan(self):
+        files = [("f", "p q r p q r p q r s p q r s t " * 4)]
+        corpus, dag, pruned, pool = setup(files, ngram_n=3)
+        walker = NgramWalker(pruned, 3)
+        totals = combine_profiles(walker.all_profiles(), dag.weights())
+        assert totals == scan_ngrams(corpus.expand_files(), 3)
+
+    def test_no_ngrams_across_file_boundaries(self):
+        files = [("f1", "a b"), ("f2", "b a")]
+        corpus, dag, pruned, pool = setup(files, ngram_n=2)
+        walker = NgramWalker(pruned, 2)
+        totals = combine_profiles(walker.all_profiles(), dag.weights())
+        # (b, b) would only arise across the boundary; it must not appear.
+        assert pack_ngram((1, 1)) not in totals
+
+    def test_requires_headtail(self):
+        corpus = compress_files([("f", "a b a b")])
+        dag = Dag(corpus)
+        pool = NvmPool(SimulatedMemory(DeviceProfile.nvm(), 1 << 20))
+        pruned = PrunedDag.build(pool, corpus, dag)
+        with pytest.raises(ValueError):
+            NgramWalker(pruned, 2)
+
+    def test_n_too_large_for_headtail(self):
+        corpus, dag, pruned, pool = setup([("f", "a b a b")], ngram_n=2)
+        with pytest.raises(ValueError):
+            NgramWalker(pruned, 4)  # k=1 stored, need k>=3
+
+    def test_key_names_populated(self):
+        corpus, dag, pruned, pool = setup([("f", "a b a b a b")], ngram_n=2)
+        names: dict[int, tuple[int, ...]] = {}
+        walker = NgramWalker(pruned, 2, key_names=names)
+        combine_profiles(walker.all_profiles(), dag.weights())
+        assert all(len(t) == 2 for t in names.values())
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    texts=st.lists(
+        st.lists(st.sampled_from("abc"), max_size=50).map(" ".join),
+        min_size=1,
+        max_size=4,
+    ),
+    n=st.integers(2, 3),
+)
+def test_property_compressed_ngrams_equal_scan(texts, n):
+    """For any corpus the compressed n-gram totals equal the plain scan."""
+    files = [(f"f{i}", t) for i, t in enumerate(texts)]
+    corpus, dag, pruned, pool = setup(files, ngram_n=n)
+    walker = NgramWalker(pruned, n)
+    totals = combine_profiles(walker.all_profiles(), dag.weights())
+    assert totals == scan_ngrams(corpus.expand_files(), n)

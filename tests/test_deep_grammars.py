@@ -1,0 +1,95 @@
+"""Stress tests with pathologically deep (chain-shaped) grammars.
+
+Real Sequitur grammars are roughly logarithmic in depth, but nothing in
+the corpus format forbids a linear chain of rules.  Every traversal in
+the library must survive a grammar deeper than Python's recursion limit.
+"""
+
+import sys
+
+import pytest
+
+from repro.analytics.locate import WordLocate
+from repro.core.dag import Dag
+from repro.core.grammar import RULE_BASE, SEP_BASE, CompressedCorpus
+from repro.core.pruning import PrunedDag
+from repro.core.random_access import RandomAccessor
+from repro.core.summation import head_tail_lists, summate_all
+from repro.core.traversal import propagate_weights_topdown
+from repro.nvm.device import DeviceProfile
+from repro.nvm.memory import SimulatedMemory
+from repro.nvm.pool import NvmPool
+
+#: Deeper than CPython's default recursion limit.
+DEPTH = sys.getrecursionlimit() + 500
+
+
+def chain_corpus(depth: int = DEPTH) -> CompressedCorpus:
+    """R0 -> R1 w, R1 -> R2 w, ..., R_{d} -> w w.
+
+    Note: this violates Sequitur's rule-utility invariant (each rule used
+    once) but is a structurally *valid* corpus -- exactly the kind of
+    adversarial input a robust library must tolerate.
+    """
+    rules = []
+    rules.append([RULE_BASE + 1, 0, SEP_BASE])  # root: R1 w0 <sep>
+    for i in range(1, depth):
+        rules.append([RULE_BASE + i + 1, 0])
+    rules.append([0, 0])  # the deepest rule: two words
+    return CompressedCorpus(rules=rules, vocab=["w"], file_names=["deep.txt"])
+
+
+@pytest.fixture(scope="module")
+def setup():
+    corpus = chain_corpus()
+    corpus.validate()
+    dag = Dag(corpus)
+    pool = NvmPool(SimulatedMemory(DeviceProfile.nvm(), 1 << 22))
+    pruned = PrunedDag.build(pool, corpus, dag, bounds=summate_all(dag))
+    return corpus, dag, pruned, pool
+
+
+class TestDeepGrammar:
+    def test_expand_rule_iterative(self, setup):
+        corpus, _, _, _ = setup
+        tokens = corpus.expand_rule(0)
+        # (depth-1) chain words + 2 at the bottom + root word + separator.
+        assert len(tokens) == DEPTH + 3
+
+    def test_dag_orders(self, setup):
+        _, dag, _, _ = setup
+        order = dag.topological_order()
+        assert len(order) == DEPTH + 1
+        assert len(dag.topological_levels()) == DEPTH + 1
+
+    def test_summation_iterative(self, setup):
+        _, dag, _, _ = setup
+        bounds = summate_all(dag)
+        assert bounds[-1] == 1  # deepest rule: 1 distinct word
+        assert bounds[0] >= 1
+
+    def test_head_tail_iterative(self, setup):
+        _, dag, _, _ = setup
+        heads, tails = head_tail_lists(dag, k=2)
+        assert heads[1] == [0, 0]
+
+    def test_weight_propagation(self, setup):
+        _, _, pruned, pool = setup
+        propagate_weights_topdown(pruned, pool.allocator)
+        assert pruned.weight(DEPTH) == 1
+
+    def test_random_access_depth_proof(self, setup):
+        corpus, dag, pruned, _ = setup
+        accessor = RandomAccessor(pruned, dag.expansion_lengths())
+        length = accessor.file_length(0)
+        assert length == DEPTH + 2
+        assert accessor.word_at(0, 0) == 0
+        assert accessor.word_at(0, length - 1) == 0
+
+    def test_word_locate_depth_proof(self, setup):
+        corpus, dag, _, _ = setup
+        from repro.core.engine import NTadocEngine
+
+        engine = NTadocEngine(corpus)
+        run = engine.run(WordLocate(0, dag.expansion_lengths()))
+        assert run.result[0] == list(range(DEPTH + 2))

@@ -1,0 +1,54 @@
+"""Smoke tests: every example script must run to completion.
+
+Examples are documentation that executes; breaking one is breaking the
+README.  Each runs in-process (runpy) with stdout captured.
+"""
+
+import io
+import runpy
+from contextlib import redirect_stdout
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        runpy.run_path(str(EXAMPLES_DIR / script), run_name="__main__")
+    output = buffer.getvalue()
+    assert output.strip(), f"{script} produced no output"
+
+
+def test_all_examples_discovered():
+    assert set(EXAMPLES) >= {
+        "quickstart.py",
+        "search_engine.py",
+        "review_analytics.py",
+        "embedded_checkpointing.py",
+        "log_stream.py",
+        "cost_model_tour.py",
+    }
+
+
+def test_quickstart_reports_speedup():
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        runpy.run_path(str(EXAMPLES_DIR / "quickstart.py"), run_name="__main__")
+    assert "speedup" in buffer.getvalue()
+
+
+def test_checkpointing_demonstrates_recovery():
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        runpy.run_path(
+            str(EXAMPLES_DIR / "embedded_checkpointing.py"), run_name="__main__"
+        )
+    output = buffer.getvalue()
+    assert "rolled back 1 transaction" in output
+    assert "resume from phase" in output

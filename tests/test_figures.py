@@ -1,0 +1,88 @@
+"""Tests for the figure builders (run at reduced scale for speed)."""
+
+import pytest
+
+from repro.harness import figures
+from repro.harness.cache import RunCache
+from repro.harness.figures import FIGURES, Figure
+
+_SCALE = 0.12
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return RunCache(scale=_SCALE)
+
+
+class TestRunCache:
+    def test_memoizes_runs(self, cache):
+        first = cache.get("ntadoc", "A", "word_count")
+        second = cache.get("ntadoc", "A", "word_count")
+        assert first is second
+
+    def test_overrides_produce_distinct_cells(self, cache):
+        auto = cache.get("ntadoc", "C", "term_vector")
+        pinned = cache.get("ntadoc", "C", "term_vector", traversal="bottomup")
+        assert auto is not pinned
+        assert auto.result == pinned.result
+
+    def test_corpus_memoized(self, cache):
+        assert cache.corpus("A") is cache.corpus("A")
+
+
+class TestFigureBuilders:
+    def test_registry_covers_paper_artifacts(self):
+        assert {
+            "table1", "fig5a", "fig5b", "fig6", "fig7",
+            "dram-savings", "table2", "naive-port", "traversal", "pruning",
+        } <= set(FIGURES)
+
+    def test_table1(self, cache):
+        figure = figures.table1(cache)
+        assert isinstance(figure, Figure)
+        assert set(figure.data["stats"]) == {"A", "B", "C", "D"}
+        assert "TABLE I" in figure.render()
+
+    def test_fig5_structure(self, cache):
+        figure = figures.fig5(cache)
+        assert len(figure.data["matrix"]) == 4 * 6
+        assert figure.data["geomean"] > 0
+        assert "geometric mean" in figure.render()
+
+    def test_fig6_structure(self, cache):
+        figure = figures.fig6(cache)
+        assert all(v > 0 for v in figure.data["matrix"].values())
+
+    def test_fig7_structure(self, cache):
+        figure = figures.fig7(cache)
+        assert figure.data["hdd_geomean"] > figure.data["ssd_geomean"] > 0
+
+    def test_dram_savings_structure(self, cache):
+        figure = figures.dram_savings(cache)
+        assert 0 < figure.data["average"] < 1
+
+    def test_table2_structure(self, cache):
+        figure = figures.table2(cache)
+        assert ("C", "word_count") in figure.data["cells"]
+        assert set(figure.data["phase_gains"]) == {"C", "D"}
+
+    def test_naive_port_structure(self, cache):
+        figure = figures.naive_port(cache)
+        assert figure.data["overhead_geomean"] > 1
+        assert figure.data["cross_geomean"] > 1
+
+    def test_pruning_structure(self, cache):
+        figure = figures.pruning(cache)
+        assert all(0 <= v < 1 for v in figure.data["corpus_savings"].values())
+
+    def test_traversal_structure(self, cache):
+        figure = figures.traversal_strategies(cache, scales=(0.05, 0.1))
+        points = figure.data["points"]
+        assert len(points) == 2
+        assert all(ratio > 0 for _, ratio in points)
+
+    def test_render_is_plain_text(self, cache):
+        figure = figures.table1(cache)
+        text = figure.render()
+        assert isinstance(text, str)
+        assert text.count("\n") >= 5

@@ -1,0 +1,162 @@
+"""End-to-end integration: disk artifacts, pool images, recovery, rerun.
+
+These tests exercise the full production pipeline the way a deployment
+would: text -> compressed artifact on disk -> engine run with a
+file-backed NVM image -> power failure -> reopen from the image in a
+"new process" (fresh objects) -> recover and resume.
+"""
+
+import pytest
+
+from repro.analytics import ALL_TASKS, task_by_name
+from repro.analytics.word_count import WordCount
+from repro.baselines.uncompressed import UncompressedEngine
+from repro.core.dag import Dag
+from repro.core.engine import EngineConfig, NTadocEngine
+from repro.core.pruning import PrunedDag
+from repro.core.random_access import RandomAccessor
+from repro.core.recovery import recover_pool
+from repro.core.summation import summate_all
+from repro.datasets import corpus_for, dataset_files
+from repro.nvm.device import DeviceProfile
+from repro.nvm.memory import SimulatedMemory
+from repro.nvm.persist import PhasePersistence
+from repro.nvm.pool import NvmPool
+from repro.sequitur import serialization
+from repro.sequitur.compressor import compress_files
+
+
+class TestDiskArtifactPipeline:
+    def test_text_to_results_via_disk(self, tmp_path):
+        # 1. Write raw text files to disk.
+        texts = {
+            "alpha.txt": "shared preamble text alpha body alpha ending",
+            "beta.txt": "shared preamble text beta body beta ending",
+        }
+        for name, text in texts.items():
+            (tmp_path / name).write_text(text)
+        # 2. Compress from disk and persist the artifact.
+        from repro.sequitur.compressor import compress_paths
+
+        corpus = compress_paths(sorted(tmp_path.glob("*.txt")))
+        artifact = tmp_path / "corpus.ntdc"
+        serialization.save(corpus, artifact)
+        # 3. A "different process" loads the artifact and analyses it.
+        loaded = serialization.load(artifact)
+        run = NTadocEngine(loaded).run(WordCount())
+        rendered = {loaded.vocab[w]: c for w, c in run.result.items()}
+        assert rendered["shared"] == 2
+        assert rendered["alpha"] == 2
+
+    def test_all_tasks_on_generated_dataset(self):
+        corpus = corpus_for("B", scale=0.05)
+        token_files = corpus.expand_files()
+        for task_cls in ALL_TASKS:
+            nt = NTadocEngine(corpus).run(task_cls())
+            base = UncompressedEngine(corpus, EngineConfig()).run(task_cls())
+            assert nt.result == base.result, task_cls.name
+
+
+class TestFileBackedPoolAcrossProcesses:
+    def build_image(self, tmp_path, corpus):
+        """Simulate process 1: build and persist a pool image."""
+        image = tmp_path / "pool.img"
+        mem = SimulatedMemory(DeviceProfile.nvm(), 1 << 21)
+        mem.attach_file(image)
+        pool = NvmPool(mem)
+        phases = PhasePersistence(pool)
+        dag = Dag(corpus)
+        with phases.phase("initialization"):
+            PrunedDag.build(pool, corpus, dag, bounds=summate_all(dag))
+            pool.save_directory()
+        return image
+
+    def test_reopen_in_new_process(self, tmp_path):
+        corpus = compress_files(
+            [("f1", "one two three one two three four"), ("f2", "four five")]
+        )
+        image = self.build_image(tmp_path, corpus)
+
+        # Process 2: a completely fresh memory loads the image.
+        mem2 = SimulatedMemory(DeviceProfile.nvm(), 1 << 21)
+        mem2.attach_file(image, load=True)
+        report = recover_pool(mem2)
+        assert report.last_completed_phase == "initialization"
+        assert report.pruned is not None
+        for rule in range(corpus.n_rules):
+            assert report.pruned.raw_body(rule) == corpus.rules[rule]
+
+    def test_random_access_on_recovered_pool(self, tmp_path):
+        corpus = compress_files(
+            [("f", "the rain in spain falls mainly on the plain " * 6)]
+        )
+        image = self.build_image(tmp_path, corpus)
+        mem2 = SimulatedMemory(DeviceProfile.nvm(), 1 << 21)
+        mem2.attach_file(image, load=True)
+        report = recover_pool(mem2)
+        accessor = RandomAccessor(
+            report.pruned, Dag(corpus).expansion_lengths()
+        )
+        tokens = corpus.expand_files()[0]
+        assert accessor.slice(0, 10, 20) == tokens[10:20]
+
+
+class TestDeterminismAcrossRuns:
+    def test_dataset_generation_stable(self):
+        assert dataset_files("A", scale=0.05) == dataset_files("A", scale=0.05)
+
+    def test_engine_times_are_bit_identical(self):
+        corpus = corpus_for("A", scale=0.1)
+        runs = [NTadocEngine(corpus).run(WordCount()) for _ in range(3)]
+        assert len({r.total_ns for r in runs}) == 1
+        assert len({tuple(sorted(r.result.items())) for r in runs}) == 1
+
+    def test_serialization_is_canonical(self):
+        corpus = corpus_for("A", scale=0.05)
+        blob1 = serialization.serialize(corpus)
+        blob2 = serialization.serialize(
+            serialization.deserialize(blob1)
+        )
+        assert blob1 == blob2
+
+
+class TestCrossTaskConsistency:
+    """Results of different tasks must be mutually consistent."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        corpus = corpus_for("B", scale=0.04)
+        engine = NTadocEngine(corpus)
+        return corpus, {
+            name: engine.run(task_by_name(name))
+            for name in (
+                "word_count",
+                "sort",
+                "term_vector",
+                "inverted_index",
+                "sequence_count",
+            )
+        }
+
+    def test_sort_is_word_count_reordered(self, runs):
+        _, results = runs
+        assert dict(results["sort"].result) == results["word_count"].result
+
+    def test_term_vector_counts_bounded_by_word_count(self, runs):
+        _, results = runs
+        totals = results["word_count"].result
+        for vector in results["term_vector"].result:
+            for word, count in vector:
+                assert count <= totals[word]
+
+    def test_inverted_index_covers_term_vectors(self, runs):
+        _, results = runs
+        index = results["inverted_index"].result
+        for file_index, vector in enumerate(results["term_vector"].result):
+            for word, _count in vector:
+                assert file_index in index[word]
+
+    def test_sequence_totals_bounded_by_tokens(self, runs):
+        corpus, results = runs
+        tokens = sum(len(f) for f in corpus.expand_files())
+        assert sum(results["sequence_count"].result.values()) <= tokens

@@ -1,0 +1,85 @@
+"""Tests for the word-locate task (compressed pattern matching)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytics.locate import WordLocate
+from repro.baselines.uncompressed import UncompressedEngine
+from repro.core.dag import Dag
+from repro.core.engine import EngineConfig, NTadocEngine
+from repro.sequitur.compressor import compress_files
+
+FILES = [
+    ("f0", "needle in a haystack full of hay and one needle more"),
+    ("f1", "no matches here at all"),
+    ("f2", "needle"),
+    ("f3", ""),
+]
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return compress_files(FILES)
+
+
+def locate(corpus, word: str):
+    word_id = corpus.vocab.index(word)
+    explens = Dag(corpus).expansion_lengths()
+    return NTadocEngine(corpus).run(WordLocate(word_id, explens))
+
+
+class TestCompressedLocate:
+    def test_matches_oracle(self, corpus):
+        word_id = corpus.vocab.index("needle")
+        expected = WordLocate.reference(corpus.expand_files(), word_id)
+        assert locate(corpus, "needle").result == expected
+
+    def test_positions_exact(self, corpus):
+        result = locate(corpus, "needle").result
+        assert result[0] == [0, 9]
+        assert result[2] == [0]
+        assert 1 not in result
+        assert 3 not in result
+
+    def test_word_everywhere(self, corpus):
+        result = locate(corpus, "of").result
+        assert result == {0: [5]}
+
+    def test_uncompressed_matches(self, corpus):
+        word_id = corpus.vocab.index("needle")
+        explens = Dag(corpus).expansion_lengths()
+        task = WordLocate(word_id, explens)
+        nt = NTadocEngine(corpus).run(WordLocate(word_id, explens))
+        base = UncompressedEngine(corpus, EngineConfig()).run(task)
+        assert nt.result == base.result
+
+    def test_rare_word_cheaper_than_common_word(self):
+        """Skipping non-matching subrules makes rare-word locate cheap on
+        a repetitive corpus."""
+        body = "common words repeat endlessly " * 120
+        corpus = compress_files([("f", body + "rare " + body)])
+        rare = locate(corpus, "rare")
+        common = locate(corpus, "common")
+        assert rare.result[0] == [480]
+        assert rare.traversal_ns < common.traversal_ns
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    texts=st.lists(
+        st.lists(st.sampled_from("abc"), max_size=60).map(" ".join),
+        min_size=1,
+        max_size=4,
+    ),
+    word_index=st.integers(0, 2),
+)
+def test_property_locate_matches_oracle(texts, word_index):
+    files = [(f"f{i}", t) for i, t in enumerate(texts)]
+    corpus = compress_files(files)
+    if word_index >= len(corpus.vocab):
+        return
+    explens = Dag(corpus).expansion_lengths()
+    run = NTadocEngine(corpus).run(WordLocate(word_index, explens))
+    expected = WordLocate.reference(corpus.expand_files(), word_index)
+    assert run.result == expected

@@ -1,0 +1,97 @@
+"""Property tests for the memory model and allocator invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nvm.allocator import PoolAllocator
+from repro.nvm.device import DeviceProfile
+from repro.nvm.memory import SimulatedMemory
+
+_SIZE = 1 << 14
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["read", "write", "flush"]),
+            st.integers(0, _SIZE - 1),
+            st.integers(1, 128),
+            st.binary(min_size=1, max_size=128),
+        ),
+        max_size=50,
+    ),
+    device=st.sampled_from(["dram", "nvm", "reram", "pcm", "ssd", "hdd"]),
+)
+def test_memory_contents_match_model(ops, device):
+    """Whatever the op mix or device, contents track a plain bytearray
+    and the clock never runs backwards."""
+    mem = SimulatedMemory(DeviceProfile.by_name(device), _SIZE, cache_bytes=1 << 10)
+    model = bytearray(_SIZE)
+    last_ns = 0.0
+    for op, offset, size, payload in ops:
+        size = min(size, _SIZE - offset)
+        if size <= 0:
+            continue
+        if op == "read":
+            assert mem.read(offset, size) == bytes(model[offset : offset + size])
+        elif op == "write":
+            data = (payload * ((size // len(payload)) + 1))[:size]
+            mem.write(offset, data)
+            model[offset : offset + size] = data
+        else:
+            mem.flush()
+        assert mem.clock.ns >= last_ns, "clock ran backwards"
+        last_ns = mem.clock.ns
+    # Full sweep at the end.
+    assert mem.peek(0, _SIZE) == bytes(model)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["alloc", "free"]), st.integers(8, 512)),
+        max_size=60,
+    ),
+    scatter=st.booleans(),
+)
+def test_allocator_never_overlaps_live_blocks(ops, scatter):
+    mem = SimulatedMemory(DeviceProfile.nvm(), 1 << 20)
+    allocator = PoolAllocator(mem, base=0, capacity=1 << 20, scatter=scatter)
+    live: list[tuple[int, int]] = []
+    for op, size in ops:
+        if op == "alloc":
+            offset = allocator.alloc(size)
+            for other_offset, other_size in live:
+                assert (
+                    offset + size <= other_offset
+                    or offset >= other_offset + other_size
+                ), "allocator returned overlapping live blocks"
+            live.append((offset, size))
+        elif live:
+            offset, size = live.pop()
+            allocator.free(offset, size)
+    assert allocator.allocated_bytes == sum(s for _, s in live)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    writes=st.lists(
+        st.tuples(st.integers(0, _SIZE - 64), st.binary(min_size=1, max_size=64)),
+        max_size=30,
+    ),
+    crash_after_flush=st.booleans(),
+)
+def test_crash_restores_exactly_the_flushed_image(writes, crash_after_flush):
+    mem = SimulatedMemory(DeviceProfile.nvm(), _SIZE)
+    flushed = bytearray(_SIZE)
+    for i, (offset, data) in enumerate(writes):
+        mem.write(offset, data)
+        if i % 3 == 2:
+            mem.flush()
+            flushed = bytearray(mem.peek(0, _SIZE))
+    if crash_after_flush:
+        mem.flush()
+        flushed = bytearray(mem.peek(0, _SIZE))
+    mem.crash()
+    assert mem.peek(0, _SIZE) == bytes(flushed)

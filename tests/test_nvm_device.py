@@ -1,0 +1,78 @@
+"""Unit tests for device profiles."""
+
+import pytest
+
+from repro.nvm.device import DeviceProfile
+
+
+class TestProfiles:
+    def test_builtin_profiles_exist(self):
+        for name in ("dram", "nvm", "ssd", "hdd"):
+            profile = DeviceProfile.by_name(name)
+            assert profile.name == name
+            assert profile.line_size > 0
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(KeyError):
+            DeviceProfile.by_name("tape")
+
+    def test_nvm_granularity_is_256_bytes(self):
+        """The paper's 3D-XPoint media granularity (Section III-A)."""
+        assert DeviceProfile.nvm().line_size == 256
+
+    def test_nvm_write_slower_than_read(self):
+        """Asymmetric read/write latency (Section II, 'NVM device')."""
+        nvm = DeviceProfile.nvm()
+        assert nvm.write_ns > nvm.read_ns
+
+    def test_latency_ordering_dram_nvm_ssd_hdd(self):
+        profiles = [DeviceProfile.by_name(n) for n in ("dram", "nvm", "ssd", "hdd")]
+        latencies = [p.read_ns for p in profiles]
+        assert latencies == sorted(latencies)
+
+    def test_nvm_read_close_to_dram(self):
+        """NVM read latency is DRAM-like; well under SSD."""
+        assert DeviceProfile.nvm().read_ns < 10 * DeviceProfile.dram().read_ns
+        assert DeviceProfile.nvm().read_ns < DeviceProfile.ssd().read_ns / 10
+
+    def test_dram_is_volatile_others_persistent(self):
+        assert not DeviceProfile.dram().persistent
+        for name in ("nvm", "ssd", "hdd"):
+            assert DeviceProfile.by_name(name).persistent
+
+    def test_byte_addressability(self):
+        assert DeviceProfile.dram().byte_addressable
+        assert DeviceProfile.nvm().byte_addressable
+        assert not DeviceProfile.ssd().byte_addressable
+        assert not DeviceProfile.hdd().byte_addressable
+
+    def test_sequential_discount(self):
+        for name in ("dram", "nvm", "ssd", "hdd"):
+            profile = DeviceProfile.by_name(name)
+            assert profile.seq_read_ns < profile.read_ns
+            assert profile.seq_write_ns < profile.write_ns
+
+
+class TestLineGeometry:
+    def test_line_of(self):
+        nvm = DeviceProfile.nvm()
+        assert nvm.line_of(0) == 0
+        assert nvm.line_of(255) == 0
+        assert nvm.line_of(256) == 1
+
+    def test_lines_spanned_single(self):
+        nvm = DeviceProfile.nvm()
+        assert list(nvm.lines_spanned(0, 1)) == [0]
+        assert list(nvm.lines_spanned(10, 100)) == [0]
+
+    def test_lines_spanned_crossing(self):
+        nvm = DeviceProfile.nvm()
+        assert list(nvm.lines_spanned(250, 10)) == [0, 1]
+        assert list(nvm.lines_spanned(0, 256 * 3)) == [0, 1, 2]
+
+    def test_lines_spanned_empty(self):
+        assert list(DeviceProfile.nvm().lines_spanned(100, 0)) == []
+
+    def test_lines_spanned_exact_boundary(self):
+        nvm = DeviceProfile.nvm()
+        assert list(nvm.lines_spanned(256, 256)) == [1]

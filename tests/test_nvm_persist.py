@@ -1,0 +1,165 @@
+"""Unit tests for phase-level and operation-level persistence."""
+
+import pytest
+
+from repro.errors import TransactionError
+from repro.nvm.device import DeviceProfile
+from repro.nvm.memory import SimulatedMemory
+from repro.nvm.persist import PhasePersistence, TransactionLog
+from repro.nvm.pool import NvmPool
+
+
+@pytest.fixture
+def pool():
+    return NvmPool(SimulatedMemory(DeviceProfile.nvm(), 1 << 18))
+
+
+class TestPhasePersistence:
+    def test_initially_no_phase(self, pool):
+        pp = PhasePersistence(pool)
+        assert pp.last_completed() is None
+        assert pp.completed_count() == 0
+
+    def test_phase_completion_recorded(self, pool):
+        pp = PhasePersistence(pool)
+        with pp.phase("initialization"):
+            pass
+        assert pp.last_completed() == "initialization"
+        assert pp.completed_count() == 1
+
+    def test_phase_sequence(self, pool):
+        pp = PhasePersistence(pool)
+        with pp.phase("initialization"):
+            pass
+        with pp.phase("traversal"):
+            pass
+        assert pp.last_completed() == "traversal"
+        assert pp.completed_count() == 2
+
+    def test_phase_marker_survives_crash(self, pool):
+        pp = PhasePersistence(pool)
+        off = pool.alloc_region("data", 64)
+        with pp.phase("initialization"):
+            pool.memory.write(off, b"phase one data")
+        # crash mid-second-phase
+        pool.memory.write(off, b"partial garbage")
+        pool.memory.crash()
+
+        recovered = NvmPool(pool.memory)
+        recovered.load_directory()
+        pp2 = PhasePersistence(recovered)
+        assert pp2.last_completed() == "initialization"
+        data_off, _ = recovered.get_region("data")
+        assert recovered.memory.read(data_off, 14) == b"phase one data"
+
+    def test_failed_phase_not_recorded(self, pool):
+        pp = PhasePersistence(pool)
+        with pytest.raises(RuntimeError):
+            with pp.phase("initialization"):
+                raise RuntimeError("interrupted")
+        assert pp.last_completed() is None
+
+    def test_phase_flushes_dirty_data(self, pool):
+        pp = PhasePersistence(pool)
+        off = pool.alloc_region("data", 64)
+        with pp.phase("init"):
+            pool.memory.write(off, b"persisted")
+        assert pool.memory.dirty_line_count == 0
+
+
+class TestTransactions:
+    def test_commit_applies_writes(self, pool):
+        off = pool.alloc_region("data", 64)
+        log = TransactionLog(pool)
+        with log.transaction() as tx:
+            tx.write(off, b"committed")
+        assert pool.memory.read(off, 9) == b"committed"
+
+    def test_abort_rolls_back(self, pool):
+        off = pool.alloc_region("data", 64)
+        pool.memory.write(off, b"original")
+        log = TransactionLog(pool)
+        with pytest.raises(RuntimeError):
+            with log.transaction() as tx:
+                tx.write(off, b"mutated!")
+                raise RuntimeError("fail inside tx")
+        assert pool.memory.read(off, 8) == b"original"
+
+    def test_multi_write_rollback_order(self, pool):
+        off = pool.alloc_region("data", 64)
+        pool.memory.write(off, b"AAAABBBB")
+        log = TransactionLog(pool)
+        with pytest.raises(RuntimeError):
+            with log.transaction() as tx:
+                tx.write(off, b"XXXX")
+                tx.write(off + 2, b"YYYY")  # overlapping writes
+                raise RuntimeError()
+        assert pool.memory.read(off, 8) == b"AAAABBBB"
+
+    def test_committed_data_survives_crash(self, pool):
+        off = pool.alloc_region("data", 64)
+        log = TransactionLog(pool)
+        with log.transaction() as tx:
+            tx.write(off, b"durable")
+        pool.memory.crash()
+        assert pool.memory.read(off, 7) == b"durable"
+
+    def test_crash_mid_transaction_recovers_old_value(self, pool):
+        off = pool.alloc_region("data", 64)
+        pool.flush()
+        log = TransactionLog(pool)
+        pool.memory.write(off, b"original")
+        pool.memory.flush()
+        tx = log.begin()
+        tx.write(off, b"halfdone")
+        pool.memory.crash()
+
+        log2 = TransactionLog(pool)
+        assert log2.needs_recovery()
+        undone = log2.recover()
+        assert undone == 1
+        assert pool.memory.read(off, 8) == b"original"
+        assert not log2.needs_recovery()
+
+    def test_nested_transaction_rejected(self, pool):
+        log = TransactionLog(pool)
+        log.begin()
+        with pytest.raises(TransactionError):
+            log.begin()
+
+    def test_write_after_commit_rejected(self, pool):
+        off = pool.alloc_region("data", 64)
+        log = TransactionLog(pool)
+        tx = log.begin()
+        tx.write(off, b"x")
+        tx.commit()
+        with pytest.raises(TransactionError):
+            tx.write(off, b"y")
+
+    def test_log_capacity_enforced(self, pool):
+        off = pool.alloc_region("data", 4096)
+        log = TransactionLog(pool, capacity=64)
+        tx = log.begin()
+        with pytest.raises(TransactionError):
+            for i in range(10):
+                tx.write(off + i * 16, b"0123456789abcdef")
+
+    def test_recover_noop_when_clean(self, pool):
+        log = TransactionLog(pool)
+        assert log.recover() == 0
+
+    def test_transaction_costs_more_than_raw_write(self, pool):
+        """Operation-level persistence pays write amplification (Fig. 5b)."""
+        off = pool.alloc_region("data", 4096)
+        mem = pool.memory
+        log = TransactionLog(pool)
+
+        before = mem.clock.ns
+        mem.write(off, b"x" * 64)
+        raw_cost = mem.clock.ns - before
+
+        before = mem.clock.ns
+        with log.transaction() as tx:
+            tx.write(off + 1024, b"x" * 64)
+        tx_cost = mem.clock.ns - before
+        assert tx_cost > 3 * raw_cost

@@ -1,0 +1,135 @@
+"""Tests for the level-synchronous parallel traversal extension."""
+
+import pytest
+
+from repro.core.dag import Dag
+from repro.core.parallel import ParallelReport, parallel_weight_propagation
+from repro.core.pruning import PrunedDag
+from repro.core.summation import summate_all
+from repro.core.traversal import propagate_weights_topdown
+from repro.nvm.device import DeviceProfile
+from repro.nvm.memory import SimulatedMemory
+from repro.nvm.pool import NvmPool
+from repro.sequitur.compressor import compress_files
+
+
+def build(text="u v w x u v w x y z u v y z w x " * 30):
+    corpus = compress_files([("f", text)])
+    dag = Dag(corpus)
+    pool = NvmPool(SimulatedMemory(DeviceProfile.nvm(), 1 << 21))
+    pruned = PrunedDag.build(pool, corpus, dag, bounds=summate_all(dag))
+    return corpus, dag, pruned, pool
+
+
+def build_wide(n_paragraphs=200, phrases_per_paragraph=15):
+    """A corpus whose DAG has a wide middle tier: many sibling paragraph
+    rules, each with its own subrule fan-out -- the shape rule-level
+    parallelism thrives on (the root itself is inherently sequential)."""
+    paragraphs = []
+    for p in range(n_paragraphs):
+        phrases = [
+            f"a{p}_{i} b{p}_{i} a{p}_{i} b{p}_{i}"
+            for i in range(phrases_per_paragraph)
+        ]
+        paragraphs.append(" ".join(phrases))
+    # Repeat each paragraph so Sequitur folds it into one rule.
+    text = " ".join(p + " " + p for p in paragraphs)
+    corpus = compress_files([("f", text)])
+    dag = Dag(corpus)
+    pool = NvmPool(SimulatedMemory(DeviceProfile.nvm(), 1 << 21))
+    pruned = PrunedDag.build(pool, corpus, dag, bounds=summate_all(dag))
+    return corpus, dag, pruned, pool
+
+
+class TestTopologicalLevels:
+    def test_levels_partition_all_rules(self):
+        corpus, dag, _, _ = build()
+        levels = dag.topological_levels()
+        flat = [r for level in levels for r in level]
+        assert sorted(flat) == list(range(corpus.n_rules))
+
+    def test_root_in_first_level(self):
+        _, dag, _, _ = build()
+        assert 0 in dag.topological_levels()[0]
+
+    def test_edges_cross_levels_forward(self):
+        _, dag, _, _ = build()
+        levels = dag.topological_levels()
+        level_of = {}
+        for depth, level in enumerate(levels):
+            for rule in level:
+                level_of[rule] = depth
+        for rule in range(dag.n_rules):
+            for target in dag.subrule_freq[rule]:
+                assert level_of[target] > level_of[rule]
+
+
+class TestParallelPropagation:
+    def test_matches_sequential_weights(self):
+        corpus, dag, pruned, pool = build()
+        levels = dag.topological_levels()
+        parallel_weight_propagation(pruned, pool.allocator, levels, workers=4)
+        parallel = [pruned.weight(r) for r in range(corpus.n_rules)]
+
+        corpus2, dag2, pruned2, pool2 = build()
+        propagate_weights_topdown(pruned2, pool2.allocator)
+        sequential = [pruned2.weight(r) for r in range(corpus2.n_rules)]
+        assert parallel == sequential
+
+    @pytest.mark.parametrize("workers", [1, 2, 4, 8])
+    def test_any_worker_count_correct(self, workers):
+        corpus, dag, pruned, pool = build()
+        levels = dag.topological_levels()
+        parallel_weight_propagation(
+            pruned, pool.allocator, levels, workers=workers
+        )
+        assert pruned.weight(0) == 1
+        assert all(
+            pruned.weight(r) > 0 for r in range(corpus.n_rules)
+        )  # every rule reachable
+
+    def test_speedup_with_more_workers(self):
+        corpus, dag, _, _ = build_wide()
+        levels = dag.topological_levels()
+        reports = {}
+        for workers in (1, 4):
+            _, _, pruned, pool = build_wide()
+            reports[workers] = parallel_weight_propagation(
+                pruned, pool.allocator, levels, workers=workers,
+                contention=0.0,
+            )
+        assert reports[4].speedup > 1.5 * reports[1].speedup
+        assert reports[4].speedup <= 4.0 + 1e-9
+
+    def test_full_contention_kills_speedup(self):
+        corpus, dag, pruned, pool = build()
+        levels = dag.topological_levels()
+        report = parallel_weight_propagation(
+            pruned, pool.allocator, levels, workers=8, contention=1.0
+        )
+        assert report.speedup <= 1.0
+
+    def test_clock_advances_by_parallel_time(self):
+        corpus, dag, pruned, pool = build_wide()
+        levels = dag.topological_levels()
+        start = pool.memory.clock.ns
+        report = parallel_weight_propagation(
+            pruned, pool.allocator, levels, workers=4
+        )
+        elapsed = pool.memory.clock.ns - start
+        # elapsed = parallel time + the (small) weight-reset preamble.
+        assert report.parallel_ns <= elapsed <= report.parallel_ns * 1.5
+        assert elapsed < report.serial_ns
+
+    def test_invalid_args(self):
+        corpus, dag, pruned, pool = build()
+        levels = dag.topological_levels()
+        with pytest.raises(ValueError):
+            parallel_weight_propagation(pruned, pool.allocator, levels, 0)
+        with pytest.raises(ValueError):
+            parallel_weight_propagation(
+                pruned, pool.allocator, levels, 2, contention=1.5
+            )
+
+    def test_report_speedup_degenerate(self):
+        assert ParallelReport(1, 0, 0.0, 0.0).speedup == 1.0

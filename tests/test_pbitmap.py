@@ -1,0 +1,122 @@
+"""Unit and property tests for the persistent bitmap."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nvm.allocator import PoolAllocator
+from repro.nvm.device import DeviceProfile
+from repro.nvm.memory import SimulatedMemory
+from repro.pstruct.pbitmap import PBitmap
+
+
+def make_allocator(size=1 << 20):
+    mem = SimulatedMemory(DeviceProfile.nvm(), size)
+    return PoolAllocator(mem, base=0, capacity=size)
+
+
+class TestBasics:
+    def test_starts_all_zero(self):
+        bitmap = PBitmap.create(make_allocator(), 100)
+        assert bitmap.count() == 0
+        assert not bitmap.get(0)
+        assert not bitmap.get(99)
+
+    def test_set_get(self):
+        bitmap = PBitmap.create(make_allocator(), 64)
+        bitmap.set(5)
+        bitmap.set(63)
+        assert bitmap.get(5)
+        assert bitmap.get(63)
+        assert not bitmap.get(6)
+        assert bitmap.count() == 2
+
+    def test_unset(self):
+        bitmap = PBitmap.create(make_allocator(), 16)
+        bitmap.set(3)
+        bitmap.set(3, False)
+        assert not bitmap.get(3)
+        assert bitmap.count() == 0
+
+    def test_idempotent_set(self):
+        bitmap = PBitmap.create(make_allocator(), 16)
+        bitmap.set(7)
+        bitmap.set(7)
+        assert bitmap.count() == 1
+
+    def test_bounds(self):
+        bitmap = PBitmap.create(make_allocator(), 10)
+        with pytest.raises(IndexError):
+            bitmap.get(10)
+        with pytest.raises(IndexError):
+            bitmap.set(-1)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            PBitmap.create(make_allocator(), 0)
+
+    def test_non_byte_aligned_size(self):
+        bitmap = PBitmap.create(make_allocator(), 13)
+        for i in range(13):
+            bitmap.set(i)
+        assert bitmap.count() == 13
+        assert bitmap.to_indices() == list(range(13))
+
+    def test_to_indices(self):
+        bitmap = PBitmap.create(make_allocator(), 2000)
+        for i in (0, 17, 512, 1999):
+            bitmap.set(i)
+        assert bitmap.to_indices() == [0, 17, 512, 1999]
+
+    def test_clear(self):
+        bitmap = PBitmap.create(make_allocator(), 32)
+        bitmap.set(1)
+        bitmap.clear()
+        assert bitmap.count() == 0
+
+    def test_attach(self):
+        allocator = make_allocator()
+        bitmap = PBitmap.create(allocator, 40)
+        bitmap.set(20)
+        reopened = PBitmap.attach(allocator, bitmap.header_offset)
+        assert reopened.n_bits == 40
+        assert reopened.get(20)
+
+
+class TestOrInto:
+    def test_or(self):
+        allocator = make_allocator()
+        a = PBitmap.create(allocator, 64)
+        b = PBitmap.create(allocator, 64)
+        a.set(1)
+        a.set(40)
+        b.set(2)
+        a.or_into(b)
+        assert b.to_indices() == [1, 2, 40]
+        assert a.to_indices() == [1, 40]  # source unchanged
+
+    def test_size_mismatch(self):
+        allocator = make_allocator()
+        a = PBitmap.create(allocator, 64)
+        b = PBitmap.create(allocator, 32)
+        with pytest.raises(ValueError):
+            a.or_into(b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n_bits=st.integers(1, 300),
+    ops=st.lists(st.tuples(st.integers(0, 299), st.booleans()), max_size=60),
+)
+def test_property_matches_python_set(n_bits, ops):
+    bitmap = PBitmap.create(make_allocator(), n_bits)
+    model: set[int] = set()
+    for index, value in ops:
+        index %= n_bits
+        bitmap.set(index, value)
+        if value:
+            model.add(index)
+        else:
+            model.discard(index)
+    assert bitmap.to_indices() == sorted(model)
+    assert bitmap.count() == len(model)

@@ -1,0 +1,192 @@
+"""Tests for PQueue, FrequencyCounter, HeadTailStore, and layout helpers."""
+
+from collections import deque
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CapacityError
+from repro.nvm.allocator import PoolAllocator
+from repro.nvm.device import DeviceProfile
+from repro.nvm.memory import SimulatedMemory
+from repro.pstruct.headtail import HeadTailStore
+from repro.pstruct.layout import next_power_of_two
+from repro.pstruct.pcounter import FrequencyCounter
+from repro.pstruct.pqueue import PQueue
+
+
+def make_allocator(size=1 << 20):
+    mem = SimulatedMemory(DeviceProfile.nvm(), size)
+    return PoolAllocator(mem, base=0, capacity=size)
+
+
+class TestLayoutHelpers:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(0, 1), (1, 1), (2, 2), (3, 4), (5, 8), (8, 8), (9, 16), (1000, 1024)],
+    )
+    def test_next_power_of_two(self, value, expected):
+        assert next_power_of_two(value) == expected
+
+
+class TestPQueue:
+    def test_fifo_order(self):
+        queue = PQueue.create(make_allocator(), capacity=8)
+        for value in (3, 1, 4):
+            queue.push(value)
+        assert [queue.pop() for _ in range(3)] == [3, 1, 4]
+
+    def test_len_and_empty(self):
+        queue = PQueue.create(make_allocator(), capacity=8)
+        assert queue.is_empty()
+        queue.push(1)
+        assert len(queue) == 1
+        queue.pop()
+        assert queue.is_empty()
+
+    def test_pop_empty_raises(self):
+        queue = PQueue.create(make_allocator(), capacity=8)
+        with pytest.raises(IndexError):
+            queue.pop()
+
+    def test_full_raises(self):
+        queue = PQueue.create(make_allocator(), capacity=2)
+        queue.push(1)
+        queue.push(2)
+        with pytest.raises(CapacityError):
+            queue.push(3)
+
+    def test_wraparound(self):
+        queue = PQueue.create(make_allocator(), capacity=3)
+        for round_num in range(10):
+            queue.push(round_num)
+            assert queue.pop() == round_num
+
+    def test_attach_reopens_state(self):
+        alloc = make_allocator()
+        queue = PQueue.create(alloc, capacity=8)
+        queue.push(42)
+        reopened = PQueue.attach(alloc, queue.header_offset)
+        assert len(reopened) == 1
+        assert reopened.pop() == 42
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ops=st.lists(st.one_of(st.integers(0, 1000), st.none()), max_size=50)
+    )
+    def test_property_matches_deque(self, ops):
+        queue = PQueue.create(make_allocator(), capacity=64)
+        model: deque[int] = deque()
+        for op in ops:
+            if op is None:
+                if model:
+                    assert queue.pop() == model.popleft()
+                else:
+                    with pytest.raises(IndexError):
+                        queue.pop()
+            else:
+                queue.push(op)
+                model.append(op)
+            assert len(queue) == len(model)
+
+
+class TestFrequencyCounter:
+    def test_dense_add_get(self):
+        counter = FrequencyCounter.dense(make_allocator(), domain_size=10)
+        counter.add(3, 5)
+        counter.add(3, 2)
+        assert counter.get(3) == 7
+        assert counter.get(4) == 0
+
+    def test_dense_get_out_of_domain(self):
+        counter = FrequencyCounter.dense(make_allocator(), domain_size=4)
+        assert counter.get(100) == 0
+
+    def test_sparse_add_get(self):
+        counter = FrequencyCounter.sparse(make_allocator(), expected_distinct=16)
+        counter.add(1 << 40, 3)
+        assert counter.get(1 << 40) == 3
+
+    def test_items_skip_zeros(self):
+        counter = FrequencyCounter.dense(make_allocator(), domain_size=5)
+        counter.add(1, 2)
+        counter.add(3, 4)
+        assert counter.to_dict() == {1: 2, 3: 4}
+        assert counter.distinct() == 2
+
+    def test_auto_picks_dense_for_full_domain(self):
+        counter = FrequencyCounter.auto(
+            make_allocator(), domain_size=100, expected_distinct=80
+        )
+        assert counter.is_dense
+
+    def test_auto_picks_sparse_for_huge_domain(self):
+        counter = FrequencyCounter.auto(
+            make_allocator(), domain_size=10**9, expected_distinct=100
+        )
+        assert not counter.is_dense
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        adds=st.lists(
+            st.tuples(st.integers(0, 20), st.integers(1, 100)), max_size=50
+        ),
+        dense=st.booleans(),
+    )
+    def test_property_matches_counter(self, adds, dense):
+        if dense:
+            counter = FrequencyCounter.dense(make_allocator(), domain_size=21)
+        else:
+            counter = FrequencyCounter.sparse(
+                make_allocator(), expected_distinct=8, growable=True
+            )
+        model: dict[int, int] = {}
+        for key, delta in adds:
+            counter.add(key, delta)
+            model[key] = model.get(key, 0) + delta
+        assert counter.to_dict() == model
+
+
+class TestHeadTailStore:
+    def test_set_get_roundtrip(self):
+        store = HeadTailStore.create(make_allocator(), n_rules=4, k=3)
+        store.set(1, head=[10, 11, 12], tail=[20, 21, 22])
+        head, tail = store.get(1)
+        assert head == [10, 11, 12]
+        assert tail == [20, 21, 22]
+
+    def test_short_lists_preserved(self):
+        store = HeadTailStore.create(make_allocator(), n_rules=4, k=4)
+        store.set(0, head=[5], tail=[9, 10])
+        assert store.get_head(0) == [5]
+        assert store.get_tail(0) == [9, 10]
+
+    def test_long_lists_truncated(self):
+        store = HeadTailStore.create(make_allocator(), n_rules=2, k=2)
+        store.set(0, head=[1, 2, 3, 4], tail=[5, 6, 7, 8])
+        assert store.get_head(0) == [1, 2]   # first k
+        assert store.get_tail(0) == [7, 8]   # last k
+
+    def test_empty_rule(self):
+        store = HeadTailStore.create(make_allocator(), n_rules=2, k=2)
+        store.set(0, head=[], tail=[])
+        assert store.get(0) == ([], [])
+
+    def test_rule_bounds(self):
+        store = HeadTailStore.create(make_allocator(), n_rules=2, k=2)
+        with pytest.raises(IndexError):
+            store.get(2)
+        with pytest.raises(IndexError):
+            store.set(-1, [], [])
+
+    def test_records_are_contiguous(self):
+        store = HeadTailStore.create(make_allocator(), n_rules=10, k=2)
+        assert store.record_size == 4 + 8 * 2
+
+    def test_attach(self):
+        alloc = make_allocator()
+        store = HeadTailStore.create(alloc, n_rules=4, k=3)
+        store.set(2, head=[1], tail=[2])
+        reopened = HeadTailStore.attach(alloc, store.base_offset, 4, 3)
+        assert reopened.get(2) == ([1], [2])

@@ -1,0 +1,165 @@
+"""Unit and property tests for the persistent vector."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CapacityError
+from repro.nvm.allocator import PoolAllocator
+from repro.nvm.device import DeviceProfile
+from repro.nvm.memory import SimulatedMemory
+from repro.pstruct.pvector import PVector
+
+
+def make_allocator(size=1 << 20):
+    mem = SimulatedMemory(DeviceProfile.nvm(), size)
+    return PoolAllocator(mem, base=0, capacity=size)
+
+
+class TestBasics:
+    def test_append_and_get(self):
+        vec = PVector.create(make_allocator(), capacity=10)
+        vec.append(42)
+        vec.append(7)
+        assert len(vec) == 2
+        assert vec.get(0) == 42
+        assert vec.get(1) == 7
+
+    def test_set(self):
+        vec = PVector.create(make_allocator(), capacity=4)
+        vec.append(1)
+        vec.set(0, 99)
+        assert vec.get(0) == 99
+
+    def test_index_bounds(self):
+        vec = PVector.create(make_allocator(), capacity=4)
+        vec.append(1)
+        with pytest.raises(IndexError):
+            vec.get(1)
+        with pytest.raises(IndexError):
+            vec.set(-1, 0)
+
+    def test_extend_and_iter(self):
+        vec = PVector.create(make_allocator(), capacity=1000)
+        values = list(range(700))
+        vec.extend(values)
+        assert vec.to_list() == values
+
+    def test_extend_empty_noop(self):
+        vec = PVector.create(make_allocator(), capacity=4)
+        vec.extend([])
+        assert len(vec) == 0
+
+    def test_clear(self):
+        vec = PVector.create(make_allocator(), capacity=4)
+        vec.extend([1, 2, 3])
+        vec.clear()
+        assert len(vec) == 0
+        assert vec.to_list() == []
+
+    def test_u64_elements(self):
+        vec = PVector.create(make_allocator(), capacity=4, elem_size=8)
+        big = (1 << 63) + 17
+        vec.append(big)
+        assert vec.get(0) == big
+
+    def test_invalid_elem_size(self):
+        with pytest.raises(ValueError):
+            PVector.create(make_allocator(), capacity=4, elem_size=3)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            PVector.create(make_allocator(), capacity=0)
+
+
+class TestCapacitySemantics:
+    def test_fixed_vector_overflow_raises(self):
+        vec = PVector.create(make_allocator(), capacity=2)
+        vec.append(1)
+        vec.append(2)
+        with pytest.raises(CapacityError):
+            vec.append(3)
+
+    def test_extend_overflow_raises(self):
+        vec = PVector.create(make_allocator(), capacity=2)
+        with pytest.raises(CapacityError):
+            vec.extend([1, 2, 3])
+
+    def test_growable_vector_grows(self):
+        vec = PVector.create(make_allocator(), capacity=2, growable=True)
+        for i in range(20):
+            vec.append(i)
+        assert vec.to_list() == list(range(20))
+        assert vec.reconstructions >= 3  # 2 -> 4 -> 8 -> 16 -> 32
+
+    def test_growth_costs_device_traffic(self):
+        """Reconstruction is the expensive path the paper avoids."""
+        alloc_fixed = make_allocator()
+        fixed = PVector.create(alloc_fixed, capacity=1024)
+        for i in range(1000):
+            fixed.append(i)
+        fixed_cost = alloc_fixed.memory.clock.ns
+
+        alloc_grow = make_allocator()
+        grow = PVector.create(alloc_grow, capacity=2, growable=True)
+        for i in range(1000):
+            grow.append(i)
+        grow_cost = alloc_grow.memory.clock.ns
+        assert grow_cost > fixed_cost
+
+
+class TestPersistence:
+    def test_attach_reopens_contents(self):
+        alloc = make_allocator()
+        vec = PVector.create(alloc, capacity=8)
+        vec.extend([5, 6, 7])
+        reopened = PVector.attach(alloc, vec.header_offset)
+        assert reopened.to_list() == [5, 6, 7]
+
+    def test_attach_after_growth_sees_relocated_data(self):
+        alloc = make_allocator()
+        vec = PVector.create(alloc, capacity=2, growable=True)
+        vec.extend([1, 2, 3, 4, 5])
+        reopened = PVector.attach(alloc, vec.header_offset)
+        assert reopened.to_list() == [1, 2, 3, 4, 5]
+        assert reopened.capacity == vec.capacity
+
+    def test_survives_flush_and_crash(self):
+        alloc = make_allocator()
+        mem = alloc.memory
+        vec = PVector.create(alloc, capacity=8)
+        vec.extend([9, 8, 7])
+        mem.flush()
+        mem.crash()
+        reopened = PVector.attach(alloc, vec.header_offset)
+        assert reopened.to_list() == [9, 8, 7]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ops=st.lists(
+        st.one_of(
+            st.tuples(st.just("append"), st.integers(0, 2**32 - 1)),
+            st.tuples(st.just("set"), st.integers(0, 2**32 - 1)),
+            st.tuples(st.just("clear"), st.just(0)),
+        ),
+        max_size=60,
+    )
+)
+def test_property_matches_python_list(ops):
+    """PVector behaves exactly like a Python list under a random op mix."""
+    vec = PVector.create(make_allocator(), capacity=4, growable=True)
+    model = []
+    for op, value in ops:
+        if op == "append":
+            vec.append(value)
+            model.append(value)
+        elif op == "set" and model:
+            index = value % len(model)
+            vec.set(index, value)
+            model[index] = value
+        elif op == "clear":
+            vec.clear()
+            model.clear()
+    assert vec.to_list() == model
+    assert len(vec) == len(model)

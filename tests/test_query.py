@@ -1,0 +1,143 @@
+"""Tests for the boolean query engine over compressed corpora."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analytics.query import (
+    And,
+    Not,
+    Or,
+    QueryEngine,
+    QueryError,
+    Word,
+    parse_query,
+)
+from repro.sequitur.compressor import compress_files
+
+FILES = [
+    ("f0", "error timeout in service alpha"),
+    ("f1", "error retry in service beta"),
+    ("f2", "success in service alpha"),
+    ("f3", "error in service gamma"),
+    ("f4", ""),
+]
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return QueryEngine(compress_files(FILES))
+
+
+class TestParser:
+    def test_single_word(self):
+        assert parse_query("error") == Word("error")
+
+    def test_case_insensitive_keywords_lowercased_words(self):
+        assert parse_query("ERROR") == Word("error")
+
+    def test_and_binds_tighter_than_or(self):
+        ast = parse_query("a OR b AND c")
+        assert ast == Or(Word("a"), And(Word("b"), Word("c")))
+
+    def test_parentheses_override(self):
+        ast = parse_query("(a OR b) AND c")
+        assert ast == And(Or(Word("a"), Word("b")), Word("c"))
+
+    def test_not_prefix(self):
+        assert parse_query("NOT a") == Not(Word("a"))
+        assert parse_query("NOT NOT a") == Not(Not(Word("a")))
+
+    def test_not_binds_tightest(self):
+        ast = parse_query("NOT a AND b")
+        assert ast == And(Not(Word("a")), Word("b"))
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "AND", "a AND", "a OR", "(a", "a)", "NOT", "a b AND", "( )"],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(QueryError):
+            parse_query(bad)
+
+
+class TestEvaluation:
+    def test_single_word(self, engine):
+        assert engine.query("error") == [0, 1, 3]
+
+    def test_and(self, engine):
+        assert engine.query("error AND retry") == [1]
+
+    def test_or(self, engine):
+        assert engine.query("timeout OR retry") == [0, 1]
+
+    def test_not(self, engine):
+        assert engine.query("NOT error") == [2, 4]
+
+    def test_nested(self, engine):
+        assert engine.query("error AND NOT (timeout OR retry)") == [3]
+
+    def test_unknown_word_matches_nothing(self, engine):
+        assert engine.query("zeppelin") == []
+        assert engine.query("NOT zeppelin") == [0, 1, 2, 3, 4]
+
+    def test_implicit_and_chain(self, engine):
+        assert engine.query("service AND alpha AND error") == [0]
+
+    def test_query_names(self, engine):
+        assert engine.query_names("success") == ["f2"]
+
+    def test_postings_memoized(self, engine):
+        engine.query("error")
+        spent = engine.sim_ns_spent
+        engine.query("error AND error")
+        assert engine.sim_ns_spent == spent  # no new postings resolved
+
+    def test_costs_charged_for_new_words(self):
+        engine = QueryEngine(compress_files(FILES))
+        assert engine.sim_ns_spent == 0
+        engine.query("error")
+        assert engine.sim_ns_spent > 0
+
+
+def _brute_force(files, ast):
+    universe = set(range(len(files)))
+    postings = {}
+    for word in ast.words():
+        postings[word] = {
+            i for i, (_, text) in enumerate(files) if word in text.split()
+        }
+    return sorted(ast.evaluate(postings, universe))
+
+
+_WORDS = ["error", "retry", "timeout", "alpha", "service", "nowhere"]
+
+
+def _expr_strategy():
+    leaf = st.sampled_from(_WORDS).map(Word)
+    return st.recursive(
+        leaf,
+        lambda children: st.one_of(
+            children.map(Not),
+            st.tuples(children, children).map(lambda ab: And(*ab)),
+            st.tuples(children, children).map(lambda ab: Or(*ab)),
+        ),
+        max_leaves=6,
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(ast=_expr_strategy())
+def test_property_matches_brute_force(ast):
+    engine = QueryEngine(compress_files(FILES))
+    rendered = _render(ast)
+    assert engine.query(rendered) == _brute_force(FILES, ast)
+
+
+def _render(node) -> str:
+    if isinstance(node, Word):
+        return node.word
+    if isinstance(node, Not):
+        return f"NOT ( {_render(node.operand)} )"
+    op = "AND" if isinstance(node, And) else "OR"
+    return f"( {_render(node.left)} ) {op} ( {_render(node.right)} )"

@@ -1,0 +1,120 @@
+"""Tests for random access into compressed data (paper reference [4])."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dag import Dag
+from repro.core.pruning import PrunedDag
+from repro.core.random_access import RandomAccessor
+from repro.nvm.device import DeviceProfile
+from repro.nvm.memory import SimulatedMemory
+from repro.nvm.pool import NvmPool
+from repro.sequitur.compressor import compress_files
+
+
+def build(files):
+    corpus = compress_files(files)
+    dag = Dag(corpus)
+    pool = NvmPool(SimulatedMemory(DeviceProfile.nvm(), 1 << 21))
+    pruned = PrunedDag.build(pool, corpus, dag)
+    accessor = RandomAccessor(pruned, dag.expansion_lengths())
+    return corpus, accessor, pool
+
+
+FILES = [
+    ("f1", "alpha beta gamma delta alpha beta gamma delta epsilon"),
+    ("f2", "zeta eta theta zeta eta theta iota"),
+    ("f3", ""),
+    ("f4", "solo"),
+]
+
+
+class TestGeometry:
+    def test_n_files(self):
+        _, accessor, _ = build(FILES)
+        assert accessor.n_files == 4
+
+    def test_file_lengths_without_expansion(self):
+        corpus, accessor, _ = build(FILES)
+        expected = [len(f) for f in corpus.expand_files()]
+        assert [accessor.file_length(i) for i in range(4)] == expected
+
+    def test_mismatched_lengths_rejected(self):
+        corpus, accessor, pool = build(FILES)
+        wrong = [1] * (corpus.n_rules + 1)
+        with pytest.raises(ValueError):
+            RandomAccessor(accessor.pruned, wrong)
+
+
+class TestAccess:
+    def test_word_at_every_position(self):
+        corpus, accessor, _ = build(FILES)
+        for file_index, tokens in enumerate(corpus.expand_files()):
+            for position, expected in enumerate(tokens):
+                assert accessor.word_at(file_index, position) == expected
+
+    def test_word_at_out_of_range(self):
+        _, accessor, _ = build(FILES)
+        with pytest.raises(IndexError):
+            accessor.word_at(0, 10_000)
+        with pytest.raises(IndexError):
+            accessor.word_at(2, 0)  # empty file
+
+    def test_slice_matches_expansion(self):
+        corpus, accessor, _ = build(FILES)
+        tokens = corpus.expand_files()[0]
+        assert accessor.slice(0, 2, 6) == tokens[2:6]
+        assert accessor.slice(0, 0, len(tokens)) == tokens
+
+    def test_slice_clamps_stop(self):
+        corpus, accessor, _ = build(FILES)
+        tokens = corpus.expand_files()[0]
+        assert accessor.slice(0, 3, 10_000) == tokens[3:]
+
+    def test_empty_slice(self):
+        _, accessor, _ = build(FILES)
+        assert accessor.slice(0, 4, 4) == []
+        assert accessor.slice(0, 6, 2) == []
+
+    def test_bad_file_index(self):
+        _, accessor, _ = build(FILES)
+        with pytest.raises(IndexError):
+            accessor.slice(9, 0, 1)
+
+    def test_extract_file(self):
+        corpus, accessor, _ = build(FILES)
+        for i, tokens in enumerate(corpus.expand_files()):
+            assert accessor.extract_file(i) == tokens
+
+
+class TestAccessCost:
+    def test_point_access_cheaper_than_full_expansion(self):
+        """The point of the technique: a one-word read must not expand
+        the whole document."""
+        text = "prefix " + "the same repeated block of words " * 120 + "needle"
+        corpus, accessor, pool = build([("big", text)])
+        length = accessor.file_length(0)
+
+        start = pool.memory.clock.ns
+        accessor.word_at(0, length - 1)
+        point_cost = pool.memory.clock.ns - start
+
+        start = pool.memory.clock.ns
+        accessor.extract_file(0)
+        full_cost = pool.memory.clock.ns - start
+        assert point_cost < full_cost / 5
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    text=st.lists(st.sampled_from("abcd"), min_size=1, max_size=120).map(
+        " ".join
+    ),
+    bounds=st.tuples(st.integers(0, 130), st.integers(0, 130)),
+)
+def test_property_slices_match_expansion(text, bounds):
+    corpus, accessor, _ = build([("f", text)])
+    tokens = corpus.expand_files()[0]
+    start, stop = min(bounds), max(bounds)
+    assert accessor.slice(0, start, stop) == tokens[start:stop]

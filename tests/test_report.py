@@ -1,0 +1,75 @@
+"""Tests for run-report formatting."""
+
+import pytest
+
+from repro.core.engine import NTadocEngine, RunResult
+from repro.analytics.word_count import WordCount
+from repro.metrics.report import (
+    comparison_report,
+    format_bytes,
+    format_ns,
+    run_report,
+)
+from repro.sequitur.compressor import compress_files
+
+
+class TestFormatters:
+    @pytest.mark.parametrize(
+        "ns,expected",
+        [
+            (500, "500 ns"),
+            (1_500, "1.5 us"),
+            (2_500_000, "2.500 ms"),
+            (3_200_000_000, "3.200 s"),
+        ],
+    )
+    def test_format_ns(self, ns, expected):
+        assert format_ns(ns) == expected
+
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (512, "512 B"),
+            (2048, "2.0 KiB"),
+            (3 << 20, "3.00 MiB"),
+            (2 << 30, "2.00 GiB"),
+        ],
+    )
+    def test_format_bytes(self, n, expected):
+        assert format_bytes(n) == expected
+
+
+class TestReports:
+    @pytest.fixture(scope="class")
+    def run(self):
+        corpus = compress_files([("f", "a b c a b c a b c d")])
+        return NTadocEngine(corpus).run(WordCount())
+
+    def test_run_report_fields(self, run):
+        text = run_report(run)
+        assert "task      : word_count" in text
+        assert "ntadoc" in text
+        assert "initialization" in text
+        assert "traversal" in text
+        assert "DRAM peak" in text
+        assert "cache hit rate" in text
+
+    def test_comparison_report(self, run):
+        text = comparison_report([run, run])
+        assert "1.00x" in text
+        assert "word_count" in text
+
+    def test_comparison_empty_rejected(self):
+        with pytest.raises(ValueError):
+            comparison_report([])
+
+    def test_report_without_stats(self):
+        bare = RunResult(
+            task="t", system="s", result=None,
+            phase_ns={"initialization": 10.0}, total_ns=10.0,
+            dram_peak=1024, pool_peak=2048, pool_device="nvm",
+            strategy="topdown",
+        )
+        text = run_report(bare)
+        assert "pool I/O" not in text
+        assert "1.0 KiB" in text

@@ -1,0 +1,142 @@
+"""Unit and property tests for the Sequitur algorithm."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sequitur.sequitur import Sequitur
+
+
+def build(tokens):
+    seq = Sequitur()
+    seq.push_all(tokens)
+    return seq
+
+
+class TestBasics:
+    def test_empty(self):
+        seq = Sequitur()
+        assert seq.expand() == []
+        assert seq.rule_count == 1  # just the root
+
+    def test_single_token(self):
+        assert build([7]).expand() == [7]
+
+    def test_no_repeats_no_rules(self):
+        seq = build([1, 2, 3, 4, 5])
+        assert seq.rule_count == 1
+        assert seq.expand() == [1, 2, 3, 4, 5]
+
+    def test_classic_abcdbc(self):
+        """'abcdbc' -> rule for 'bc'."""
+        seq = build(list("abcdbc"))
+        assert seq.expand() == list("abcdbc")
+        assert seq.rule_count == 2
+        seq.check_invariants()
+
+    def test_classic_nested(self):
+        """'abcdbcabcdbc' compresses hierarchically."""
+        seq = build(list("abcdbcabcdbc"))
+        assert seq.expand() == list("abcdbcabcdbc")
+        assert seq.rule_count >= 3
+        seq.check_invariants()
+
+    def test_aaaa(self):
+        """Overlapping digrams must not be merged."""
+        for n in range(2, 12):
+            seq = build(["a"] * n)
+            assert seq.expand() == ["a"] * n, f"failed at n={n}"
+            seq.check_invariants()
+
+    def test_alternating(self):
+        tokens = ["a", "b"] * 10
+        seq = build(tokens)
+        assert seq.expand() == tokens
+        seq.check_invariants()
+
+    def test_triple_repeat_reindexing(self):
+        """Regression: deleting one of two overlapping digrams in a run of
+        equal symbols must re-register the survivor (the reference
+        implementation's triple-handling in join); without it the final
+        '1 1' here escapes digram uniqueness."""
+        tokens = [2, 1, 1, 1, 2, 1, 0, 1, 1]
+        seq = build(tokens)
+        assert seq.expand() == tokens
+        seq.check_invariants()
+        # The repeated '1 1' digram must have been folded into a rule.
+        bodies = seq.freeze()
+        assert any(body == [1, 1] for body in bodies[1:])
+
+    def test_rule_bodies_have_at_least_two_symbols(self):
+        seq = build(list("abcabcabcabc"))
+        for body in seq.freeze()[1:]:
+            assert len(body) >= 2
+
+    def test_freeze_root_is_index_zero(self):
+        seq = build(list("xyxy"))
+        bodies = seq.freeze()
+        # Root references rule 1 twice.
+        assert bodies[0] == [("R", 1), ("R", 1)]
+        assert bodies[1] == ["x", "y"]
+
+
+class TestCompression:
+    def test_repetitive_input_compresses(self):
+        tokens = list("the cat sat on the mat ") * 50
+        seq = build(tokens)
+        grammar_size = sum(len(b) for b in seq.freeze())
+        assert grammar_size < len(tokens) / 4
+
+    def test_tokens_pushed_counter(self):
+        seq = build([1, 2, 3])
+        assert seq.tokens_pushed == 3
+
+    def test_unique_separators_stay_in_root(self):
+        """Unique tokens can never be folded into a rule."""
+        tokens = ["a", "b", "a", "b", "<s1>", "a", "b", "a", "b", "<s2>"]
+        seq = build(tokens)
+        root = seq.freeze()[0]
+        flat_terminals = [s for s in root if not isinstance(s, tuple)]
+        assert "<s1>" in flat_terminals
+        assert "<s2>" in flat_terminals
+
+
+class TestInvariantsOnRandomInputs:
+    def test_random_small_alphabets(self):
+        rng = random.Random(42)
+        for trial in range(30):
+            alphabet = rng.randint(2, 5)
+            length = rng.randint(0, 200)
+            tokens = [rng.randrange(alphabet) for _ in range(length)]
+            seq = build(tokens)
+            assert seq.expand() == tokens, f"trial {trial} mismatch"
+            seq.check_invariants()
+
+    def test_random_zipf_like(self):
+        rng = random.Random(7)
+        population = list(range(50))
+        weights = [1 / (r + 1) for r in range(50)]
+        for trial in range(10):
+            tokens = rng.choices(population, weights=weights, k=500)
+            seq = build(tokens)
+            assert seq.expand() == tokens
+            seq.check_invariants()
+
+
+@settings(max_examples=120, deadline=None)
+@given(tokens=st.lists(st.integers(0, 3), max_size=80))
+def test_property_lossless_and_invariant(tokens):
+    """For any token stream: expansion is lossless and invariants hold."""
+    seq = build(tokens)
+    assert seq.expand() == tokens
+    seq.check_invariants()
+
+
+@settings(max_examples=60, deadline=None)
+@given(tokens=st.lists(st.integers(0, 1), min_size=2, max_size=120))
+def test_property_binary_streams(tokens):
+    """Binary alphabets maximize digram churn; the hardest case."""
+    seq = build(tokens)
+    assert seq.expand() == tokens
+    seq.check_invariants()

@@ -1,0 +1,79 @@
+"""Robustness fuzzing of the on-disk corpus format.
+
+A corrupted or truncated artifact must always surface as
+:class:`~repro.errors.CorruptDataError` (or a validation
+:class:`~repro.errors.GrammarError`) -- never as an uncontrolled
+exception, hang, or silently wrong corpus.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CorruptDataError, GrammarError
+from repro.sequitur import serialization
+from repro.sequitur.compressor import compress_files
+
+
+def reference_blob() -> bytes:
+    corpus = compress_files(
+        [("f1", "lorem ipsum dolor sit amet lorem ipsum dolor"),
+         ("f2", "sit amet consectetur lorem ipsum")]
+    )
+    return serialization.serialize(corpus)
+
+
+_BLOB = reference_blob()
+
+
+@settings(max_examples=120, deadline=None)
+@given(cut=st.integers(0, len(_BLOB) - 1))
+def test_truncation_never_crashes(cut):
+    truncated = _BLOB[:cut]
+    try:
+        corpus = serialization.deserialize(truncated)
+    except (CorruptDataError, GrammarError):
+        return
+    # A shorter prefix that still parses must at least be structurally
+    # valid (validate() ran inside deserialize).
+    corpus.validate()
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    position=st.integers(0, len(_BLOB) - 1),
+    replacement=st.integers(0, 255),
+)
+def test_single_byte_corruption_never_crashes(position, replacement):
+    mutated = bytearray(_BLOB)
+    mutated[position] = replacement
+    try:
+        corpus = serialization.deserialize(bytes(mutated))
+    except (CorruptDataError, GrammarError):
+        return
+    # Corruption that happens to keep the format valid must still yield
+    # a structurally consistent corpus.
+    corpus.validate()
+    corpus.expand_files()
+
+
+@settings(max_examples=60, deadline=None)
+@given(garbage=st.binary(max_size=200))
+def test_arbitrary_bytes_never_crash(garbage):
+    try:
+        serialization.deserialize(garbage)
+    except (CorruptDataError, GrammarError):
+        pass
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    splice_at=st.integers(4, len(_BLOB) - 1),
+    inserted=st.binary(min_size=1, max_size=16),
+)
+def test_insertion_corruption_never_crashes(splice_at, inserted):
+    mutated = _BLOB[:splice_at] + inserted + _BLOB[splice_at:]
+    try:
+        corpus = serialization.deserialize(mutated)
+    except (CorruptDataError, GrammarError):
+        return
+    corpus.validate()

@@ -1,0 +1,97 @@
+"""Tests for grammar diagnostics and the real-corpus loader."""
+
+import pytest
+
+from repro.core.stats import grammar_stats, rule_length_histogram
+from repro.datasets.loader import iter_text_files, load_directory
+from repro.errors import ReproError
+from repro.sequitur.compressor import compress_files
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return compress_files(
+        [
+            ("f1", "x y z x y z x y z q r"),
+            ("f2", "q r x y z q r"),
+        ]
+    )
+
+
+class TestGrammarStats:
+    def test_basic_fields(self, corpus):
+        stats = grammar_stats(corpus)
+        assert stats.n_rules == corpus.n_rules
+        assert stats.n_files == 2
+        assert stats.vocabulary == 5
+        assert stats.total_tokens == 18
+        assert stats.grammar_length == corpus.grammar_length()
+        assert 0 < stats.compression_ratio < 2
+
+    def test_dag_depth_positive(self, corpus):
+        assert grammar_stats(corpus).dag_depth >= 1
+
+    def test_root_length(self, corpus):
+        assert grammar_stats(corpus).root_length == len(corpus.rules[0])
+
+    def test_rule_reuse_respects_utility(self, corpus):
+        """Sequitur's rule utility: every non-root rule is used >= 2x."""
+        stats = grammar_stats(corpus)
+        if corpus.n_rules > 1:
+            assert stats.mean_rule_reuse >= 2.0
+
+    def test_describe_renders(self, corpus):
+        text = grammar_stats(corpus).describe()
+        assert "DAG depth" in text
+        assert "rule reuse" in text
+
+    def test_histogram_counts_all_rules(self, corpus):
+        histogram = rule_length_histogram(corpus)
+        assert sum(histogram.values()) == corpus.n_rules
+
+    def test_histogram_buckets_ordered(self, corpus):
+        histogram = rule_length_histogram(corpus, buckets=(2, 10))
+        assert list(histogram) == ["<=2", "<=10", ">10"]
+
+
+class TestLoader:
+    @pytest.fixture
+    def tree(self, tmp_path):
+        (tmp_path / "a.txt").write_text("alpha beta alpha beta")
+        (tmp_path / "sub").mkdir()
+        (tmp_path / "sub" / "b.txt").write_text("beta gamma beta gamma")
+        (tmp_path / "ignore.dat").write_text("not text")
+        (tmp_path / "binary.txt").write_bytes(b"\xff\xfe\x00junk")
+        return tmp_path
+
+    def test_iterates_sorted_matching_files(self, tree):
+        files = list(iter_text_files(tree))
+        names = [name for name, _ in files]
+        assert names == ["a.txt", "sub/b.txt"]
+
+    def test_skips_undecodable(self, tree):
+        names = [name for name, _ in iter_text_files(tree)]
+        assert "binary.txt" not in names
+
+    def test_truncation_at_whitespace(self, tree):
+        (tree / "big.txt").write_text("word " * 100)
+        files = dict(iter_text_files(tree, max_bytes_per_file=23))
+        assert len(files["big.txt"]) <= 23
+        assert not files["big.txt"].endswith("wor")  # no torn words
+
+    def test_load_directory(self, tree):
+        corpus = load_directory(tree)
+        assert corpus.n_files == 2
+        assert corpus.expand_text()[0] == "alpha beta alpha beta"
+
+    def test_max_files(self, tree):
+        corpus = load_directory(tree, max_files=1)
+        assert corpus.n_files == 1
+
+    def test_no_match_raises(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_directory(tmp_path, pattern="*.nope")
+
+    def test_char_mode_passthrough(self, tree):
+        corpus = load_directory(tree, token_mode="chars")
+        assert corpus.token_mode == "chars"

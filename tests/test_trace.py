@@ -1,0 +1,134 @@
+"""Tests for access-trace recording and cross-device replay."""
+
+import pytest
+
+from repro.errors import CorruptDataError
+from repro.nvm.device import DeviceProfile
+from repro.nvm.memory import SimulatedMemory
+from repro.nvm.trace import AccessTrace, record_trace, replay_trace
+
+
+def run_workload(memory):
+    memory.write(0, b"header!!")
+    for i in range(32):
+        memory.write(256 + i * 64, bytes([i]) * 64)
+    for i in range(32):
+        memory.read(256 + i * 64, 64)
+    memory.flush()
+
+
+class TestRecording:
+    def test_events_captured(self):
+        mem = SimulatedMemory(DeviceProfile.nvm(), 1 << 16)
+        with record_trace(mem) as trace:
+            run_workload(mem)
+        assert len(trace) == 1 + 32 + 32 + 1
+        assert trace.bytes_written == 8 + 32 * 64
+        assert trace.bytes_read == 32 * 64
+
+    def test_memory_still_functions_while_recording(self):
+        mem = SimulatedMemory(DeviceProfile.nvm(), 1 << 16)
+        with record_trace(mem):
+            mem.write(0, b"payload")
+        assert mem.read(0, 7) == b"payload"
+
+    def test_recording_stops_at_context_exit(self):
+        mem = SimulatedMemory(DeviceProfile.nvm(), 1 << 16)
+        with record_trace(mem) as trace:
+            mem.write(0, b"x")
+        mem.write(8, b"y")  # after the context: not recorded
+        assert len(trace) == 1
+
+    def test_costs_unchanged_by_recording(self):
+        plain = SimulatedMemory(DeviceProfile.nvm(), 1 << 16)
+        run_workload(plain)
+
+        recorded = SimulatedMemory(DeviceProfile.nvm(), 1 << 16)
+        with record_trace(recorded):
+            run_workload(recorded)
+        assert recorded.clock.ns == plain.clock.ns
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        mem = SimulatedMemory(DeviceProfile.nvm(), 1 << 16)
+        with record_trace(mem) as trace:
+            run_workload(mem)
+        path = tmp_path / "workload.trace"
+        trace.save(path)
+        restored = AccessTrace.load(path)
+        assert restored.events == trace.events
+        assert restored.device_size == trace.device_size
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "junk.trace"
+        path.write_bytes(b"NOPE" + bytes(32))
+        with pytest.raises(CorruptDataError):
+            AccessTrace.load(path)
+
+    def test_truncated(self, tmp_path):
+        mem = SimulatedMemory(DeviceProfile.nvm(), 1 << 16)
+        with record_trace(mem) as trace:
+            run_workload(mem)
+        path = tmp_path / "cut.trace"
+        trace.save(path)
+        path.write_bytes(path.read_bytes()[:-5])
+        with pytest.raises(CorruptDataError):
+            AccessTrace.load(path)
+
+
+class TestReplay:
+    def record(self):
+        mem = SimulatedMemory(DeviceProfile.nvm(), 1 << 16)
+        with record_trace(mem) as trace:
+            run_workload(mem)
+        return trace, mem.clock.ns
+
+    def test_replay_same_profile_reproduces_cost(self):
+        trace, original_ns = self.record()
+        replayed = replay_trace(
+            trace, DeviceProfile.nvm(), cache_bytes=1 << 20
+        )
+        assert replayed.ns == pytest.approx(original_ns)
+
+    def test_replay_orders_devices_sensibly(self):
+        trace, _ = self.record()
+        times = {
+            name: replay_trace(trace, DeviceProfile.by_name(name)).ns
+            for name in ("dram", "nvm", "pcm", "hdd")
+        }
+        assert times["dram"] < times["nvm"] < times["pcm"]
+        assert times["nvm"] < times["hdd"]
+
+    def test_replay_from_disk(self, tmp_path):
+        trace, original_ns = self.record()
+        path = tmp_path / "t.trace"
+        trace.save(path)
+        replayed = replay_trace(
+            AccessTrace.load(path), DeviceProfile.nvm(), cache_bytes=1 << 20
+        )
+        assert replayed.ns == pytest.approx(original_ns)
+
+    def test_replay_engine_workload_on_future_devices(self):
+        """The §VI-F methodology: trace a real engine pool once, replay on
+        candidate architectures."""
+        from repro.analytics.word_count import WordCount
+        from repro.core.dag import Dag
+        from repro.core.pruning import PrunedDag
+        from repro.core.summation import summate_all
+        from repro.core.traversal import propagate_weights_topdown
+        from repro.nvm.pool import NvmPool
+        from repro.sequitur.compressor import compress_files
+
+        corpus = compress_files([("f", "m n o p m n o p q r m n q r " * 20)])
+        mem = SimulatedMemory(DeviceProfile.nvm(), 1 << 20)
+        with record_trace(mem) as trace:
+            pool = NvmPool(mem)
+            dag = Dag(corpus)
+            pruned = PrunedDag.build(pool, corpus, dag, bounds=summate_all(dag))
+            propagate_weights_topdown(pruned, pool.allocator)
+            pool.flush()
+        assert len(trace) > 100
+        reram_ns = replay_trace(trace, DeviceProfile.reram()).ns
+        pcm_ns = replay_trace(trace, DeviceProfile.pcm()).ns
+        assert pcm_ns > reram_ns  # PCM's slow writes dominate pool builds
