@@ -13,9 +13,7 @@ device-resident form is built by :mod:`repro.core.pruning`).
 
 from __future__ import annotations
 
-from collections import Counter
-
-from repro.core.grammar import CompressedCorpus, is_rule_ref, is_word, rule_index
+from repro.core.grammar import RULE_BASE, SEP_BASE, CompressedCorpus
 from repro.errors import GrammarError
 
 
@@ -37,15 +35,19 @@ class Dag:
         self.subrule_freq: list[dict[int, int]] = []
         self.word_freq: list[dict[int, int]] = []
         for body in corpus.rules:
-            subs: Counter[int] = Counter()
-            words: Counter[int] = Counter()
+            subs: dict[int, int] = {}
+            words: dict[int, int] = {}
+            sget = subs.get
+            wget = words.get
             for symbol in body:
-                if is_rule_ref(symbol):
-                    subs[rule_index(symbol)] += 1
-                elif is_word(symbol):
-                    words[symbol] += 1
-            self.subrule_freq.append(dict(subs))
-            self.word_freq.append(dict(words))
+                if symbol >= RULE_BASE:
+                    key = symbol - RULE_BASE
+                    subs[key] = sget(key, 0) + 1
+                elif symbol < SEP_BASE:
+                    words[symbol] = wget(symbol, 0) + 1
+            self.subrule_freq.append(subs)
+            self.word_freq.append(words)
+        self._topo_order: list[int] | None = None
         self.out_degree = [len(subs) for subs in self.subrule_freq]
         self.in_degree = [0] * self.n_rules
         for subs in self.subrule_freq:
@@ -61,9 +63,14 @@ class Dag:
 
         Kahn's algorithm over reference edges; the root comes first.
 
+        The order is computed once and memoized (the DAG is immutable);
+        callers must not mutate the returned list.
+
         Raises:
             GrammarError: if the grammar contains a reference cycle.
         """
+        if self._topo_order is not None:
+            return self._topo_order
         remaining = list(self.in_degree)
         queue = [r for r in range(self.n_rules) if remaining[r] == 0]
         order: list[int] = []
@@ -78,6 +85,7 @@ class Dag:
                     queue.append(target)
         if len(order) != self.n_rules:
             raise GrammarError("reference cycle detected in grammar")
+        self._topo_order = order
         return order
 
     def reverse_topological_order(self) -> list[int]:

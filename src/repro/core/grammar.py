@@ -126,22 +126,44 @@ class CompressedCorpus:
 
     def expand_rule(self, index: int) -> list[int]:
         """Fully expand rule ``index`` into word ids (separators included)."""
+        rules = self.rules
         output: list[int] = []
-        stack = [iter(self.rules[index])]
-        while stack:
-            try:
-                symbol = next(stack[-1])
-            except StopIteration:
-                stack.pop()
-                continue
-            if is_rule_ref(symbol):
-                stack.append(iter(self.rules[rule_index(symbol)]))
-            else:
-                output.append(symbol)
-        return output
+        append = output.append
+        # Explicit (body, position) frames beat an iterator stack here:
+        # the loop is pure local-variable arithmetic with no exception
+        # control flow, which matters because baselines expand the whole
+        # corpus through this path.
+        stack: list[tuple[list[int], int]] = []
+        body = rules[index]
+        pos = 0
+        end = len(body)
+        while True:
+            while pos < end:
+                symbol = body[pos]
+                pos += 1
+                if symbol >= RULE_BASE:
+                    stack.append((body, pos))
+                    body = rules[symbol - RULE_BASE]
+                    pos = 0
+                    end = len(body)
+                else:
+                    append(symbol)
+            if not stack:
+                return output
+            body, pos = stack.pop()
+            end = len(body)
 
     def expand_files(self) -> list[list[int]]:
-        """Expand the corpus back into per-file word-id lists."""
+        """Expand the corpus back into per-file word-id lists.
+
+        The result is memoized on the instance: the grammar is immutable
+        by contract and the expansion is requested repeatedly (baselines,
+        reference checkers, token counts).  Callers must not mutate the
+        returned lists.
+        """
+        cached = self.__dict__.get("_expanded_files")
+        if cached is not None:
+            return cached
         files: list[list[int]] = []
         current: list[int] = []
         for symbol in self.expand_rule(0):
@@ -152,6 +174,7 @@ class CompressedCorpus:
                 current.append(symbol)
         if current:
             files.append(current)
+        self._expanded_files = files
         return files
 
     def expand_text(self) -> list[str]:

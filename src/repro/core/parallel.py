@@ -82,7 +82,9 @@ def parallel_weight_propagation(
         raise ValueError("need at least one worker")
     if not 0.0 <= contention <= 1.0:
         raise ValueError("contention must be in [0, 1]")
-    clock = pruned.pool.memory.clock
+    memory = pruned.pool.memory
+    clock = memory.clock
+    stats = memory.stats
 
     pruned.reset_weights()
     pruned.set_weight(0, root_weight)
@@ -93,6 +95,7 @@ def parallel_weight_propagation(
         # Round-robin rule assignment, as a static GPU-style partition.
         shares = [level[w::workers] for w in range(workers)]
         worker_times: list[float] = []
+        level_device_start = stats.device_ns
         for share in shares:
             start = clock.ns
             for rule in share:
@@ -107,8 +110,16 @@ def parallel_weight_propagation(
         overlapped = level_sum - level_max
         refund = overlapped * (1.0 - contention)
         # The shared clock advanced by level_sum; rewind the overlap that
-        # concurrent execution hides.
+        # concurrent execution hides.  device_ns is time-denominated and
+        # must shrink by the same proportion, or a parallel run would
+        # report sequential device time against a rewound clock.  Event
+        # counters (cache hits/misses, lines, write-backs) stay at their
+        # sequential values on purpose: parallel execution performs the
+        # same accesses, it just overlaps their latencies.
         clock.ns -= refund
+        if level_sum > 0.0:
+            level_device = stats.device_ns - level_device_start
+            stats.device_ns -= level_device * (refund / level_sum)
         level_elapsed = level_sum - refund + BARRIER_NS_PER_WORKER * workers
         clock.advance(BARRIER_NS_PER_WORKER * workers)
         serial_ns += level_sum

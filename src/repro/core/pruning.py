@@ -33,16 +33,10 @@ preprocessing (Section IV-B last paragraph), which walks ordered bodies.
 from __future__ import annotations
 
 import struct
-from collections import Counter
 from dataclasses import dataclass
 
 from repro.core.dag import Dag
-from repro.core.grammar import (
-    CompressedCorpus,
-    is_rule_ref,
-    is_word,
-    rule_index,
-)
+from repro.core.grammar import RULE_BASE, SEP_BASE, CompressedCorpus
 from repro.nvm.pool import NvmPool
 from repro.pstruct import layout
 from repro.pstruct.headtail import HeadTailStore
@@ -86,13 +80,16 @@ def prune_rule(body: list[int]) -> PrunedRule:
     Separators carry no analytics weight and are dropped here (they remain
     available in the ordered body).
     """
-    subs: Counter[int] = Counter()
-    words: Counter[int] = Counter()
+    subs: dict[int, int] = {}
+    words: dict[int, int] = {}
+    sget = subs.get
+    wget = words.get
     for symbol in body:
-        if is_rule_ref(symbol):
-            subs[rule_index(symbol)] += 1
-        elif is_word(symbol):
-            words[symbol] += 1
+        if symbol >= RULE_BASE:
+            key = symbol - RULE_BASE
+            subs[key] = sget(key, 0) + 1
+        elif symbol < SEP_BASE:
+            words[symbol] = wget(symbol, 0) + 1
     return PrunedRule(
         subrules=sorted(subs.items()),
         words=sorted(words.items()),
@@ -177,7 +174,16 @@ class PrunedDag:
         """
         mem = pool.memory
         n_rules = corpus.n_rules
-        pruned = [prune_rule(body) for body in corpus.rules]
+        # The Dag already ran the bucket pass over every body; reuse its
+        # frequency maps instead of re-scanning every symbol.
+        pruned = [
+            PrunedRule(
+                subrules=sorted(dag.subrule_freq[rule].items()),
+                words=sorted(dag.word_freq[rule].items()),
+                raw_length=len(corpus.rules[rule]),
+            )
+            for rule in range(n_rules)
+        ]
         entries_bytes = sum(p.pruned_length for p in pruned) * 8
         raw_bytes = sum(len(body) for body in corpus.rules) * 4
 
@@ -197,46 +203,85 @@ class PrunedDag:
             ),
         )
 
-        # Algorithm 1's pool_top pointers for the two write streams.
-        if not per_rule:
+        if not per_rule and on_rule is None:
+            # Fast path: assemble the three region streams in Python and
+            # write each region with a single sequential device access.
+            # Only usable without the per-operation persistence callback,
+            # which needs device state committed after every rule.
             entry_top = dag_off
             raw_top = raw_off
-        for rule in range(n_rules):
-            info = pruned[rule]
-            body = corpus.rules[rule]
-            # Write pruned entries: subrules first, then words (adjacent).
-            flat: list[int] = []
-            for idx, freq in info.subrules:
-                flat.extend((idx, freq))
-            for word, freq in info.words:
-                flat.extend((word, freq))
-            if per_rule:
-                entry_top = pool.allocator.alloc(max(len(flat) * 4, 4))
-                raw_top = pool.allocator.alloc(max(len(body) * 4, 4))
-            layout.write_u32_array(mem, entry_top, flat)
-            # Ordered body for sequence analytics.
-            layout.write_u32_array(mem, raw_top, body)
-            record = _META.pack(
-                entry_top,
-                raw_top,
-                len(info.subrules),
-                len(info.words),
-                len(body),
-                dag.in_degree[rule],
-                dag.out_degree[rule],
-                bounds[rule] if bounds is not None else 0,
-                0,  # weight
-            )
-            if per_rule:
-                record_off = pool.allocator.alloc(META_RECORD_SIZE)
-                mem.write(record_off, record)
-                layout.write_u64(mem, meta_off + rule * 8, record_off)
-            else:
-                mem.write(meta_off + rule * META_RECORD_SIZE, record)
+            entry_blob = bytearray()
+            raw_blob = bytearray()
+            meta_blob = bytearray()
+            for rule in range(n_rules):
+                info = pruned[rule]
+                body = corpus.rules[rule]
+                flat: list[int] = []
+                for idx, freq in info.subrules:
+                    flat.extend((idx, freq))
+                for word, freq in info.words:
+                    flat.extend((word, freq))
+                entry_blob += struct.pack("<%dI" % len(flat), *flat)
+                raw_blob += struct.pack("<%dI" % len(body), *body)
+                meta_blob += _META.pack(
+                    entry_top,
+                    raw_top,
+                    len(info.subrules),
+                    len(info.words),
+                    len(body),
+                    dag.in_degree[rule],
+                    dag.out_degree[rule],
+                    bounds[rule] if bounds is not None else 0,
+                    0,  # weight
+                )
                 entry_top += len(flat) * 4
                 raw_top += len(body) * 4
-            if on_rule is not None:
-                on_rule()
+            if entry_blob:
+                mem.write_batch(dag_off, entry_blob)
+            if raw_blob:
+                mem.write_batch(raw_off, raw_blob)
+            mem.write_batch(meta_off, meta_blob)
+        else:
+            # Algorithm 1's pool_top pointers for the two write streams.
+            if not per_rule:
+                entry_top = dag_off
+                raw_top = raw_off
+            for rule in range(n_rules):
+                info = pruned[rule]
+                body = corpus.rules[rule]
+                # Write pruned entries: subrules first, then words (adjacent).
+                flat = []
+                for idx, freq in info.subrules:
+                    flat.extend((idx, freq))
+                for word, freq in info.words:
+                    flat.extend((word, freq))
+                if per_rule:
+                    entry_top = pool.allocator.alloc(max(len(flat) * 4, 4))
+                    raw_top = pool.allocator.alloc(max(len(body) * 4, 4))
+                layout.write_u32_array(mem, entry_top, flat)
+                # Ordered body for sequence analytics.
+                layout.write_u32_array(mem, raw_top, body)
+                record = _META.pack(
+                    entry_top,
+                    raw_top,
+                    len(info.subrules),
+                    len(info.words),
+                    len(body),
+                    dag.in_degree[rule],
+                    dag.out_degree[rule],
+                    bounds[rule] if bounds is not None else 0,
+                    0,  # weight
+                )
+                if per_rule:
+                    record_off = pool.allocator.alloc(META_RECORD_SIZE)
+                    mem.write(record_off, record)
+                    layout.write_u64(mem, meta_off + rule * 8, record_off)
+                else:
+                    mem.write(meta_off + rule * META_RECORD_SIZE, record)
+                    entry_top += len(flat) * 4
+                    raw_top += len(body) * 4
+                if on_rule is not None:
+                    on_rule()
 
         if headtail_k:
             if heads is None or tails is None:
@@ -280,6 +325,18 @@ class PrunedDag:
     def in_degree(self, rule: int) -> int:
         return self.meta(rule)[5]
 
+    def in_degrees(self) -> list[int]:
+        """Every rule's in-degree.
+
+        With the packed layout the whole metadata region is streamed in
+        one bulk read; the indexed (naive) layout has no contiguous region
+        to stream and falls back to per-rule records.
+        """
+        if self.indexed_layout:
+            return [self.meta(rule)[5] for rule in range(self.n_rules)]
+        raw = self._mem.read_batch(self._meta_off, self.n_rules * META_RECORD_SIZE)
+        return [record[5] for record in _META.iter_unpack(raw)]
+
     def weight(self, rule: int) -> int:
         """Current traversal weight of ``rule``."""
         self._check(rule)
@@ -292,14 +349,49 @@ class PrunedDag:
 
     def add_weight(self, rule: int, delta: int) -> int:
         """Read-modify-write weight update; returns the new weight."""
-        new_weight = self.weight(rule) + delta
-        self.set_weight(rule, new_weight)
-        return new_weight
+        self._check(rule)
+        return self._mem.rmw_add(self._record_offset(rule) + 40, 8, delta)
+
+    def add_weight_many(self, pairs) -> None:
+        """Apply :meth:`add_weight` for many ``(rule, delta)`` pairs.
+
+        One fused RMW per site in input order.  The indexed (naive)
+        layout pays its per-rule pointer chase and falls back to scalar
+        updates.
+        """
+        if self.indexed_layout:
+            for rule, delta in pairs:
+                self.add_weight(rule, delta)
+            return
+        if not isinstance(pairs, (list, tuple)):
+            pairs = list(pairs)
+        if not pairs:
+            return
+        n = self.n_rules
+        base = self._meta_off + 40
+        sites = []
+        for rule, delta in pairs:
+            if not 0 <= rule < n:
+                raise IndexError(f"rule {rule} out of range [0, {n})")
+            sites.append((base + rule * META_RECORD_SIZE, delta))
+        self._mem.rmw_add_each(sites, 8)
 
     def reset_weights(self) -> None:
-        """Zero every rule's weight (between tasks)."""
-        for rule in range(self.n_rules):
-            self.set_weight(rule, 0)
+        """Zero every rule's weight (between tasks).
+
+        The packed layout rewrites the metadata region with one bulk
+        read-modify-write instead of ``n_rules`` 8-byte stores.
+        """
+        if self.indexed_layout:
+            for rule in range(self.n_rules):
+                self.set_weight(rule, 0)
+            return
+        n = self.n_rules
+        region = bytearray(self._mem.read_batch(self._meta_off, n * META_RECORD_SIZE))
+        zero = bytes(8)
+        for off in range(40, n * META_RECORD_SIZE, META_RECORD_SIZE):
+            region[off : off + 8] = zero
+        self._mem.write_batch(self._meta_off, region)
 
     # ------------------------------------------------------------------
     # Entry access
@@ -325,6 +417,34 @@ class PrunedDag:
         flat = layout.read_u32_array(self._mem, entry_off, (n_sub + n_words) * 2)
         pairs = list(zip(flat[0::2], flat[1::2]))
         return pairs[:n_sub], pairs[n_sub:]
+
+    def weight_and_subrules(self, rule: int) -> tuple[int, list[tuple[int, int]]]:
+        """``(weight, subrules)`` from one metadata record read.
+
+        The weight field lives in the same 48-byte record as the entry
+        pointers, so traversals that need both pay a single record read
+        instead of two.
+        """
+        entry_off, _, n_sub, _, _, _, _, _, weight = self.meta(rule)
+        flat = layout.read_u32_array(self._mem, entry_off, n_sub * 2)
+        return weight, list(zip(flat[0::2], flat[1::2]))
+
+    def weight_and_words(self, rule: int) -> tuple[int, list[tuple[int, int]]]:
+        """``(weight, words)`` from one metadata record read."""
+        entry_off, _, n_sub, n_words, _, _, _, _, weight = self.meta(rule)
+        flat = layout.read_u32_array(
+            self._mem, entry_off + n_sub * 8, n_words * 2
+        )
+        return weight, list(zip(flat[0::2], flat[1::2]))
+
+    def bound_and_entries(
+        self, rule: int
+    ) -> tuple[int, list[tuple[int, int]], list[tuple[int, int]]]:
+        """``(bound, subrules, words)`` from one metadata record read."""
+        entry_off, _, n_sub, n_words, _, _, _, bound, _ = self.meta(rule)
+        flat = layout.read_u32_array(self._mem, entry_off, (n_sub + n_words) * 2)
+        pairs = list(zip(flat[0::2], flat[1::2]))
+        return bound, pairs[:n_sub], pairs[n_sub:]
 
     def raw_body(self, rule: int) -> list[int]:
         """The ordered (unpruned) body of ``rule``."""

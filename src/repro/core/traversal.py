@@ -25,6 +25,10 @@ from repro.pstruct import layout
 from repro.pstruct.phashtable import PHashTable
 from repro.pstruct.pqueue import PQueue
 
+#: Rules drained from the traversal queue per block; one header store is
+#: amortized over the whole block instead of paid per pop.
+_POP_BLOCK = 128
+
 
 def propagate_weights_topdown(
     pruned: PrunedDag,
@@ -41,24 +45,38 @@ def propagate_weights_topdown(
     n = pruned.n_rules
     mem = allocator.memory
     remaining_off = allocator.alloc(max(n * 4, 4))
-    degrees = [pruned.in_degree(rule) for rule in range(n)]
+    degrees = pruned.in_degrees()
     layout.write_u32_array(mem, remaining_off, degrees)
     queue = PQueue.create(allocator, capacity=max(n, 1))
 
     pruned.reset_weights()
     pruned.set_weight(0, root_weight)
-    for rule in range(n):
-        if degrees[rule] == 0:
-            queue.push(rule)
+    roots = [rule for rule in range(n) if degrees[rule] == 0]
+    if roots:
+        queue.push_many(roots)
     while not queue.is_empty():
-        rule = queue.pop()
-        weight = pruned.weight(rule)
-        for subrule, freq in pruned.subrules(rule):
-            pruned.add_weight(subrule, weight * freq)
-            left = layout.read_u32(mem, remaining_off + subrule * 4) - 1
-            layout.write_u32(mem, remaining_off + subrule * 4, left)
-            if left == 0:
-                queue.push(subrule)
+        # Edge updates are batched across the whole popped block: no rule
+        # in a block can reference another (members already reached
+        # in-degree zero), so reading every member's weight up front and
+        # then issuing all weight pushes followed by all in-degree
+        # decrements is order-safe.  Each site still pays its own fused
+        # read-modify-write.
+        weight_sites: list[tuple[int, int]] = []
+        dec_sites: list[tuple[int, int]] = []
+        dec_subs: list[int] = []
+        for rule in queue.pop_many(_POP_BLOCK):
+            weight, subs = pruned.weight_and_subrules(rule)
+            for sub, freq in subs:
+                weight_sites.append((sub, weight * freq))
+                dec_sites.append((remaining_off + sub * 4, -1))
+                dec_subs.append(sub)
+        if not weight_sites:
+            continue
+        pruned.add_weight_many(weight_sites)
+        lefts = mem.rmw_add_each(dec_sites, 4, collect=True)
+        ready = [sub for sub, left in zip(dec_subs, lefts) if left == 0]
+        if ready:
+            queue.push_many(ready)
     allocator.free(remaining_off, max(n * 4, 4))
 
 
@@ -153,16 +171,28 @@ def compute_wordlists_bottomup(
     tables: list[PHashTable | None] = [None] * pruned.n_rules
     for rule in reverse_topo:
         if growable:
+            # The naive-baseline mode keeps faithful per-element updates:
+            # its cost is the point of measuring it.
             table = PHashTable.create(allocator, expected_entries=4, growable=True)
+            for word, freq in pruned.words(rule):
+                table.add(word, freq)
+            for subrule, freq in pruned.subrules(rule):
+                subtable = tables[subrule]
+                for word, count in subtable.items():
+                    table.add(word, count * freq)
         else:
-            bound = max(pruned.bound(rule), 1)
-            table = PHashTable.create(allocator, expected_entries=bound)
-        for word, freq in pruned.words(rule):
-            table.add(word, freq)
-        for subrule, freq in pruned.subrules(rule):
-            subtable = tables[subrule]
-            for word, count in subtable.items():
-                table.add(word, count * freq)
+            bound, subs, words = pruned.bound_and_entries(rule)
+            table = PHashTable.create(allocator, expected_entries=max(bound, 1))
+            if words:
+                table.add_many(words)
+            for subrule, freq in subs:
+                subtable = tables[subrule]
+                if freq == 1:
+                    table.add_many(subtable.items())
+                else:
+                    table.add_many(
+                        (word, count * freq) for word, count in subtable.items()
+                    )
         tables[rule] = table
         if op_commit is not None:
             op_commit()

@@ -55,6 +55,57 @@ class LineCache:
         lines[line_id] = dirty
         return False, evicted_dirty
 
+    def access_many(
+        self, first_line: int, last_line: int, dirty: bool
+    ) -> tuple[int, list[tuple[int, int]], list[tuple[int, int]]]:
+        """Touch lines ``first_line..last_line`` (inclusive) in order.
+
+        Semantically identical to calling :meth:`access` once per line, but
+        makes a single pass and returns aggregates the batched cost model
+        consumes directly:
+
+        * ``n_hits`` -- how many of the lines were cache hits,
+        * ``miss_runs`` -- maximal runs of consecutive missing lines as
+          ``(start_line, length)`` pairs, in access order,
+        * ``evictions`` -- dirty write-backs as ``(miss_line, victim_line)``
+          pairs, in eviction order, where ``miss_line`` is the missing line
+          whose insertion evicted ``victim_line``.
+
+        A line evicted early in the span and touched again later in the
+        same span misses on the second touch, exactly as the per-line loop
+        would observe.
+        """
+        lines = self._lines
+        capacity = self.capacity_lines
+        n_hits = 0
+        miss_runs: list[tuple[int, int]] = []
+        evictions: list[tuple[int, int]] = []
+        run_start = 0
+        run_len = 0
+        for line in range(first_line, last_line + 1):
+            if line in lines:
+                if dirty:
+                    lines[line] = True
+                lines.move_to_end(line)
+                n_hits += 1
+                if run_len:
+                    miss_runs.append((run_start, run_len))
+                    run_len = 0
+            else:
+                if len(lines) >= capacity:
+                    victim, victim_dirty = lines.popitem(last=False)
+                    if victim_dirty:
+                        evictions.append((line, victim))
+                lines[line] = dirty
+                if run_len:
+                    run_len += 1
+                else:
+                    run_start = line
+                    run_len = 1
+        if run_len:
+            miss_runs.append((run_start, run_len))
+        return n_hits, miss_runs, evictions
+
     def contains(self, line_id: int) -> bool:
         """Return whether ``line_id`` is currently cached (no LRU update)."""
         return line_id in self._lines

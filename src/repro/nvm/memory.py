@@ -22,6 +22,7 @@ from the last completed phase and overwrites dirty intermediate state.
 
 from __future__ import annotations
 
+import mmap
 from pathlib import Path
 
 from repro.errors import InvalidAccessError
@@ -88,6 +89,10 @@ class SimulatedMemory:
         clock: Shared simulated clock; a private one is created if omitted.
         cache_bytes: Capacity of the CPU-cache model for this device.
         name: Optional label used in error messages and reports.
+        batched: Charge accesses with the run-length batch fast path
+            (the default).  ``False`` selects the per-line reference loop;
+            both produce identical accounting, and the differential suite
+            in ``tests/test_batch_equivalence.py`` holds them together.
     """
 
     def __init__(
@@ -98,6 +103,7 @@ class SimulatedMemory:
         cache_bytes: int = 1 << 20,
         name: str | None = None,
         track_wear: bool = False,
+        batched: bool = True,
     ) -> None:
         if size <= 0:
             raise ValueError("memory size must be positive")
@@ -106,13 +112,23 @@ class SimulatedMemory:
         self.clock = clock if clock is not None else SimulatedClock()
         self.name = name or profile.name
         self.stats = MemoryStats()
-        self._buf = bytearray(size)
+        # Anonymous mmap instead of bytearray: pages are zero on demand,
+        # so creating a large device is O(1) instead of an eager memset.
+        # Every access below uses exact-length slice reads/writes, which
+        # mmap supports identically.
+        self._buf = mmap.mmap(-1, size)
         self._cache = LineCache(cache_bytes, profile.line_size)
         self._media_lines: set[int] = set()  # lines that ever reached media
         self._last_media_line: int | None = None
         self._dirty_lines: set[int] = set()
-        self._flushed_image: bytearray | None = None
+        #: Lines whose latest media program came from an eviction
+        #: write-back; ``flush`` skips these in wear accounting so one
+        #: logical program is never counted twice.
+        self._evict_programmed: set[int] = set()
+        self._flushed_image: mmap.mmap | bytearray | None = None
         self._backing_path: Path | None = None
+        self._batched = batched
+        self._touch_impl = self._touch_batch if batched else self._touch
         #: Per-line media program counts (endurance accounting); only
         #: populated when ``track_wear`` is enabled.
         self.wear: dict[int, int] | None = {} if track_wear else None
@@ -123,10 +139,57 @@ class SimulatedMemory:
 
     def read(self, offset: int, size: int) -> bytes:
         """Read ``size`` bytes at ``offset``, charging device cost."""
+        profile = self.profile
+        line_size = profile.line_size
+        first = offset // line_size
+        end = offset + size
+        stats = self.stats
+        if (
+            self._batched
+            and size > 0
+            and (end - 1) // line_size == first
+            and offset >= 0
+            and end <= self.size
+        ):
+            # Single-line fast path: identical charging to the generic
+            # span pipeline, with the LRU dict driven directly.
+            cache_lines = self._cache._lines
+            stats.lines_read += 1
+            if first in cache_lines:
+                cache_lines.move_to_end(first)
+                stats.cache_hits += 1
+                total = 1.0
+            else:
+                stats.cache_misses += 1
+                lml = self._last_media_line
+                total = (
+                    profile.seq_read_ns
+                    if lml is not None and first == lml + 1
+                    else profile.read_ns
+                ) + profile.syscall_ns
+                self._last_media_line = first
+                if len(cache_lines) >= self._cache.capacity_lines:
+                    victim, victim_dirty = cache_lines.popitem(False)
+                    if victim_dirty:
+                        cost = (
+                            profile.seq_write_ns
+                            if victim == first + 1
+                            else profile.write_ns
+                        ) + profile.syscall_ns
+                        total += cost
+                        stats.writebacks += 1
+                        self._program_line(victim)
+                        self._evict_programmed.add(victim)
+                stats.device_ns += total
+                cache_lines[first] = False
+            self.clock.ns += total
+            stats.read_ops += 1
+            stats.bytes_read += size
+            return bytes(self._buf[offset:end])
         self._check_range(offset, size)
-        self._touch(offset, size, dirty=False)
-        self.stats.read_ops += 1
-        self.stats.bytes_read += size
+        self._touch_impl(offset, size, False)
+        stats.read_ops += 1
+        stats.bytes_read += size
         return bytes(self._buf[offset : offset + size])
 
     def write(self, offset: int, data: bytes | bytearray | memoryview) -> None:
@@ -137,15 +200,452 @@ class SimulatedMemory:
         overwritten, as a page cache or WPQ buffer would recognize.
         """
         size = len(data)
+        profile = self.profile
+        line_size = profile.line_size
+        first = offset // line_size
+        end = offset + size
+        stats = self.stats
+        if (
+            self._batched
+            and size > 0
+            and (end - 1) // line_size == first
+            and offset >= 0
+            and end <= self.size
+        ):
+            cache_lines = self._cache._lines
+            stats.lines_written += 1
+            if first in cache_lines:
+                cache_lines.move_to_end(first)
+                stats.cache_hits += 1
+                total = 1.0
+            else:
+                stats.cache_misses += 1
+                device = 0.0
+                if first not in self._media_lines or size == line_size:
+                    total = 1.0
+                else:
+                    lml = self._last_media_line
+                    total = (
+                        profile.seq_read_ns
+                        if lml is not None and first == lml + 1
+                        else profile.read_ns
+                    ) + profile.syscall_ns
+                    device = total
+                self._last_media_line = first
+                if len(cache_lines) >= self._cache.capacity_lines:
+                    victim, victim_dirty = cache_lines.popitem(False)
+                    if victim_dirty:
+                        cost = (
+                            profile.seq_write_ns
+                            if victim == first + 1
+                            else profile.write_ns
+                        ) + profile.syscall_ns
+                        total += cost
+                        device += cost
+                        stats.writebacks += 1
+                        self._program_line(victim)
+                        self._evict_programmed.add(victim)
+                if device:
+                    stats.device_ns += device
+            cache_lines[first] = True
+            self._dirty_lines.add(first)
+            self._evict_programmed.discard(first)
+            self.clock.ns += total
+            stats.write_ops += 1
+            stats.bytes_written += size
+            self._buf[offset:end] = data
+            return
         self._check_range(offset, size)
-        self._touch(offset, size, dirty=True)
-        self.stats.write_ops += 1
-        self.stats.bytes_written += size
+        self._touch_impl(offset, size, True)
+        stats.write_ops += 1
+        stats.bytes_written += size
         self._buf[offset : offset + size] = data
 
+    def read_batch(self, offset: int, size: int) -> bytes:
+        """Bulk read alias: one call, one span, run-length cost charging.
+
+        ``read`` already routes through the batch path; this name exists so
+        call sites can state intent when they deliberately read a large
+        span in one device round-trip.
+        """
+        return self.read(offset, size)
+
+    def write_batch(self, offset: int, data: bytes | bytearray | memoryview) -> None:
+        """Bulk write alias of :meth:`write`; see :meth:`read_batch`."""
+        self.write(offset, data)
+
+    def read_uint(self, offset: int, size: int, signed: bool = False) -> int:
+        """Read one little-endian integer field.
+
+        Accounting identical to ``read(offset, size)``.  The single-line
+        common case inlines the touch pipeline: scalar loads are the
+        dominant operation of probe-heavy persistent structures, and the
+        generic path's call chain costs more wall-clock than the whole
+        simulated charge computation.
+        """
+        profile = self.profile
+        line_size = profile.line_size
+        first = offset // line_size
+        end = offset + size
+        if not self._batched or (end - 1) // line_size != first:
+            return int.from_bytes(self.read(offset, size), "little", signed=signed)
+        if offset < 0 or end > self.size:
+            self._check_range(offset, size)
+        stats = self.stats
+        cache_lines = self._cache._lines
+        stats.lines_read += 1
+        if first in cache_lines:
+            cache_lines.move_to_end(first)
+            stats.cache_hits += 1
+            total = 1.0
+        else:
+            stats.cache_misses += 1
+            lml = self._last_media_line
+            total = (
+                profile.seq_read_ns
+                if lml is not None and first == lml + 1
+                else profile.read_ns
+            ) + profile.syscall_ns
+            self._last_media_line = first
+            if len(cache_lines) >= self._cache.capacity_lines:
+                victim, victim_dirty = cache_lines.popitem(False)
+                if victim_dirty:
+                    cost = (
+                        profile.seq_write_ns
+                        if victim == first + 1
+                        else profile.write_ns
+                    ) + profile.syscall_ns
+                    total += cost
+                    stats.writebacks += 1
+                    self._program_line(victim)
+                    self._evict_programmed.add(victim)
+            stats.device_ns += total
+            cache_lines[first] = False
+        self.clock.ns += total
+        stats.read_ops += 1
+        stats.bytes_read += size
+        return int.from_bytes(self._buf[offset:end], "little", signed=signed)
+
+    def write_uint(
+        self, offset: int, size: int, value: int, signed: bool = False
+    ) -> None:
+        """Write one little-endian integer field.
+
+        Accounting identical to ``write(offset, <size-byte packing>)``;
+        see :meth:`read_uint` for why the single-line case is inlined.
+        """
+        profile = self.profile
+        line_size = profile.line_size
+        first = offset // line_size
+        end = offset + size
+        if not self._batched or (end - 1) // line_size != first:
+            self.write(offset, value.to_bytes(size, "little", signed=signed))
+            return
+        if offset < 0 or end > self.size:
+            self._check_range(offset, size)
+        stats = self.stats
+        cache_lines = self._cache._lines
+        stats.lines_written += 1
+        if first in cache_lines:
+            cache_lines.move_to_end(first)
+            stats.cache_hits += 1
+            total = 1.0
+        else:
+            stats.cache_misses += 1
+            device = 0.0
+            if first not in self._media_lines or (
+                offset == first * line_size and size == line_size
+            ):
+                total = 1.0
+            else:
+                lml = self._last_media_line
+                total = (
+                    profile.seq_read_ns
+                    if lml is not None and first == lml + 1
+                    else profile.read_ns
+                ) + profile.syscall_ns
+                device = total
+            self._last_media_line = first
+            if len(cache_lines) >= self._cache.capacity_lines:
+                victim, victim_dirty = cache_lines.popitem(False)
+                if victim_dirty:
+                    cost = (
+                        profile.seq_write_ns
+                        if victim == first + 1
+                        else profile.write_ns
+                    ) + profile.syscall_ns
+                    total += cost
+                    device += cost
+                    stats.writebacks += 1
+                    self._program_line(victim)
+                    self._evict_programmed.add(victim)
+            if device:
+                stats.device_ns += device
+        cache_lines[first] = True
+        self._dirty_lines.add(first)
+        self._evict_programmed.discard(first)
+        self.clock.ns += total
+        stats.write_ops += 1
+        stats.bytes_written += size
+        self._buf[offset:end] = value.to_bytes(size, "little", signed=signed)
+
+    def rmw_add(self, offset: int, size: int, delta: int, signed: bool = False) -> int:
+        """Fused read-modify-write of one little-endian integer field.
+
+        Semantically identical -- accounting included -- to ``read(offset,
+        size)`` followed by ``write(offset, <old value + delta>)``.  The
+        read leaves the spanned line resident, so when the field sits in a
+        single line the write half is necessarily a dirty cache hit and is
+        charged inline, skipping a full second trip through the access
+        pipeline.  Falls back to the literal read+write sequence when the
+        field straddles a line boundary or the per-line reference model is
+        active.  Returns the new value.
+        """
+        profile = self.profile
+        line_size = profile.line_size
+        first = offset // line_size
+        end = offset + size
+        if not self._batched or (end - 1) // line_size != first:
+            value = (
+                int.from_bytes(self.read(offset, size), "little", signed=signed)
+                + delta
+            )
+            self.write(offset, value.to_bytes(size, "little", signed=signed))
+            return value
+        if offset < 0 or end > self.size:
+            self._check_range(offset, size)
+        stats = self.stats
+        cache_lines = self._cache._lines
+        # Read half (reads always fetch on miss), LRU dict driven directly;
+        # the write half is then a guaranteed dirty hit on the same line.
+        if first in cache_lines:
+            cache_lines.move_to_end(first)
+            stats.cache_hits += 2
+            total = 2.0
+        else:
+            stats.cache_misses += 1
+            stats.cache_hits += 1
+            lml = self._last_media_line
+            total = (
+                profile.seq_read_ns
+                if lml is not None and first == lml + 1
+                else profile.read_ns
+            ) + profile.syscall_ns
+            device = total
+            total += 1.0
+            self._last_media_line = first
+            if len(cache_lines) >= self._cache.capacity_lines:
+                victim, victim_dirty = cache_lines.popitem(False)
+                if victim_dirty:
+                    cost = (
+                        profile.seq_write_ns
+                        if victim == first + 1
+                        else profile.write_ns
+                    ) + profile.syscall_ns
+                    total += cost
+                    device += cost
+                    stats.writebacks += 1
+                    self._program_line(victim)
+                    self._evict_programmed.add(victim)
+            stats.device_ns += device
+        cache_lines[first] = True
+        self._dirty_lines.add(first)
+        self._evict_programmed.discard(first)
+        stats.lines_read += 1
+        stats.lines_written += 1
+        stats.read_ops += 1
+        stats.bytes_read += size
+        stats.write_ops += 1
+        stats.bytes_written += size
+        self.clock.ns += total
+        value = (
+            int.from_bytes(self._buf[offset:end], "little", signed=signed) + delta
+        )
+        self._buf[offset:end] = value.to_bytes(size, "little", signed=signed)
+        return value
+
+    def rmw_add_each(
+        self, pairs, size: int, signed: bool = False, collect: bool = False
+    ) -> list[int] | None:
+        """Apply :meth:`rmw_add` at many ``(offset, delta)`` sites.
+
+        Accounting is identical to issuing the calls one by one -- which
+        is exactly what the per-line reference model does -- but the
+        batched path hoists all simulator state into locals, so scattered
+        integer updates (the per-token counting hot loop of the analytics
+        baselines) stop paying the full ``read()``/``write()`` call chain
+        per element.
+
+        With ``collect=True``, returns the post-update values in site
+        order (the traversal engine consumes in-degree decrements this
+        way); the default skips the list entirely.
+        """
+        if not self._batched or (
+            isinstance(pairs, (list, tuple)) and len(pairs) < 12
+        ):
+            # Short site lists: the scalar fused path is cheaper than
+            # hoisting the batch loop's locals.  Accounting is identical
+            # either way.
+            values = [
+                self.rmw_add(offset, size, delta, signed=signed)
+                for offset, delta in pairs
+            ]
+            return values if collect else None
+        profile = self.profile
+        line_size = profile.line_size
+        read_ns = profile.read_ns
+        seq_read_ns = profile.seq_read_ns
+        write_ns = profile.write_ns
+        seq_write_ns = profile.seq_write_ns
+        syscall = profile.syscall_ns
+        device_size = self.size
+        stats = self.stats
+        cache_lines = self._cache._lines
+        capacity = self._cache.capacity_lines
+        popitem = cache_lines.popitem
+        move_to_end = cache_lines.move_to_end
+        dirty_add = self._dirty_lines.add
+        ep_discard = self._evict_programmed.discard
+        ep_add = self._evict_programmed.add
+        media = self._media_lines
+        wear = self.wear
+        buf = self._buf
+        from_bytes = int.from_bytes
+        lml = self._last_media_line
+        size1 = size - 1
+        values: list[int] | None = [] if collect else None
+        #: Deferred buffer updates (offset -> accumulated delta).  When the
+        #: caller does not collect post-update values, no observable state
+        #: depends on intermediate buffer contents, so each distinct site
+        #: pays one int decode/encode instead of one per visit -- a large
+        #: saving for Zipf-distributed counter traffic.  Charging still
+        #: happens per visit, in order.
+        pend: dict[int, int] | None = None if collect else {}
+        pend_get = pend.get if pend is not None else None
+        total = 0.0
+        device = 0.0
+        hits = 0
+        misses = 0
+        writebacks = 0
+        n_ops = 0
+
+        def sync() -> None:
+            nonlocal total, device, hits, misses, writebacks, n_ops
+            if pend:
+                for p_off, p_delta in pend.items():
+                    p_end = p_off + size
+                    p_value = (
+                        from_bytes(buf[p_off:p_end], "little", signed=signed)
+                        + p_delta
+                    )
+                    buf[p_off:p_end] = p_value.to_bytes(size, "little", signed=signed)
+                pend.clear()
+            self._last_media_line = lml
+            self.clock.ns += total
+            stats.device_ns += device
+            stats.cache_hits += hits + n_ops
+            stats.cache_misses += misses
+            stats.writebacks += writebacks
+            stats.lines_read += n_ops
+            stats.lines_written += n_ops
+            stats.read_ops += n_ops
+            stats.write_ops += n_ops
+            stats.bytes_read += n_ops * size
+            stats.bytes_written += n_ops * size
+            total = device = 0.0
+            hits = misses = writebacks = n_ops = 0
+
+        try:
+            for offset, delta in pairs:
+                if offset < 0 or offset + size > device_size:
+                    raise InvalidAccessError(
+                        f"{self.name}: access [{offset}, {offset + size}) "
+                        f"outside device of {device_size} bytes"
+                    )
+                first = offset // line_size
+                if (offset + size1) // line_size != first:
+                    # Line-straddling field: sync and take the scalar path.
+                    sync()
+                    value = self.rmw_add(offset, size, delta, signed=signed)
+                    lml = self._last_media_line
+                    if values is not None:
+                        values.append(value)
+                    continue
+                # Read half (reads always fetch on miss; no_fetch is
+                # write-only -- see _touch), with the LRU dict driven
+                # directly instead of through LineCache.access.  The write
+                # half is a guaranteed dirty hit on the just-read line, so
+                # both halves collapse into one dict update + 1ns each.
+                if first in cache_lines:
+                    hits += 1
+                    move_to_end(first)
+                    total += 2.0
+                    if not cache_lines[first]:
+                        # A dirty cached line is never in the
+                        # evict-programmed set, so the dirty transition
+                        # (and its bookkeeping) happens at most once.
+                        cache_lines[first] = True
+                        dirty_add(first)
+                        ep_discard(first)
+                else:
+                    misses += 1
+                    cost = (
+                        seq_read_ns if lml is not None and first == lml + 1 else read_ns
+                    ) + syscall
+                    total += cost + 1.0
+                    device += cost
+                    lml = first
+                    if len(cache_lines) >= capacity:
+                        victim, victim_dirty = popitem(False)
+                        if victim_dirty:
+                            cost = (
+                                seq_write_ns if victim == lml + 1 else write_ns
+                            ) + syscall
+                            total += cost
+                            device += cost
+                            writebacks += 1
+                            media.add(victim)
+                            if wear is not None:
+                                wear[victim] = wear.get(victim, 0) + 1
+                            ep_add(victim)
+                    cache_lines[first] = True
+                    dirty_add(first)
+                    ep_discard(first)
+                if pend is not None:
+                    pend[offset] = pend_get(offset, 0) + delta
+                else:
+                    end = offset + size
+                    value = from_bytes(buf[offset:end], "little", signed=signed) + delta
+                    buf[offset:end] = value.to_bytes(size, "little", signed=signed)
+                    values.append(value)
+                n_ops += 1
+        finally:
+            sync()
+        return values
+
     def fill(self, offset: int, size: int, value: int = 0) -> None:
-        """Write ``size`` copies of ``value`` starting at ``offset``."""
-        self.write(offset, bytes([value]) * size)
+        """Write ``size`` copies of ``value`` starting at ``offset``.
+
+        Charges exactly like one :meth:`write` of ``size`` bytes but never
+        materializes a ``size``-byte pattern for non-zero values; zero
+        fills use ``bytes(size)`` (calloc-backed) directly.
+        """
+        if size == 0:
+            self.write(offset, b"")
+            return
+        self._check_range(offset, size)
+        self._touch_impl(offset, size, True)
+        stats = self.stats
+        stats.write_ops += 1
+        stats.bytes_written += size
+        if value == 0:
+            self._buf[offset : offset + size] = bytes(size)
+        else:
+            chunk = bytes([value]) * min(size, 1 << 16)
+            step = len(chunk)
+            for start in range(offset, offset + size, step):
+                end = min(start + step, offset + size)
+                self._buf[start:end] = chunk[: end - start]
 
     # ------------------------------------------------------------------
     # Persistence
@@ -163,14 +663,18 @@ class SimulatedMemory:
         if flushed:
             self.clock.advance(flushed * (self.profile.flush_ns + self.profile.syscall_ns))
             self.stats.flushed_lines += flushed
-            self._media_lines.update(self._dirty_lines)
-            if self.wear is not None:
-                for line in self._dirty_lines:
-                    self.wear[line] = self.wear.get(line, 0) + 1
+            # A line already programmed by an eviction write-back holds its
+            # final data on media; flushing it persists cache state but is
+            # not a second media program for endurance purposes.
+            already_programmed = self._evict_programmed
+            for line in self._dirty_lines:
+                if line not in already_programmed:
+                    self._program_line(line)
+        self._evict_programmed.clear()
         self.stats.flush_ops += 1
         if self.profile.persistent:
             if self._flushed_image is None:
-                self._flushed_image = bytearray(self.size)
+                self._flushed_image = mmap.mmap(-1, self.size)
             line_size = self.profile.line_size
             image = self._flushed_image
             for line in self._dirty_lines:
@@ -197,6 +701,7 @@ class SimulatedMemory:
             self._buf[:] = bytes(self.size)
         self._cache.invalidate_all()
         self._dirty_lines.clear()
+        self._evict_programmed.clear()
         self._last_media_line = None
 
     def attach_file(self, path: str | Path, load: bool = False) -> None:
@@ -247,8 +752,20 @@ class SimulatedMemory:
                 f"device of {self.size} bytes"
             )
 
+    def _program_line(self, line: int) -> None:
+        """Count one media program of ``line`` (endurance accounting)."""
+        self._media_lines.add(line)
+        if self.wear is not None:
+            self.wear[line] = self.wear.get(line, 0) + 1
+
     def _touch(self, offset: int, size: int, dirty: bool) -> None:
-        """Run each touched line through the cache and charge the clock."""
+        """Per-line reference cost model: cache each line, charge the clock.
+
+        This is the executable specification the batched fast path
+        (:meth:`_touch_batch`) must reproduce bit-for-bit; it stays
+        selectable via ``batched=False`` so the differential-equivalence
+        suite can replay traces through both.
+        """
         profile = self.profile
         clock = self.clock
         stats = self.stats
@@ -257,6 +774,7 @@ class SimulatedMemory:
             hit, evicted_dirty = self._cache.access(line, dirty)
             if dirty:
                 self._dirty_lines.add(line)
+                self._evict_programmed.discard(line)
                 stats.lines_written += 1
             else:
                 stats.lines_read += 1
@@ -298,6 +816,176 @@ class SimulatedMemory:
                 clock.advance(cost)
                 stats.device_ns += cost
                 stats.writebacks += 1
-                self._media_lines.add(evicted_dirty)
-                if self.wear is not None:
-                    self.wear[evicted_dirty] = self.wear.get(evicted_dirty, 0) + 1
+                self._program_line(evicted_dirty)
+                self._evict_programmed.add(evicted_dirty)
+
+    def _touch_batch(self, offset: int, size: int, dirty: bool) -> None:
+        """Charge a whole access span with run-length arithmetic.
+
+        Equivalent to running :meth:`_touch`'s per-line loop, but the span
+        is classified into hit/miss/no-fetch runs in one cache pass and
+        each run is charged in closed form (see docs/cost_model.md,
+        "Batched access & cost equivalence").  Key invariants that make
+        the closed forms exact:
+
+        * every per-line charge is an integer number of nanoseconds, so
+          grouping additions cannot change the sum;
+        * only cache misses update ``_last_media_line``, and eviction
+          write-backs never do, so a fetch-miss run stays sequential
+          across interleaved evictions;
+        * for a dirty span only the unaligned first/last lines can fetch
+          (interior lines are fully covered), so at most two write-path
+          fetches need individual treatment.
+        """
+        if size <= 0:
+            return
+        profile = self.profile
+        line_size = profile.line_size
+        first = offset // line_size
+        last = (offset + size - 1) // line_size
+        stats = self.stats
+        cache = self._cache
+        if first == last:
+            # Single-line fast path: the overwhelmingly common case for
+            # scalar loads/stores; a streamlined copy of _touch's body.
+            hit, evicted_dirty = cache.access(first, dirty)
+            if dirty:
+                self._dirty_lines.add(first)
+                self._evict_programmed.discard(first)
+                stats.lines_written += 1
+            else:
+                stats.lines_read += 1
+            lml = self._last_media_line
+            if hit:
+                stats.cache_hits += 1
+                total = 1.0
+            else:
+                stats.cache_misses += 1
+                if dirty and (
+                    first not in self._media_lines
+                    or (offset == first * line_size and size == line_size)
+                ):
+                    total = 1.0
+                else:
+                    cost = (
+                        profile.seq_read_ns
+                        if lml is not None and first == lml + 1
+                        else profile.read_ns
+                    ) + profile.syscall_ns
+                    stats.device_ns += cost
+                    total = cost
+                self._last_media_line = first
+                lml = first
+            if evicted_dirty is not None:
+                cost = (
+                    profile.seq_write_ns
+                    if lml is not None and evicted_dirty == lml + 1
+                    else profile.write_ns
+                ) + profile.syscall_ns
+                total += cost
+                stats.device_ns += cost
+                stats.writebacks += 1
+                self._program_line(evicted_dirty)
+                self._evict_programmed.add(evicted_dirty)
+            self.clock.ns += total
+            return
+
+        n = last - first + 1
+        n_hits, miss_runs, evictions = cache.access_many(first, last, dirty)
+        n_miss = n - n_hits
+        stats.cache_hits += n_hits
+        stats.cache_misses += n_miss
+        total = float(n_hits)  # every hit costs 1 ns
+        device = 0.0
+        lml = self._last_media_line
+        syscall = profile.syscall_ns
+        if dirty:
+            self._dirty_lines.update(range(first, last + 1))
+            if self._evict_programmed:
+                self._evict_programmed.difference_update(range(first, last + 1))
+            stats.lines_written += n
+            if miss_runs:
+                # Interior lines are fully covered (write-allocate without
+                # fetch); only an unaligned first or last line can fetch.
+                total += float(n_miss)  # provisional 1 ns allocate per miss
+                media = self._media_lines
+                aligned_first = offset == first * line_size
+                aligned_last = offset + size == (last + 1) * line_size
+                first_run_start, first_run_len = miss_runs[0]
+                last_run_start, last_run_len = miss_runs[-1]
+                if (
+                    not aligned_first
+                    and first_run_start == first
+                    and first in media
+                ):
+                    cost = (
+                        profile.seq_read_ns
+                        if lml is not None and first == lml + 1
+                        else profile.read_ns
+                    ) + syscall
+                    total += cost - 1.0
+                    device += cost
+                if (
+                    not aligned_last
+                    and last_run_start + last_run_len - 1 == last
+                    and (
+                        last in media
+                        or any(victim == last for at, victim in evictions if at < last)
+                    )
+                ):
+                    # _last_media_line just before `last` is the most
+                    # recent miss in the span (every dirty miss sets it).
+                    if last_run_len > 1:
+                        prev_miss = last - 1
+                    elif len(miss_runs) > 1:
+                        prev_run_start, prev_run_len = miss_runs[-2]
+                        prev_miss = prev_run_start + prev_run_len - 1
+                    else:
+                        prev_miss = lml
+                    cost = (
+                        profile.seq_read_ns
+                        if prev_miss is not None and last == prev_miss + 1
+                        else profile.read_ns
+                    ) + syscall
+                    total += cost - 1.0
+                    device += cost
+                lml = last_run_start + last_run_len - 1
+        else:
+            stats.lines_read += n
+            if miss_runs:
+                read_ns = profile.read_ns
+                seq_read_ns = profile.seq_read_ns
+                prev_end: int | None = None
+                for run_start, run_len in miss_runs:
+                    before = prev_end if prev_end is not None else lml
+                    base = (
+                        seq_read_ns
+                        if before is not None and run_start == before + 1
+                        else read_ns
+                    )
+                    cost = base + (run_len - 1) * seq_read_ns + run_len * syscall
+                    total += cost
+                    device += cost
+                    prev_end = run_start + run_len - 1
+                lml = prev_end
+        if evictions:
+            write_ns = profile.write_ns
+            seq_write_ns = profile.seq_write_ns
+            evict_programmed = self._evict_programmed
+            for at, victim in evictions:
+                # The triggering miss set _last_media_line to `at`, so the
+                # write-back is sequential exactly when victim == at + 1.
+                cost = (seq_write_ns if victim == at + 1 else write_ns) + syscall
+                total += cost
+                device += cost
+                self._program_line(victim)
+                # A victim re-dirtied later in this same span would have
+                # its flag discarded by the per-line loop; skip adding it.
+                if not (dirty and at < victim <= last):
+                    evict_programmed.add(victim)
+            stats.writebacks += len(evictions)
+        if miss_runs:
+            self._last_media_line = lml
+        if device:
+            stats.device_ns += device
+        self.clock.ns += total

@@ -112,15 +112,46 @@ def record_trace(memory: SimulatedMemory) -> Iterator[AccessTrace]:
         trace.events.append(("f", 0, 0))
         return original_flush()
 
+    # The fused scalar accessors charge identically to their literal
+    # read/write decomposition (pinned by the batch-equivalence suite),
+    # so while recording we route them through the traced primitives:
+    # the trace then captures every logical access and replays to the
+    # same simulated cost.
+
+    def read_uint(offset: int, size: int, signed: bool = False) -> int:
+        return int.from_bytes(read(offset, size), "little", signed=signed)
+
+    def write_uint(offset: int, size: int, value: int, signed: bool = False) -> None:
+        write(offset, value.to_bytes(size, "little", signed=signed))
+
+    def rmw_add(offset: int, size: int, delta: int, signed: bool = False) -> int:
+        value = read_uint(offset, size, signed=signed) + delta
+        write_uint(offset, size, value, signed=signed)
+        return value
+
+    def rmw_add_each(
+        pairs, size: int, signed: bool = False, collect: bool = False
+    ) -> list[int] | None:
+        values = [rmw_add(offset, size, delta, signed=signed) for offset, delta in pairs]
+        return values if collect else None
+
     memory.read = read  # type: ignore[method-assign]
     memory.write = write  # type: ignore[method-assign]
     memory.flush = flush  # type: ignore[method-assign]
+    memory.read_uint = read_uint  # type: ignore[method-assign]
+    memory.write_uint = write_uint  # type: ignore[method-assign]
+    memory.rmw_add = rmw_add  # type: ignore[method-assign]
+    memory.rmw_add_each = rmw_add_each  # type: ignore[method-assign]
     try:
         yield trace
     finally:
         memory.read = original_read  # type: ignore[method-assign]
         memory.write = original_write  # type: ignore[method-assign]
         memory.flush = original_flush  # type: ignore[method-assign]
+        del memory.read_uint
+        del memory.write_uint
+        del memory.rmw_add
+        del memory.rmw_add_each
 
 
 def replay_trace(

@@ -18,44 +18,49 @@ I64 = struct.Struct("<q")
 F64 = struct.Struct("<d")
 
 
+# Scalar fields go through the memory's fused integer accessors, which
+# charge identically to read()/write() of the packed bytes but skip the
+# codec round-trip and (single-line case) the generic span pipeline.
+
+
 def read_u8(mem: SimulatedMemory, offset: int) -> int:
-    return U8.unpack(mem.read(offset, 1))[0]
+    return mem.read_uint(offset, 1)
 
 
 def write_u8(mem: SimulatedMemory, offset: int, value: int) -> None:
-    mem.write(offset, U8.pack(value))
+    mem.write_uint(offset, 1, value)
 
 
 def read_u16(mem: SimulatedMemory, offset: int) -> int:
-    return U16.unpack(mem.read(offset, 2))[0]
+    return mem.read_uint(offset, 2)
 
 
 def write_u16(mem: SimulatedMemory, offset: int, value: int) -> None:
-    mem.write(offset, U16.pack(value))
+    mem.write_uint(offset, 2, value)
 
 
 def read_u32(mem: SimulatedMemory, offset: int) -> int:
-    return U32.unpack(mem.read(offset, 4))[0]
+    return mem.read_uint(offset, 4)
 
 
 def write_u32(mem: SimulatedMemory, offset: int, value: int) -> None:
-    mem.write(offset, U32.pack(value))
+    mem.write_uint(offset, 4, value)
 
 
 def read_u64(mem: SimulatedMemory, offset: int) -> int:
-    return U64.unpack(mem.read(offset, 8))[0]
+    return mem.read_uint(offset, 8)
 
 
 def write_u64(mem: SimulatedMemory, offset: int, value: int) -> None:
-    mem.write(offset, U64.pack(value))
+    mem.write_uint(offset, 8, value)
 
 
 def read_i64(mem: SimulatedMemory, offset: int) -> int:
-    return I64.unpack(mem.read(offset, 8))[0]
+    return mem.read_uint(offset, 8, signed=True)
 
 
 def write_i64(mem: SimulatedMemory, offset: int, value: int) -> None:
-    mem.write(offset, I64.pack(value))
+    mem.write_uint(offset, 8, value, signed=True)
 
 
 def read_u32_array(mem: SimulatedMemory, offset: int, count: int) -> list[int]:

@@ -75,9 +75,44 @@ class FrequencyCounter:
     def add(self, key: int, delta: int) -> None:
         """Accumulate ``delta`` into ``key``'s count."""
         if self._dense:
-            self._backend.set(key, self._backend.get(key) + delta)
+            self._backend.add_at(key, delta)
         else:
             self._backend.add(key, delta)
+
+    def add_many(self, pairs) -> None:
+        """Accumulate many ``(key, delta)`` pairs with batched access.
+
+        Dense counters pre-sum duplicate keys and update slots in
+        ascending key order (ascending device offsets, so misses run
+        sequentially); sparse counters delegate to the hash table's
+        :meth:`~repro.pstruct.phashtable.PHashTable.add_many`.
+        """
+        if self._dense:
+            totals: dict[int, int] = {}
+            get = totals.get
+            for key, delta in pairs:
+                totals[key] = get(key, 0) + delta
+            self._backend.add_at_each(
+                (key, totals[key]) for key in sorted(totals)
+            )
+        else:
+            self._backend.add_many(pairs)
+
+    def add_each(self, keys, delta: int = 1) -> None:
+        """Accumulate ``delta`` for every key, one update per element.
+
+        Unlike :meth:`add_many` this does NOT pre-sum duplicates: every
+        key pays its own read-modify-write in input order, preserving the
+        exact per-token device accounting of a naive scan -- that cost is
+        what the uncompressed baseline measures.  Only the Python call
+        overhead is batched (via the memory layer's fused scattered RMW).
+        """
+        if self._dense:
+            self._backend.add_each(keys, delta)
+        else:
+            add = self._backend.add
+            for key in keys:
+                add(key, delta)
 
     def get(self, key: int) -> int:
         """Return the count for ``key`` (0 when never seen)."""

@@ -142,10 +142,15 @@ class PHashTable:
 
     def put(self, key: int, value: int) -> None:
         """Insert or overwrite ``key``."""
+        if self._put_slot(key, value):
+            self._store_header()
+
+    def _put_slot(self, key: int, value: int) -> bool:
+        """``put`` minus the header store; returns whether a key was inserted."""
         slot, existing = self._locate(key)
         if existing:
             self._write_value(slot, value)
-            return
+            return False
         capacity_before = self._capacity
         self._ensure_room()
         if self._capacity != capacity_before:
@@ -153,7 +158,7 @@ class PHashTable:
             slot, _ = self._locate(key)
         self._write_slot(slot, key, value)
         self._count += 1
-        self._store_header()
+        return True
 
     def get(self, key: int, default: int | None = None) -> int | None:
         """Return the value for ``key`` or ``default``."""
@@ -168,19 +173,87 @@ class PHashTable:
         Returns the new value.  This is the counter-update primitive used
         by every analytics task.
         """
+        value, inserted = self._add_slot(key, delta)
+        if inserted:
+            self._store_header()
+        return value
+
+    def _add_slot(self, key: int, delta: int) -> tuple[int, bool]:
+        """``add`` minus the header store; returns ``(new_value, inserted)``."""
         slot, existing = self._locate(key)
         if existing:
-            new_value = self._read_value(slot) + delta
-            self._write_value(slot, new_value)
-            return new_value
+            new_value = self._mem.rmw_add(self._value_off(slot), 8, delta, signed=True)
+            return new_value, False
         capacity_before = self._capacity
         self._ensure_room()
         if self._capacity != capacity_before:
             slot, _ = self._locate(key)
         self._write_slot(slot, key, delta)
         self._count += 1
-        self._store_header()
-        return delta
+        return delta, True
+
+    # ------------------------------------------------------------------
+    # Bulk operations
+    # ------------------------------------------------------------------
+
+    def insert_many(self, pairs) -> int:
+        """Bulk ``put`` of ``(key, value)`` pairs; returns keys inserted.
+
+        Duplicate keys collapse to the last value, as sequential puts
+        would.  Probes are issued in home-slot order so consecutive
+        insertions walk the status/key/value buffers forward and earn the
+        sequential-access discount; the header is stored once at the end
+        instead of once per insert.
+        """
+        merged: dict[int, int] = {}
+        for key, value in pairs:
+            merged[key] = value
+        if not merged:
+            return 0
+        mask = self._capacity - 1
+        inserted = 0
+        for key in sorted(merged, key=lambda k: hash64(k) & mask):
+            if self._put_slot(key, merged[key]):
+                inserted += 1
+        if inserted:
+            self._store_header()
+        return inserted
+
+    def add_many(self, pairs) -> None:
+        """Bulk ``add``: accumulate many ``(key, delta)`` pairs.
+
+        Deltas for duplicate keys are pre-summed so each distinct key
+        pays one probe; probes run in home-slot order (see
+        :meth:`insert_many`) and the header is stored once.
+        """
+        totals: dict[int, int] = {}
+        get = totals.get
+        for key, delta in pairs:
+            totals[key] = get(key, 0) + delta
+        if not totals:
+            return
+        mask = self._capacity - 1
+        inserted = False
+        for key in sorted(totals, key=lambda k: hash64(k) & mask):
+            if self._add_slot(key, totals[key])[1]:
+                inserted = True
+        if inserted:
+            self._store_header()
+
+    def get_many(self, keys, default: int | None = None) -> list[int | None]:
+        """Bulk ``get``: values for ``keys``, in the order given.
+
+        Lookups are issued in home-slot order internally to keep probe
+        traffic sequential; results are returned in input order.
+        """
+        keys = list(keys)
+        mask = self._capacity - 1
+        out: list[int | None] = [default] * len(keys)
+        for pos in sorted(range(len(keys)), key=lambda i: hash64(keys[i]) & mask):
+            slot, existing = self._locate(keys[pos])
+            if existing:
+                out[pos] = self._read_value(slot)
+        return out
 
     def delete(self, key: int) -> bool:
         """Remove ``key``; return whether it was present."""
@@ -241,18 +314,21 @@ class PHashTable:
         return self._data_offset + self._capacity * 9 + slot * 8
 
     def _read_key(self, slot: int) -> int:
-        return layout.read_u64(self._mem, self._key_off(slot))
+        return self._mem.read_uint(self._key_off(slot), 8)
 
     def _read_value(self, slot: int) -> int:
-        return layout.read_i64(self._mem, self._value_off(slot))
+        return self._mem.read_uint(self._value_off(slot), 8, signed=True)
 
     def _write_value(self, slot: int, value: int) -> None:
-        layout.write_i64(self._mem, self._value_off(slot), value)
+        self._mem.write_uint(self._value_off(slot), 8, value, signed=True)
 
     def _write_slot(self, slot: int, key: int, value: int) -> None:
-        layout.write_u8(self._mem, self._status_off(slot), _OCCUPIED)
-        layout.write_u64(self._mem, self._key_off(slot), key)
-        layout.write_i64(self._mem, self._value_off(slot), value)
+        mem = self._mem
+        data_offset = self._data_offset
+        capacity = self._capacity
+        mem.write_uint(data_offset + slot, 1, _OCCUPIED)
+        mem.write_uint(data_offset + capacity + slot * 8, 8, key)
+        mem.write_uint(data_offset + capacity * 9 + slot * 8, 8, value, signed=True)
 
     def _locate(self, key: int) -> tuple[int, bool]:
         """Probe for ``key``.
@@ -261,21 +337,26 @@ class PHashTable:
         ``(insert_slot, False)`` where ``insert_slot`` is the first
         empty/tombstone slot on the probe path.
         """
-        mask = self._capacity - 1
+        capacity = self._capacity
+        mask = capacity - 1
         h = hash64(key) & mask
         first_free = -1
-        clock = self._mem.clock
-        for i in range(self._capacity):
+        mem = self._mem
+        clock_cpu = mem.clock.cpu
+        read_uint = mem.read_uint
+        data_offset = self._data_offset
+        key_base = data_offset + capacity
+        for i in range(capacity):
             slot = (h + (i * (i + 1)) // 2) & mask  # triangular probing
-            clock.cpu(1)
-            status = layout.read_u8(self._mem, self._status_off(slot))
+            clock_cpu(1)
+            status = read_uint(data_offset + slot, 1)
             if status == _EMPTY:
                 return (first_free if first_free >= 0 else slot), False
             if status == _TOMBSTONE:
                 if first_free < 0:
                     first_free = slot
                 continue
-            if self._read_key(slot) == key:
+            if read_uint(key_base + slot * 8, 8) == key:
                 return slot, True
         if first_free >= 0:
             return first_free, False

@@ -90,6 +90,60 @@ class PQueue:
         self._store_header()
         return value
 
+    def push_many(self, values) -> None:
+        """Enqueue many values with at most two slab writes and one
+        header store (the ring buffer wraps at most once).
+
+        Raises:
+            CapacityError: when the batch does not fit.
+        """
+        values = list(values)
+        count = len(values)
+        if count == 0:
+            return
+        if count > self.capacity - len(self):
+            raise CapacityError(f"traversal queue full ({self.capacity} entries)")
+        cap = self._capacity
+        tail = self._tail
+        run = min(count, cap - tail)
+        self._mem.write_batch(
+            self._data_offset + tail * 4, struct.pack(f"<{run}I", *values[:run])
+        )
+        if run < count:
+            self._mem.write_batch(
+                self._data_offset, struct.pack(f"<{count - run}I", *values[run:])
+            )
+        self._tail = (tail + count) % cap
+        self._store_header()
+
+    def pop_many(self, max_count: int) -> list[int]:
+        """Dequeue up to ``max_count`` values (empty list when drained).
+
+        Mirrors :meth:`push_many`: at most two slab reads plus one header
+        store regardless of the block size.
+        """
+        count = min(max_count, len(self))
+        if count <= 0:
+            return []
+        cap = self._capacity
+        head = self._head
+        run = min(count, cap - head)
+        values = list(
+            struct.unpack(
+                f"<{run}I", self._mem.read_batch(self._data_offset + head * 4, run * 4)
+            )
+        )
+        if run < count:
+            values.extend(
+                struct.unpack(
+                    f"<{count - run}I",
+                    self._mem.read_batch(self._data_offset, (count - run) * 4),
+                )
+            )
+        self._head = (head + count) % cap
+        self._store_header()
+        return values
+
     def _store_header(self) -> None:
         self._mem.write(
             self.header_offset, _HEADER.pack(self._head, self._tail, self._capacity)

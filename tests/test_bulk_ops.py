@@ -1,0 +1,250 @@
+"""Semantic equivalence of the pstruct bulk operations.
+
+The bulk APIs (``PVector.extend/read_range/add_at``, ``PQueue.push_many/
+pop_many``, ``PHashTable.insert_many/add_many/get_many``,
+``FrequencyCounter.add_many``) exist to coalesce device traffic; they
+must behave exactly like the per-element calls they replace -- same
+contents, same lengths, same error conditions -- while charging *no
+more* simulated time.  Each test drives the bulk and per-element paths
+on separate pools and compares the observable results.
+"""
+
+import random
+
+import pytest
+
+from repro.errors import CapacityError
+from repro.nvm.allocator import PoolAllocator
+from repro.nvm.device import DeviceProfile
+from repro.nvm.memory import SimulatedMemory
+from repro.pstruct.pcounter import FrequencyCounter
+from repro.pstruct.phashtable import PHashTable
+from repro.pstruct.pqueue import PQueue
+from repro.pstruct.pvector import PVector
+
+
+def make_allocator(size=1 << 20):
+    mem = SimulatedMemory(DeviceProfile.nvm(), size, cache_bytes=1 << 14)
+    return PoolAllocator(mem, base=0, capacity=size)
+
+
+class TestPVectorBulk:
+    def test_extend_matches_appends(self):
+        values = [random.Random(7).randrange(1 << 32) for _ in range(300)]
+        bulk = PVector.create(make_allocator(), 512)
+        bulk.extend(values)
+        single = PVector.create(make_allocator(), 512)
+        for v in values:
+            single.append(v)
+        assert bulk.to_list() == single.to_list() == values
+        assert len(bulk) == len(single)
+
+    def test_extend_charges_no_more_than_appends(self):
+        values = list(range(400))
+        alloc_bulk = make_allocator()
+        bulk = PVector.create(alloc_bulk, 512)
+        start = alloc_bulk.memory.clock.ns
+        bulk.extend(values)
+        bulk_ns = alloc_bulk.memory.clock.ns - start
+
+        alloc_single = make_allocator()
+        single = PVector.create(alloc_single, 512)
+        start = alloc_single.memory.clock.ns
+        for v in values:
+            single.append(v)
+        single_ns = alloc_single.memory.clock.ns - start
+        assert bulk_ns < single_ns
+
+    def test_extend_empty_is_noop(self):
+        vec = PVector.create(make_allocator(), 8)
+        vec.extend([])
+        assert len(vec) == 0
+
+    def test_extend_overflow_raises_when_fixed(self):
+        vec = PVector.create(make_allocator(), 4)
+        with pytest.raises(CapacityError):
+            vec.extend([1, 2, 3, 4, 5])
+
+    def test_extend_grows_growable(self):
+        vec = PVector.create(make_allocator(), 4, growable=True)
+        vec.extend(list(range(100)))
+        assert vec.to_list() == list(range(100))
+        assert vec.reconstructions > 0
+
+    def test_read_range_matches_gets(self):
+        vec = PVector.create(make_allocator(), 64, elem_size=8)
+        vec.extend([i * (1 << 33) for i in range(50)])
+        assert vec.read_range(10, 25) == [vec.get(i) for i in range(10, 35)]
+        assert vec.read_range(0, 0) == []
+
+    def test_read_range_bounds_checked(self):
+        vec = PVector.create(make_allocator(), 16)
+        vec.extend([1, 2, 3])
+        with pytest.raises(IndexError):
+            vec.read_range(1, 3)  # past length
+        with pytest.raises(IndexError):
+            vec.read_range(0, -1)
+
+    def test_iter_matches_contents(self):
+        values = list(range(1500))  # spans multiple read chunks
+        vec = PVector.create(make_allocator(), 2048)
+        vec.extend(values)
+        assert list(vec) == values
+
+    def test_add_at_is_get_plus_set(self):
+        a = PVector.create(make_allocator(), 8)
+        a.extend([10, 20, 30])
+        assert a.add_at(1, 5) == 25
+        assert a.get(1) == 25
+
+        b_alloc = make_allocator()
+        b = PVector.create(b_alloc, 8)
+        b.extend([10, 20, 30])
+        start = b_alloc.memory.clock.ns
+        b.set(1, b.get(1) + 5)
+        rmw_ns = b_alloc.memory.clock.ns - start
+        c_alloc = make_allocator()
+        c = PVector.create(c_alloc, 8)
+        c.extend([10, 20, 30])
+        start = c_alloc.memory.clock.ns
+        c.add_at(1, 5)
+        assert c_alloc.memory.clock.ns - start == rmw_ns
+
+
+class TestPQueueBulk:
+    def test_push_many_pop_many_fifo(self):
+        q = PQueue.create(make_allocator(), 100)
+        q.push_many(range(60))
+        assert q.pop_many(25) == list(range(25))
+        assert q.pop_many(100) == list(range(25, 60))
+        assert q.pop_many(5) == []
+        assert q.is_empty()
+
+    def test_wraparound_preserved(self):
+        q = PQueue.create(make_allocator(), 10)
+        q.push_many(range(8))
+        assert q.pop_many(6) == list(range(6))
+        q.push_many(range(100, 107))  # tail wraps past the slab end
+        assert len(q) == 9
+        assert q.pop_many(9) == [6, 7] + list(range(100, 107))
+
+    def test_push_many_overflow_raises_and_leaves_queue_intact(self):
+        q = PQueue.create(make_allocator(), 5)
+        q.push_many([1, 2, 3])
+        with pytest.raises(CapacityError):
+            q.push_many([4, 5, 6])
+        assert q.pop_many(10) == [1, 2, 3]
+
+    def test_bulk_matches_singles(self):
+        rng = random.Random(11)
+        ops = [("push", rng.randrange(1 << 16)) if rng.random() < 0.6 else ("pop",)
+               for _ in range(200)]
+        bulk = PQueue.create(make_allocator(), 256)
+        single = PQueue.create(make_allocator(), 256)
+        pending: list[int] = []
+        popped_bulk: list[int] = []
+        popped_single: list[int] = []
+        for op in ops:
+            if op[0] == "push":
+                pending.append(op[1])
+            else:
+                if pending:
+                    bulk.push_many(pending)
+                    for v in pending:
+                        single.push(v)
+                    pending.clear()
+                popped_bulk.extend(bulk.pop_many(3))
+                for _ in range(3):
+                    if single.is_empty():
+                        break
+                    popped_single.append(single.pop())
+        assert popped_bulk == popped_single
+        assert bulk.pop_many(1000) == [
+            single.pop() for _ in range(len(single))
+        ]
+
+
+class TestPHashTableBulk:
+    def test_insert_many_matches_puts(self):
+        rng = random.Random(3)
+        pairs = [(rng.randrange(1 << 20), rng.randrange(1 << 30)) for _ in range(400)]
+        bulk = PHashTable.create(make_allocator(), 600)
+        inserted = bulk.insert_many(pairs)
+        single = PHashTable.create(make_allocator(), 600)
+        for k, v in pairs:
+            single.put(k, v)
+        assert bulk.to_dict() == single.to_dict()
+        assert inserted == len(bulk) == len(single)
+
+    def test_insert_many_duplicates_last_wins(self):
+        table = PHashTable.create(make_allocator(), 16)
+        assert table.insert_many([(1, 10), (2, 20), (1, 99)]) == 2
+        assert table.get(1) == 99
+        assert table.insert_many([]) == 0
+
+    def test_add_many_presummed(self):
+        table = PHashTable.create(make_allocator(), 16)
+        table.add_many([(5, 1), (7, 2), (5, 3)])
+        table.add_many([(5, 10)])
+        assert table.get(5) == 14
+        assert table.get(7) == 2
+
+    def test_add_many_matches_adds_through_growth(self):
+        rng = random.Random(17)
+        pairs = [(rng.randrange(50), rng.randrange(9) + 1) for _ in range(500)]
+        bulk = PHashTable.create(make_allocator(), 4, growable=True)
+        bulk.add_many(pairs)
+        single = PHashTable.create(make_allocator(), 4, growable=True)
+        for k, d in pairs:
+            single.add(k, d)
+        assert bulk.to_dict() == single.to_dict()
+
+    def test_get_many_returns_input_order(self):
+        table = PHashTable.create(make_allocator(), 32)
+        table.insert_many([(i, i * i) for i in range(10)])
+        keys = [9, 0, 44, 3, 9]
+        assert table.get_many(keys) == [81, 0, None, 9, 81]
+        assert table.get_many(keys, default=-1)[2] == -1
+        assert table.get_many([]) == []
+
+    def test_bulk_cheaper_than_singles(self):
+        pairs = [(i * 613, 1) for i in range(300)]
+        bulk_alloc = make_allocator()
+        bulk = PHashTable.create(bulk_alloc, 512)
+        start = bulk_alloc.memory.clock.ns
+        bulk.add_many(pairs)
+        bulk_ns = bulk_alloc.memory.clock.ns - start
+
+        single_alloc = make_allocator()
+        single = PHashTable.create(single_alloc, 512)
+        start = single_alloc.memory.clock.ns
+        for k, d in pairs:
+            single.add(k, d)
+        single_ns = single_alloc.memory.clock.ns - start
+        assert bulk_ns < single_ns
+
+
+class TestFrequencyCounterBulk:
+    @pytest.mark.parametrize("kind", ["dense", "sparse"])
+    def test_add_many_matches_adds(self, kind):
+        rng = random.Random(23)
+        pairs = [(rng.randrange(64), rng.randrange(5) + 1) for _ in range(300)]
+        if kind == "dense":
+            bulk = FrequencyCounter.dense(make_allocator(), 64)
+            single = FrequencyCounter.dense(make_allocator(), 64)
+        else:
+            bulk = FrequencyCounter.sparse(
+                make_allocator(), expected_distinct=8, growable=True
+            )
+            single = FrequencyCounter.sparse(
+                make_allocator(), expected_distinct=8, growable=True
+            )
+        bulk.add_many(pairs)
+        for k, d in pairs:
+            single.add(k, d)
+        assert bulk.to_dict() == single.to_dict()
+
+    def test_add_many_accepts_generator(self):
+        counter = FrequencyCounter.dense(make_allocator(), 8)
+        counter.add_many((k, 2) for k in [1, 1, 3])
+        assert counter.to_dict() == {1: 4, 3: 2}

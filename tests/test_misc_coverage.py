@@ -37,6 +37,23 @@ class TestChargeSequentialIO:
         cost = charge_sequential_io(clock, nvm, 1)
         assert cost == pytest.approx(nvm.read_ns)
 
+    def test_exact_line_multiple_adds_no_padding_line(self):
+        nvm = DeviceProfile.nvm()
+        exact = charge_sequential_io(SimulatedClock(), nvm, nvm.line_size * 4)
+        assert exact == pytest.approx(nvm.read_ns + 3 * nvm.seq_read_ns)
+        one_over = charge_sequential_io(
+            SimulatedClock(), nvm, nvm.line_size * 4 + 1
+        )
+        assert one_over == pytest.approx(nvm.read_ns + 4 * nvm.seq_read_ns)
+
+    def test_single_full_line_charges_base_rate_only(self):
+        nvm = DeviceProfile.nvm()
+        for write in (False, True):
+            cost = charge_sequential_io(
+                SimulatedClock(), nvm, nvm.line_size, write=write
+            )
+            assert cost == pytest.approx(nvm.write_ns if write else nvm.read_ns)
+
 
 class TestPoolRegionRegistration:
     def test_register_and_reload(self):

@@ -253,6 +253,25 @@ class TestBackingFile:
         with pytest.raises(InvalidAccessError):
             mem.attach_file(path, load=True)
 
+    def test_smaller_image_loads_prefix_and_zero_fills_rest(self, tmp_path):
+        # Reopening a pool on a larger device: the image covers a prefix,
+        # the tail stays zeroed, and the whole state counts as flushed.
+        path = tmp_path / "pool.img"
+        path.write_bytes(b"head" + bytes(252))  # 256 B image, 4 KiB device
+        mem = make_nvm(size=4096)
+        mem.attach_file(path, load=True)
+        assert mem.read(0, 4) == b"head"
+        assert mem.read(256, 16) == bytes(16)
+        assert mem.read(4080, 16) == bytes(16)
+        mem.write(0, b"scratch")
+        mem.crash()  # loaded image must survive as the recovery point
+        assert mem.read(0, 4) == b"head"
+
+    def test_missing_image_load_is_noop(self, tmp_path):
+        mem = make_nvm(size=4096)
+        mem.attach_file(tmp_path / "absent.img", load=True)
+        assert mem.read(0, 8) == bytes(8)
+
 
 class TestPeekPoke:
     def test_peek_free_of_charge(self):

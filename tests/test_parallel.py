@@ -21,7 +21,7 @@ def build(text="u v w x u v w x y z u v y z w x " * 30):
     return corpus, dag, pruned, pool
 
 
-def build_wide(n_paragraphs=200, phrases_per_paragraph=15):
+def build_wide(n_paragraphs=200, phrases_per_paragraph=15, cache_bytes=None):
     """A corpus whose DAG has a wide middle tier: many sibling paragraph
     rules, each with its own subrule fan-out -- the shape rule-level
     parallelism thrives on (the root itself is inherently sequential)."""
@@ -36,7 +36,8 @@ def build_wide(n_paragraphs=200, phrases_per_paragraph=15):
     text = " ".join(p + " " + p for p in paragraphs)
     corpus = compress_files([("f", text)])
     dag = Dag(corpus)
-    pool = NvmPool(SimulatedMemory(DeviceProfile.nvm(), 1 << 21))
+    kwargs = {} if cache_bytes is None else {"cache_bytes": cache_bytes}
+    pool = NvmPool(SimulatedMemory(DeviceProfile.nvm(), 1 << 21, **kwargs))
     pruned = PrunedDag.build(pool, corpus, dag, bounds=summate_all(dag))
     return corpus, dag, pruned, pool
 
@@ -120,6 +121,43 @@ class TestParallelPropagation:
         # elapsed = parallel time + the (small) weight-reset preamble.
         assert report.parallel_ns <= elapsed <= report.parallel_ns * 1.5
         assert elapsed < report.serial_ns
+
+    def test_device_time_refunded_with_clock(self):
+        """device_ns is time-denominated and must shrink by the same
+        refund proportion as the clock -- otherwise a parallel run
+        reports sequential device time against a rewound clock."""
+        # A cache far smaller than the DAG keeps device traffic alive
+        # during propagation (the default cache absorbs it entirely).
+        _, dag, pruned, pool = build_wide(cache_bytes=1 << 12)
+        levels = dag.topological_levels()
+        stats = pool.memory.stats
+        start = stats.device_ns
+        parallel_weight_propagation(
+            pruned, pool.allocator, levels, workers=1, contention=0.0
+        )
+        serial_device = stats.device_ns - start
+
+        _, dag, pruned, pool = build_wide(cache_bytes=1 << 12)
+        stats = pool.memory.stats
+        start = stats.device_ns
+        parallel_weight_propagation(
+            pruned, pool.allocator, levels, workers=4, contention=0.0
+        )
+        parallel_device = stats.device_ns - start
+
+        assert serial_device > 0.0
+        assert 0.0 <= parallel_device < serial_device
+
+    def test_device_time_never_exceeds_elapsed(self):
+        _, dag, pruned, pool = build_wide(cache_bytes=1 << 12)
+        levels = dag.topological_levels()
+        clock = pool.memory.clock
+        stats = pool.memory.stats
+        clock_start, device_start = clock.ns, stats.device_ns
+        parallel_weight_propagation(
+            pruned, pool.allocator, levels, workers=4, contention=0.0
+        )
+        assert stats.device_ns - device_start <= clock.ns - clock_start
 
     def test_invalid_args(self):
         corpus, dag, pruned, pool = build()

@@ -57,6 +57,32 @@ class TestTracking:
         report = wear_report(mem)
         assert report.total_programs >= 1
 
+    def test_eviction_writeback_then_flush_is_one_program(self):
+        """A line programmed by an eviction write-back holds its final
+        data on media; the next flush persists cache state but must not
+        count the same logical program twice."""
+        mem = tracked(cache_bytes=256)  # 1-line cache
+        mem.write(0, b"a" * 256)   # dirty line 0
+        mem.read(1024, 1)          # evicts line 0 -> media program
+        mem.flush()                # line 0 still dirty, but already on media
+        report = wear_report(mem)
+        assert mem.wear[0] == 1
+        # A genuinely new write afterwards programs again on flush.
+        mem.write(0, b"b" * 256)
+        mem.flush()
+        assert mem.wear[0] == 2
+        assert wear_report(mem).total_programs == report.total_programs + 1
+
+    def test_redirtied_evicted_line_programs_again(self):
+        """Re-dirtying a line after its eviction write-back invalidates
+        the dedup: the newer data still needs its own media program."""
+        mem = tracked(cache_bytes=256)
+        mem.write(0, b"a" * 256)
+        mem.read(1024, 1)          # write-back eviction of line 0
+        mem.write(0, b"c" * 256)   # new contents, cached dirty again
+        mem.flush()
+        assert mem.wear[0] == 2
+
     def test_cached_rewrites_do_not_program(self):
         """Rewriting a cached dirty line costs no extra media programs
         until the next flush -- the write-coalescing NVM caches rely on."""
