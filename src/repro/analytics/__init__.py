@@ -16,8 +16,8 @@ from repro.analytics.base import (
 )
 from repro.analytics.inverted_index import InvertedIndex
 from repro.analytics.locate import WordLocate
-from repro.analytics.search import WordSearch
 from repro.analytics.ranked_inverted_index import RankedInvertedIndex
+from repro.analytics.search import WordSearch
 from repro.analytics.sequence_count import SequenceCount
 from repro.analytics.sort_task import Sort
 from repro.analytics.term_vector import TermVector

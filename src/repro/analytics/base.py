@@ -15,9 +15,9 @@ from typing import Any, Callable, Iterator
 from repro.core.grammar import is_separator
 from repro.core.pruning import PrunedDag
 from repro.core.traversal import compute_wordlists_bottomup
+from repro.metrics.ledger import MemoryLedger
 from repro.nvm.allocator import PoolAllocator
 from repro.nvm.memory import SimulatedClock, SimulatedMemory
-from repro.metrics.ledger import MemoryLedger
 from repro.pstruct.phashtable import PHashTable
 
 #: Charged CPU ops per comparison when tasks sort results.

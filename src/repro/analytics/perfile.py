@@ -13,7 +13,7 @@ Both traversal strategies of Section VI-E are implemented:
 from __future__ import annotations
 
 from repro.analytics.base import CompressedTaskContext, UncompressedTaskContext
-from repro.core.grammar import is_rule_ref, is_word
+from repro.core.grammar import is_word
 from repro.core.traversal import (
     full_sweep_weights_for_segment,
     merge_segment_counts,

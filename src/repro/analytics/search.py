@@ -79,7 +79,7 @@ class WordSearch(AnalyticsTask):
                             found.add(query)
                 if len(found) == len(queries):
                     break  # early exit: every query already matched
-            for word in found:
+            for word in sorted(found):
                 postings[word].append(file_index)
             ctx.op_commit()
         return postings
@@ -98,7 +98,7 @@ class WordSearch(AnalyticsTask):
                         found.add(token)
                 if len(found) == len(queries):
                     break
-            for word in found:
+            for word in sorted(found):
                 postings[word].append(file_index)
             ctx.op_commit()
         return postings

@@ -11,6 +11,7 @@ Commands::
     search      find the documents containing given words
     query       boolean document query ("error AND NOT retry")
     reproduce   regenerate a paper figure/table (wraps the benchmarks)
+    lint        run nvmlint, the NVM access-discipline checker
 """
 
 from __future__ import annotations
@@ -109,6 +110,12 @@ def _build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=None,
         help="corpus cache directory (skips Sequitur on reruns)",
+    )
+
+    sub.add_parser(
+        "lint",
+        help="check NVM access discipline (see docs/lint.md)",
+        add_help=False,  # nvmlint owns its own --help; see main()
     )
     return parser
 
@@ -303,6 +310,14 @@ _COMMANDS = {
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        # Hand the rest of the command line to nvmlint untouched; argparse
+        # REMAINDER cannot forward option tokens like --list-rules.
+        from repro.lint.cli import main as lint_main
+
+        return lint_main(argv[1:])
     args = _build_parser().parse_args(argv)
     return _COMMANDS[args.command](args)
 

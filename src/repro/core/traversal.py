@@ -18,8 +18,8 @@ device cost model.  The traversal queue lives in the pool, as in Fig. 3.
 
 from __future__ import annotations
 
-from repro.core.pruning import PrunedDag
 from repro.core.grammar import is_rule_ref, is_separator, rule_index
+from repro.core.pruning import PrunedDag
 from repro.nvm.allocator import PoolAllocator
 from repro.pstruct import layout
 from repro.pstruct.phashtable import PHashTable

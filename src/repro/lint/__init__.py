@@ -1,0 +1,33 @@
+"""nvmlint: AST-based NVM access-discipline and persistence-correctness linter.
+
+The simulator's core guarantee -- cost accounting that is deterministic
+and bit-identical across access paths, and persistence semantics faithful
+to the paper's SectionIV-E -- rests on call-site discipline that runtime
+tests can only sample.  nvmlint makes the discipline machine-checked on
+every commit:
+
+====== =============================================================
+Rule   Checks
+====== =============================================================
+ND001  raw device-buffer access (``peek``/``poke``/``_buf``) outside
+       the accounting layer
+ND002  unlogged writes inside ``TransactionLog.transaction()`` blocks
+ND003  nondeterminism in cost-charging paths (wall-clock reads,
+       unseeded ``random``, set iteration)
+ND004  struct format/width mismatches between declarations and the
+       sizes used at call sites
+ND005  ``complete_phase`` reachable without a preceding ``flush()``
+====== =============================================================
+
+Run it as ``python -m repro.lint src/`` or ``ntadoc lint src/``.
+Suppress a deliberate finding with a same-line comment::
+
+    mem.poke(0, b"x")  # nvmlint: disable=ND001 -- debug dump, uncharged
+
+See ``docs/lint.md`` for the full rule reference.
+"""
+
+from repro.lint.core import Finding, LintResult, lint_paths
+from repro.lint.rules import REGISTRY, all_rule_ids
+
+__all__ = ["Finding", "LintResult", "lint_paths", "REGISTRY", "all_rule_ids"]

@@ -1,0 +1,166 @@
+"""nvmlint command line: ``python -m repro.lint`` / ``ntadoc lint``.
+
+Exit codes: 0 clean, 1 findings, 2 usage or internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.lint.core import (
+    LintResult,
+    lint_paths,
+    load_baseline,
+    write_baseline,
+)
+from repro.lint.rules import REGISTRY, all_rule_ids
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="nvmlint",
+        description=(
+            "AST-based NVM access-discipline and persistence-correctness "
+            "linter (rules ND001-ND005; see docs/lint.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/ if present, else .)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        type=Path,
+        help="JSON baseline of accepted findings to filter out",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to --baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress the summary line (text format)",
+    )
+    return parser
+
+
+def _split_rules(raw: str | None) -> list[str] | None:
+    if raw is None:
+        return None
+    return [chunk.strip() for chunk in raw.split(",") if chunk.strip()]
+
+
+def _default_paths() -> list[str]:
+    return ["src"] if Path("src").is_dir() else ["."]
+
+
+def _render_text(result: LintResult, quiet: bool) -> None:
+    for finding in result.findings:
+        print(finding.render())
+    if quiet:
+        return
+    notes = []
+    if result.suppressed:
+        notes.append(f"{result.suppressed} suppressed")
+    if result.baselined:
+        notes.append(f"{result.baselined} baselined")
+    suffix = f" ({', '.join(notes)})" if notes else ""
+    if result.findings:
+        print(
+            f"nvmlint: {len(result.findings)} finding(s) in "
+            f"{result.files_checked} file(s){suffix}"
+        )
+    else:
+        print(f"nvmlint: {result.files_checked} file(s) clean{suffix}")
+
+
+def _render_json(result: LintResult) -> None:
+    payload = {
+        "findings": [f.as_dict() for f in result.findings],
+        "summary": {
+            "files_checked": result.files_checked,
+            "findings": len(result.findings),
+            "suppressed": result.suppressed,
+            "baselined": result.baselined,
+        },
+    }
+    print(json.dumps(payload, indent=2))
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for rule_id in all_rule_ids():
+            print(f"{rule_id}  {REGISTRY[rule_id].summary}")
+        return 0
+
+    if args.write_baseline and args.baseline is None:
+        print("nvmlint: --write-baseline requires --baseline", file=sys.stderr)
+        return 2
+
+    baseline = None
+    if args.baseline is not None and args.baseline.exists() and not args.write_baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError) as exc:
+            print(f"nvmlint: bad baseline file: {exc}", file=sys.stderr)
+            return 2
+
+    try:
+        result = lint_paths(
+            args.paths or _default_paths(),
+            select=_split_rules(args.select),
+            ignore=_split_rules(args.ignore),
+            baseline=baseline,
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"nvmlint: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        write_baseline(args.baseline, result.findings)
+        print(
+            f"nvmlint: wrote {len(result.findings)} finding(s) to "
+            f"{args.baseline}"
+        )
+        return 0
+
+    if args.format == "json":
+        _render_json(result)
+    else:
+        _render_text(result, args.quiet)
+    return result.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,261 @@
+"""Lint engine: file discovery, suppressions, rule dispatch, baselines.
+
+The engine is deliberately small: a :class:`ModuleFile` wraps one parsed
+source file with lazily computed shared analyses (import table, constant
+environment), rules are callables registered in
+:mod:`repro.lint.rules`, and :func:`lint_paths` fans the modules through
+every enabled rule, filtering suppressed and baselined findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass
+from functools import cached_property
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.rules.common import ConstEnv
+
+#: Same-line suppression marker::  # nvmlint: disable=ND001,ND003
+_SUPPRESS_RE = re.compile(r"#\s*nvmlint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def fingerprint(self) -> str:
+        """Location-insensitive identity used by the baseline file.
+
+        Line numbers churn with unrelated edits, so the baseline keys on
+        path + rule + message and matches occurrences as a multiset.
+        """
+        return f"{self.path}::{self.rule}::{self.message}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+class ModuleFile:
+    """One parsed source file plus shared, lazily computed analyses."""
+
+    def __init__(self, path: Path, rel: str, source: str) -> None:
+        self.path = path
+        #: Path as reported in findings (relative when possible, POSIX
+        #: separators so whitelists and baselines are platform-stable).
+        self.rel = rel
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=str(path))
+
+    # -- location-based whitelisting ----------------------------------
+
+    @cached_property
+    def is_test_file(self) -> bool:
+        """Whether the file lives in a test tree (exempt from most rules)."""
+        parts = self.path.parts
+        name = self.path.name
+        return (
+            "tests" in parts
+            or name.startswith("test_")
+            or name == "conftest.py"
+        )
+
+    def rel_endswith(self, *suffixes: str) -> bool:
+        """Whether the POSIX-form path ends with any given suffix."""
+        return any(self.rel.endswith(suffix) for suffix in suffixes)
+
+    # -- suppressions -------------------------------------------------
+
+    @cached_property
+    def suppressions(self) -> dict[int, set[str]]:
+        """Map of line number -> rule ids disabled on that line."""
+        table: dict[int, set[str]] = {}
+        for idx, text in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(text)
+            if match:
+                rules = {
+                    chunk.strip().upper()
+                    for chunk in match.group(1).split(",")
+                    if chunk.strip()
+                }
+                table[idx] = rules
+        return table
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        rules = self.suppressions.get(finding.line)
+        if not rules:
+            return False
+        return finding.rule in rules or "ALL" in rules
+
+    # -- shared analyses ----------------------------------------------
+
+    @cached_property
+    def import_table(self) -> dict[str, str]:
+        """Local name -> fully qualified dotted name, from imports."""
+        table: dict[str, str] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    table[alias.asname or alias.name.split(".")[0]] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    table[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+        return table
+
+    @cached_property
+    def const_env(self) -> "ConstEnv":
+        """Module-level constant environment (see rules/common.py)."""
+        from repro.lint.rules.common import ConstEnv
+
+        return ConstEnv.from_module(self)
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=rule,
+            path=self.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: list[Finding]
+    suppressed: int = 0
+    baselined: int = 0
+    files_checked: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.findings else 0
+
+
+def discover_files(paths: Iterable[str | Path]) -> list[Path]:
+    """Expand file and directory arguments into a sorted python file list."""
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            seen.update(p for p in path.rglob("*.py"))
+        elif path.suffix == ".py" and path.exists():
+            seen.add(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+    return sorted(seen)
+
+
+def _relativize(path: Path) -> str:
+    try:
+        rel = path.resolve().relative_to(Path.cwd().resolve())
+    except ValueError:
+        rel = path
+    return rel.as_posix()
+
+
+def load_baseline(path: str | Path) -> dict[str, int]:
+    """Read a baseline file into a fingerprint -> count multiset."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    counts: dict[str, int] = {}
+    for fp in data.get("findings", []):
+        counts[fp] = counts.get(fp, 0) + 1
+    return counts
+
+
+def write_baseline(path: str | Path, findings: Iterable[Finding]) -> None:
+    """Persist current findings as the accepted baseline."""
+    payload = {
+        "version": 1,
+        "findings": sorted(f.fingerprint() for f in findings),
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+    baseline: dict[str, int] | None = None,
+) -> LintResult:
+    """Run every enabled rule over the python files under ``paths``.
+
+    Args:
+        paths: Files and/or directories to lint.
+        select: Rule ids to run (default: all registered rules).
+        ignore: Rule ids to skip.
+        baseline: Fingerprint multiset of accepted findings to filter out.
+    """
+    from repro.lint.rules import REGISTRY
+
+    selected = {r.upper() for r in select} if select else set(REGISTRY)
+    if ignore:
+        selected -= {r.upper() for r in ignore}
+    unknown = selected - set(REGISTRY)
+    if unknown:
+        raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+    rules = [REGISTRY[rule_id] for rule_id in sorted(selected)]
+
+    result = LintResult(findings=[])
+    remaining = dict(baseline) if baseline else {}
+    for path in discover_files(paths):
+        result.files_checked += 1
+        rel = _relativize(path)
+        try:
+            module = ModuleFile(path, rel, path.read_text(encoding="utf-8"))
+        except SyntaxError as exc:
+            result.findings.append(
+                Finding(
+                    rule="ND000",
+                    path=rel,
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+            continue
+        for rule in rules:
+            for finding in rule.check(module):
+                if module.is_suppressed(finding):
+                    result.suppressed += 1
+                    continue
+                fp = finding.fingerprint()
+                if remaining.get(fp, 0) > 0:
+                    remaining[fp] -= 1
+                    result.baselined += 1
+                    continue
+                result.findings.append(finding)
+    result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return result
+
+
+def iter_calls(tree: ast.AST) -> Iterator[ast.Call]:
+    """All Call nodes in ``tree`` (convenience for rules)."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node

@@ -1,0 +1,60 @@
+"""Rule registry.
+
+A rule is any object with an ``id``, a ``summary``, and a
+``check(module) -> Iterator[Finding]`` method.  Modules register their
+rule with the :func:`register` decorator; importing this package pulls in
+every built-in rule.  Adding a rule is therefore: drop a module in this
+package, decorate the class, import it below.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator, Protocol
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lint.core import Finding, ModuleFile
+
+
+class Rule(Protocol):
+    id: str
+    summary: str
+
+    def check(self, module: "ModuleFile") -> "Iterator[Finding]": ...
+
+
+REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls):
+    """Class decorator: instantiate the rule and add it to the registry."""
+    rule = cls()
+    if rule.id in REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    REGISTRY[rule.id] = rule
+    return cls
+
+
+def all_rule_ids() -> list[str]:
+    return sorted(REGISTRY)
+
+
+# Built-in rules (import order is registry order).
+from repro.lint.rules import (  # noqa: E402  (registry must exist first)
+    nd001_raw_access,
+    nd002_unlogged_tx_write,
+    nd003_nondeterminism,
+    nd004_struct_width,
+    nd005_phase_order,
+)
+
+__all__ = [
+    "REGISTRY",
+    "Rule",
+    "all_rule_ids",
+    "register",
+    "nd001_raw_access",
+    "nd002_unlogged_tx_write",
+    "nd003_nondeterminism",
+    "nd004_struct_width",
+    "nd005_phase_order",
+]

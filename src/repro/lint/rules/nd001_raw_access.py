@@ -1,0 +1,60 @@
+"""ND001: raw device access outside the accounting layer.
+
+Every byte that touches a simulated device must flow through the
+accounted :class:`~repro.nvm.memory.SimulatedMemory` accessors so the
+shared clock, the line cache, and the wear ledger stay truthful --
+that accounting *is* the experiment.  ``peek``/``poke`` (the explicitly
+uncharged escape hatch) and direct ``_buf`` indexing silently read or
+mutate device state at zero cost, which skews every figure built on the
+run.
+
+Whitelisted: the accounting layer itself (``nvm/memory.py``), the trace
+replayer (``nvm/trace.py``), and test code, where uncharged inspection
+is the point.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import Finding, ModuleFile
+from repro.lint.rules import register
+
+#: Modules allowed to touch the device buffer directly.
+ALLOWED_SUFFIXES = ("repro/nvm/memory.py", "repro/nvm/trace.py")
+
+_RAW_METHODS = ("peek", "poke")
+
+
+@register
+class RawDeviceAccess:
+    id = "ND001"
+    summary = (
+        "raw device access (peek/poke/_buf) outside the accounting layer"
+    )
+
+    def check(self, module: ModuleFile) -> Iterator[Finding]:
+        if module.is_test_file or module.rel_endswith(*ALLOWED_SUFFIXES):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Attribute) and node.attr == "_buf":
+                yield module.finding(
+                    self.id,
+                    node,
+                    "direct access to the device buffer '_buf' bypasses "
+                    "cost accounting; use the SimulatedMemory "
+                    "read/write accessors",
+                )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _RAW_METHODS
+            ):
+                yield module.finding(
+                    self.id,
+                    node,
+                    f"uncharged raw accessor '{node.func.attr}()' outside "
+                    "the accounting layer; use read/write (or move the "
+                    "code into tests)",
+                )

@@ -1,0 +1,102 @@
+"""ND002: unlogged device writes inside a transaction block.
+
+Operation-level persistence (the libpmemobj analog of SectionIV-E) is
+only atomic because every mutation inside ``TransactionLog.transaction()``
+persists an undo record *before* the data write.  A direct
+``mem.write(...)`` inside the block silently skips the log: the write
+neither rolls back on abort nor pays the log's write amplification --
+the exact quantity the paper measures as the Fig.5a/5b gap.
+
+Inside a ``with <log>.transaction() as tx:`` block, only ``tx.write``
+(or other methods of the transaction handle) may mutate the pool.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import Finding, ModuleFile, iter_calls
+from repro.lint.rules import register
+from repro.lint.rules.common import leftmost_name
+
+#: SimulatedMemory/pool mutators that bypass the undo log.
+WRITE_METHODS = {
+    "write",
+    "write_batch",
+    "write_uint",
+    "fill",
+    "rmw_add",
+    "rmw_add_each",
+    "poke",
+}
+
+#: Module-level write helpers (repro.pstruct.layout) take the memory as
+#: their first argument, so they bypass the log just the same.
+_WRITE_PREFIX = "write_"
+
+
+@register
+class UnloggedTransactionWrite:
+    id = "ND002"
+    summary = "device write inside a transaction() block bypasses the undo log"
+
+    def check(self, module: ModuleFile) -> Iterator[Finding]:
+        if module.is_test_file:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            for item in node.items:
+                tx_name = self._transaction_target(item)
+                if tx_name is not _NOT_A_TX:
+                    yield from self._check_block(module, node, tx_name)
+                    break
+
+    @staticmethod
+    def _transaction_target(item: ast.withitem) -> str | None:
+        """The ``as`` name of a ``.transaction()`` context, if this is one."""
+        expr = item.context_expr
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and expr.func.attr == "transaction"
+        ):
+            if isinstance(item.optional_vars, ast.Name):
+                return item.optional_vars.id
+            return None  # no handle bound: nothing inside may write
+        return _NOT_A_TX
+
+    def _check_block(
+        self, module: ModuleFile, block: ast.With | ast.AsyncWith, tx: str | None
+    ) -> Iterator[Finding]:
+        for stmt in block.body:
+            for call in iter_calls(stmt):
+                name = self._write_callee(call)
+                if name is None:
+                    continue
+                if tx is not None and leftmost_name(call.func) == tx:
+                    continue  # tx.write(...) is the logged path
+                yield module.finding(
+                    self.id,
+                    call,
+                    f"'{name}' inside a transaction() block bypasses the "
+                    "undo log; route the mutation through the transaction "
+                    "handle's write()",
+                )
+
+    @staticmethod
+    def _write_callee(call: ast.Call) -> str | None:
+        if isinstance(call.func, ast.Attribute):
+            attr = call.func.attr
+            if attr in WRITE_METHODS or attr.startswith(_WRITE_PREFIX):
+                return attr
+        elif isinstance(call.func, ast.Name):
+            if call.func.id.startswith(_WRITE_PREFIX):
+                return call.func.id
+        return None
+
+
+#: Sentinel distinguishing "not a transaction context" from "transaction
+#: context without an ``as`` target" (both are falsy-ish otherwise).
+_NOT_A_TX = "\x00not-a-transaction"

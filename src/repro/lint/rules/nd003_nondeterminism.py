@@ -1,0 +1,151 @@
+"""ND003: nondeterminism in cost-charging paths.
+
+Every figure in the reproduction is a ratio of simulated nanoseconds, and
+the differential-equivalence suite holds the batched and per-line cost
+models bit-identical.  Both guarantees die the moment a cost-charging
+path consults wall-clock time, an unseeded RNG, or the iteration order
+of a ``set`` (which is salted per process for strings and layout-
+dependent in general).  Three patterns are flagged:
+
+* wall-clock and entropy reads (``time.time``, ``perf_counter``,
+  ``datetime.now``, ``uuid.uuid4``, ``os.urandom``, ``secrets.*``);
+* module-level ``random.*`` calls -- seed an explicit
+  ``random.Random(seed)`` instance instead;
+* ``for``/comprehension iteration over values that are provably sets --
+  iterate ``sorted(...)`` or an ordered container instead.
+
+Wall-clock measurement *around* the simulator (wall time reported next
+to, never mixed into, simulated time) is legitimate: suppress it with
+``# nvmlint: disable=ND003`` and a comment saying why.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import Finding, ModuleFile
+from repro.lint.rules import register
+from repro.lint.rules.common import (
+    dotted_name,
+    is_set_expr,
+    iteration_sites,
+    nearest_enclosing,
+    parent_map,
+    set_typed_locals,
+    set_typed_self_attrs,
+)
+
+#: Fully qualified callables that read wall-clock time or entropy.
+BANNED_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "os.urandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+}
+
+#: random-module constructors that are fine *when given a seed*.
+_SEEDABLE = {"random.Random", "random.SystemRandom"}
+
+
+@register
+class Nondeterminism:
+    id = "ND003"
+    summary = "nondeterministic input (wall clock, unseeded random, set order)"
+
+    def check(self, module: ModuleFile) -> Iterator[Finding]:
+        if module.is_test_file:
+            return
+        imports = module.import_table
+        yield from self._check_calls(module, imports)
+        yield from self._check_set_iteration(module)
+
+    def _check_calls(
+        self, module: ModuleFile, imports: dict[str, str]
+    ) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func, imports)
+            if name is None:
+                continue
+            if name in BANNED_CALLS or name.startswith("secrets."):
+                yield module.finding(
+                    self.id,
+                    node,
+                    f"'{name}()' reads wall-clock time/entropy; simulated "
+                    "cost must come from the SimulatedClock only",
+                )
+            elif name in _SEEDABLE:
+                if not node.args and not node.keywords:
+                    yield module.finding(
+                        self.id,
+                        node,
+                        f"'{name}()' without a seed is nondeterministic; "
+                        "pass an explicit seed",
+                    )
+            elif name.startswith("random."):
+                yield module.finding(
+                    self.id,
+                    node,
+                    f"module-level '{name}()' uses the shared unseeded RNG; "
+                    "use an explicit random.Random(seed) instance",
+                )
+
+    def _check_set_iteration(self, module: ModuleFile) -> Iterator[Finding]:
+        # Each iteration site is resolved against its enclosing function's
+        # locals and its enclosing class's self-attributes.
+        parents = parent_map(module.tree)
+        local_cache: dict[ast.AST, set[str]] = {}
+        attr_cache: dict[ast.AST, set[str]] = {}
+        for iter_expr, anchor in iteration_sites(module.tree):
+            func = nearest_enclosing(
+                parents, anchor, (ast.FunctionDef, ast.AsyncFunctionDef)
+            )
+            cls = nearest_enclosing(parents, anchor, (ast.ClassDef,))
+            local_sets: set[str] = set()
+            if func is not None:
+                if func not in local_cache:
+                    local_cache[func] = set_typed_locals(func)
+                local_sets = local_cache[func]
+            self_attrs: set[str] = set()
+            if cls is not None:
+                if cls not in attr_cache:
+                    attr_cache[cls] = set_typed_self_attrs(cls)
+                self_attrs = attr_cache[cls]
+            if self._is_set_valued(iter_expr, local_sets, self_attrs):
+                yield module.finding(
+                    self.id,
+                    anchor,
+                    "iteration over a set has no deterministic order; "
+                    "iterate sorted(...) or an ordered container",
+                )
+
+    @staticmethod
+    def _is_set_valued(
+        node: ast.expr, local_sets: set[str], self_attrs: set[str]
+    ) -> bool:
+        if is_set_expr(node):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in local_sets
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr in self_attrs
+        return False
+
+

@@ -1,0 +1,62 @@
+"""ND005: phase checkpoint recorded before the phase's data is durable.
+
+Phase-level persistence (SectionIV-E) recovers by restarting from the
+last *completed* phase.  That contract silently inverts if the completion
+marker is persisted while the phase's data writes are still sitting dirty
+in the cache: a crash then recovers to a checkpoint whose data never
+reached media.  The discipline is mechanical -- flush first, then mark::
+
+    pool.flush()                        # phase data reaches media
+    phase_persist.complete_phase(name)  # marker may now claim it
+
+The rule flags any function that calls ``complete_phase(...)`` without a
+``flush()`` call earlier in the same function.  The persistence layer
+itself (``nvm/persist.py``), whose wrappers sit *between* the caller's
+flush and the marker write, is whitelisted.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import Finding, ModuleFile, iter_calls
+from repro.lint.rules import register
+
+ALLOWED_SUFFIXES = ("repro/nvm/persist.py",)
+
+
+@register
+class PhaseOrder:
+    id = "ND005"
+    summary = "complete_phase() reachable without a preceding flush()"
+
+    def check(self, module: ModuleFile) -> Iterator[Finding]:
+        if module.is_test_file or module.rel_endswith(*ALLOWED_SUFFIXES):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, node)
+
+    def _check_function(
+        self, module: ModuleFile, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        first_flush: int | None = None
+        completions: list[ast.Call] = []
+        for call in iter_calls(func):
+            if not isinstance(call.func, ast.Attribute):
+                continue
+            if call.func.attr == "flush":
+                if first_flush is None or call.lineno < first_flush:
+                    first_flush = call.lineno
+            elif call.func.attr == "complete_phase":
+                completions.append(call)
+        for call in completions:
+            if first_flush is None or call.lineno <= first_flush:
+                yield module.finding(
+                    self.id,
+                    call,
+                    "complete_phase() without a preceding flush() in this "
+                    "function persists a checkpoint whose phase data may "
+                    "still be dirty; flush the pool first",
+                )

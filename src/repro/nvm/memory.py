@@ -659,7 +659,11 @@ class SimulatedMemory:
         backing file when one is attached).  Flushing a volatile device is
         a no-op beyond clearing dirty tracking.
         """
-        flushed = len(self._dirty_lines)
+        # Sorted snapshot: per-line flush cost is order-independent, but a
+        # deterministic (and physically sequential) write-back order keeps
+        # the whole pipeline reproducible under ND003's discipline.
+        dirty_lines = sorted(self._dirty_lines)
+        flushed = len(dirty_lines)
         if flushed:
             self.clock.advance(flushed * (self.profile.flush_ns + self.profile.syscall_ns))
             self.stats.flushed_lines += flushed
@@ -667,7 +671,7 @@ class SimulatedMemory:
             # final data on media; flushing it persists cache state but is
             # not a second media program for endurance purposes.
             already_programmed = self._evict_programmed
-            for line in self._dirty_lines:
+            for line in dirty_lines:
                 if line not in already_programmed:
                     self._program_line(line)
         self._evict_programmed.clear()
@@ -677,11 +681,11 @@ class SimulatedMemory:
                 self._flushed_image = mmap.mmap(-1, self.size)
             line_size = self.profile.line_size
             image = self._flushed_image
-            for line in self._dirty_lines:
+            for line in dirty_lines:
                 start = line * line_size
                 end = min(start + line_size, self.size)
                 image[start:end] = self._buf[start:end]
-        for line in self._dirty_lines:
+        for line in dirty_lines:
             self._cache.clean(line)
         self._dirty_lines.clear()
         if self.profile.persistent and self._backing_path is not None:

@@ -74,7 +74,16 @@ class PhasePersistence:
         return name.rstrip(b"\x00").decode("utf-8")
 
     def complete_phase(self, name: str) -> None:
-        """Record ``name`` as completed and flush the pool."""
+        """Record ``name`` as completed and flush the pool.
+
+        The marker and the phase's dirty data are persisted by a single
+        ``pool.flush()``.  The simulator's crash model makes a flush
+        atomic (a crash reverts to the last flushed image wholesale), so
+        the marker can never become durable ahead of the data it claims.
+        On real hardware the two would need separate ordered barriers --
+        that stricter discipline is what nvmlint's ND005 rule checks at
+        call sites outside this module.
+        """
         encoded = name.encode("utf-8")[:32]
         offset, _ = self.pool.get_region(_PHASE_REGION)
         count = self.completed_count()
@@ -161,6 +170,10 @@ class TransactionLog:
             pos += length
         for target, old in reversed(records):
             mem.write(target, old)
+        # The rolled-back data must reach media before the log retires:
+        # with a single flush the retirement could persist ahead of the
+        # rollback, and a second crash would then skip recovery entirely.
+        mem.flush()
         mem.write(offset, struct.pack(_LOG_HEADER_FMT, 0, 0))
         mem.flush()
         return count

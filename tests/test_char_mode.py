@@ -3,8 +3,8 @@ boundaries, per the TADOC line's Chinese-dataset work)."""
 
 import pytest
 
-from repro.analytics.word_count import WordCount
 from repro.analytics.sequence_count import SequenceCount
+from repro.analytics.word_count import WordCount
 from repro.baselines.uncompressed import UncompressedEngine
 from repro.core.engine import EngineConfig, NTadocEngine
 from repro.core.ngrams import pack_ngram

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.dag import Dag
-from repro.core.grammar import RULE_BASE, SEP_BASE, CompressedCorpus
+from repro.core.grammar import RULE_BASE, SEP_BASE
 from repro.core.pruning import (
     PrunedDag,
     prune_corpus,

@@ -9,8 +9,8 @@ where in an operation stream the failure lands.
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import RecoveryError
 from repro.core.recovery import recover_pool
+from repro.errors import RecoveryError
 from repro.nvm.device import DeviceProfile
 from repro.nvm.memory import SimulatedMemory
 from repro.nvm.persist import PhasePersistence, TransactionLog

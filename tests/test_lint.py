@@ -1,0 +1,354 @@
+"""Tests for nvmlint: each rule fires on a minimal fixture, stays quiet
+on the compliant variant, honors suppressions, and the shipped tree is
+clean end to end."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.lint import REGISTRY, all_rule_ids, lint_paths
+from repro.lint.cli import main as lint_main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def lint_source(tmp_path, source, name="mod.py", **kwargs):
+    """Lint one fixture file; returns the LintResult."""
+    target = tmp_path / name
+    target.write_text(source, encoding="utf-8")
+    return lint_paths([target], **kwargs)
+
+
+def rules_fired(result):
+    return sorted({f.rule for f in result.findings})
+
+
+class TestEngine:
+    def test_all_rules_registered(self):
+        assert all_rule_ids() == ["ND001", "ND002", "ND003", "ND004", "ND005"]
+        for rule_id, rule in REGISTRY.items():
+            assert rule.id == rule_id
+            assert rule.summary
+
+    def test_syntax_error_reported_as_nd000(self, tmp_path):
+        result = lint_source(tmp_path, "def broken(:\n")
+        assert rules_fired(result) == ["ND000"]
+        assert result.exit_code == 1
+
+    def test_unknown_rule_id_rejected(self, tmp_path):
+        (tmp_path / "mod.py").write_text("x = 1\n")
+        with pytest.raises(ValueError):
+            lint_paths([tmp_path], select=["ND999"])
+
+    def test_missing_path_rejected(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            lint_paths([tmp_path / "nope"])
+
+    def test_findings_sorted_and_located(self, tmp_path):
+        source = "import time\n\nb = time.time()\na = time.time()\n"
+        result = lint_source(tmp_path, source)
+        lines = [f.line for f in result.findings]
+        assert lines == sorted(lines)
+        assert all(f.col >= 1 for f in result.findings)
+
+
+class TestND001RawAccess:
+    FIRING = (
+        "def sneak(mem):\n"
+        "    lo = mem.peek(0, 4)\n"
+        "    mem.poke(0, b'1234')\n"
+        "    return mem._buf[0], lo\n"
+    )
+
+    def test_fires_on_peek_poke_and_buf(self, tmp_path):
+        result = lint_source(tmp_path, self.FIRING)
+        assert rules_fired(result) == ["ND001"]
+        assert len(result.findings) == 3
+
+    def test_accounted_accessors_clean(self, tmp_path):
+        source = (
+            "def fine(mem):\n"
+            "    data = mem.read(0, 4)\n"
+            "    mem.write(4, data)\n"
+        )
+        result = lint_source(tmp_path, source)
+        assert result.findings == []
+
+    def test_test_files_exempt(self, tmp_path):
+        result = lint_source(tmp_path, self.FIRING, name="test_mod.py")
+        assert result.findings == []
+
+    def test_whitelisted_module_exempt(self, tmp_path):
+        nvm = tmp_path / "repro" / "nvm"
+        nvm.mkdir(parents=True)
+        (nvm / "memory.py").write_text(self.FIRING, encoding="utf-8")
+        assert lint_paths([nvm / "memory.py"]).findings == []
+
+    def test_suppression_comment(self, tmp_path):
+        source = (
+            "def sneak(mem):\n"
+            "    return mem.peek(0, 4)  # nvmlint: disable=ND001\n"
+        )
+        result = lint_source(tmp_path, source)
+        assert result.findings == []
+        assert result.suppressed == 1
+
+
+class TestND002UnloggedTxWrite:
+    def test_fires_on_direct_write_in_transaction(self, tmp_path):
+        source = (
+            "def mutate(log, mem):\n"
+            "    with log.transaction() as tx:\n"
+            "        tx.write(0, b'ok')\n"
+            "        mem.write(8, b'bad')\n"
+            "        mem.write_uint(16, 4, 7)\n"
+        )
+        result = lint_source(tmp_path, source)
+        assert rules_fired(result) == ["ND002"]
+        assert len(result.findings) == 2
+
+    def test_tx_handle_writes_clean(self, tmp_path):
+        source = (
+            "def mutate(log):\n"
+            "    with log.transaction() as tx:\n"
+            "        tx.write(0, b'ok')\n"
+            "        tx.write(8, b'ok')\n"
+        )
+        assert lint_source(tmp_path, source).findings == []
+
+    def test_writes_outside_transaction_clean(self, tmp_path):
+        source = "def mutate(mem):\n    mem.write(0, b'ok')\n"
+        assert lint_source(tmp_path, source).findings == []
+
+    def test_unbound_transaction_flags_every_write(self, tmp_path):
+        source = (
+            "def mutate(log, mem):\n"
+            "    with log.transaction():\n"
+            "        mem.write(0, b'bad')\n"
+        )
+        result = lint_source(tmp_path, source)
+        assert rules_fired(result) == ["ND002"]
+
+
+class TestND003Nondeterminism:
+    def test_fires_on_wall_clock(self, tmp_path):
+        source = "import time\n\nstart = time.time()\n"
+        result = lint_source(tmp_path, source)
+        assert rules_fired(result) == ["ND003"]
+
+    def test_fires_on_module_level_random(self, tmp_path):
+        source = "import random\n\nx = random.random()\n"
+        result = lint_source(tmp_path, source)
+        assert rules_fired(result) == ["ND003"]
+
+    def test_fires_on_unseeded_rng_instance(self, tmp_path):
+        source = "import random\n\nrng = random.Random()\n"
+        result = lint_source(tmp_path, source)
+        assert rules_fired(result) == ["ND003"]
+
+    def test_seeded_rng_clean(self, tmp_path):
+        source = "import random\n\nrng = random.Random(42)\n"
+        assert lint_source(tmp_path, source).findings == []
+
+    def test_fires_on_set_iteration(self, tmp_path):
+        source = (
+            "def visit(offsets):\n"
+            "    pending = set(offsets)\n"
+            "    for off in pending:\n"
+            "        print(off)\n"
+        )
+        result = lint_source(tmp_path, source)
+        assert rules_fired(result) == ["ND003"]
+
+    def test_sorted_set_iteration_clean(self, tmp_path):
+        source = (
+            "def visit(offsets):\n"
+            "    pending = set(offsets)\n"
+            "    for off in sorted(pending):\n"
+            "        print(off)\n"
+        )
+        assert lint_source(tmp_path, source).findings == []
+
+    def test_suppression_comment(self, tmp_path):
+        source = (
+            "import time\n\n"
+            "start = time.time()  # nvmlint: disable=ND003\n"
+        )
+        result = lint_source(tmp_path, source)
+        assert result.findings == []
+        assert result.suppressed == 1
+
+
+class TestND004StructWidth:
+    def test_fires_on_unpack_read_mismatch(self, tmp_path):
+        source = (
+            "import struct\n\n"
+            "def load(mem):\n"
+            "    return struct.unpack('<II', mem.read(0, 4))\n"
+        )
+        result = lint_source(tmp_path, source)
+        assert rules_fired(result) == ["ND004"]
+        assert "8 bytes" in result.findings[0].message
+
+    def test_matching_unpack_clean(self, tmp_path):
+        source = (
+            "import struct\n\n"
+            "def load(mem):\n"
+            "    return struct.unpack('<II', mem.read(0, 8))\n"
+        )
+        assert lint_source(tmp_path, source).findings == []
+
+    def test_fires_through_struct_constant_and_local(self, tmp_path):
+        source = (
+            "import struct\n\n"
+            "HEADER = struct.Struct('<QI')\n\n"
+            "def load(mem):\n"
+            "    raw = mem.read(0, 8)\n"
+            "    return HEADER.unpack(raw)\n"
+        )
+        result = lint_source(tmp_path, source)
+        assert rules_fired(result) == ["ND004"]
+
+    def test_fires_on_width_helper_mismatch(self, tmp_path):
+        source = (
+            "def read_u32(mem, off):\n"
+            "    return mem.read_uint(off, 2)\n"
+        )
+        result = lint_source(tmp_path, source)
+        assert rules_fired(result) == ["ND004"]
+
+    def test_consistent_width_helper_clean(self, tmp_path):
+        source = (
+            "def read_u32(mem, off):\n"
+            "    return mem.read_uint(off, 4)\n"
+        )
+        assert lint_source(tmp_path, source).findings == []
+
+    def test_fires_on_width_named_constant(self, tmp_path):
+        source = "import struct\n\nU32 = struct.Struct('<Q')\n"
+        result = lint_source(tmp_path, source)
+        assert rules_fired(result) == ["ND004"]
+
+    def test_unresolvable_sizes_skipped(self, tmp_path):
+        source = (
+            "import struct\n\n"
+            "def load(mem, fmt, size):\n"
+            "    return struct.unpack(fmt, mem.read(0, size))\n"
+        )
+        assert lint_source(tmp_path, source).findings == []
+
+
+class TestND005PhaseOrder:
+    def test_fires_without_flush(self, tmp_path):
+        source = (
+            "def checkpoint(pp):\n"
+            "    pp.complete_phase('traversal')\n"
+        )
+        result = lint_source(tmp_path, source)
+        assert rules_fired(result) == ["ND005"]
+
+    def test_flush_first_clean(self, tmp_path):
+        source = (
+            "def checkpoint(pool, pp):\n"
+            "    pool.flush()\n"
+            "    pp.complete_phase('traversal')\n"
+        )
+        assert lint_source(tmp_path, source).findings == []
+
+    def test_flush_after_completion_still_fires(self, tmp_path):
+        source = (
+            "def checkpoint(pool, pp):\n"
+            "    pp.complete_phase('traversal')\n"
+            "    pool.flush()\n"
+        )
+        result = lint_source(tmp_path, source)
+        assert rules_fired(result) == ["ND005"]
+
+    def test_suppression_comment(self, tmp_path):
+        source = (
+            "def checkpoint(pp):\n"
+            "    pp.complete_phase('t')  # nvmlint: disable=ND005\n"
+        )
+        result = lint_source(tmp_path, source)
+        assert result.findings == []
+        assert result.suppressed == 1
+
+
+class TestSelectIgnoreAndBaseline:
+    SOURCE = (
+        "import time\n\n"
+        "def sneak(mem):\n"
+        "    mem.poke(0, time.time())\n"
+    )
+
+    def test_select_narrows_rules(self, tmp_path):
+        result = lint_source(tmp_path, self.SOURCE, select=["ND001"])
+        assert rules_fired(result) == ["ND001"]
+
+    def test_ignore_drops_rules(self, tmp_path):
+        result = lint_source(tmp_path, self.SOURCE, ignore=["ND001"])
+        assert rules_fired(result) == ["ND003"]
+
+    def test_baseline_roundtrip_via_cli(self, tmp_path, capsys):
+        target = tmp_path / "legacy.py"
+        target.write_text(self.SOURCE, encoding="utf-8")
+        baseline = tmp_path / "baseline.json"
+        assert lint_main(
+            [str(target), "--baseline", str(baseline), "--write-baseline"]
+        ) == 0
+        capsys.readouterr()
+        # With the baseline applied the same tree is clean...
+        assert lint_main([str(target), "--baseline", str(baseline)]) == 0
+        assert "baselined" in capsys.readouterr().out
+        # ...but a new violation still fails.
+        target.write_text(self.SOURCE + "extra = time.time()\n")
+        assert lint_main([str(target), "--baseline", str(baseline)]) == 1
+
+
+class TestCli:
+    def test_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import time\nx = time.time()\n")
+        assert lint_main([str(clean)]) == 0
+        assert lint_main([str(dirty)]) == 1
+        assert lint_main([str(tmp_path / "missing.py")]) == 2
+        assert lint_main([str(clean), "--select", "ND999"]) == 2
+        assert lint_main(["--write-baseline", str(clean)]) == 2
+        capsys.readouterr()
+
+    def test_json_output(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import time\nx = time.time()\n")
+        assert lint_main([str(dirty), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["findings"] == 1
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "ND003"
+        assert finding["line"] == 2
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in all_rule_ids():
+            assert rule_id in out
+
+    def test_ntadoc_lint_subcommand(self, tmp_path, capsys):
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import time\nx = time.time()\n")
+        assert repro_main(["lint", str(dirty)]) == 1
+        assert "ND003" in capsys.readouterr().out
+        assert repro_main(["lint", "--list-rules"]) == 0
+        capsys.readouterr()
+
+
+class TestShippedTree:
+    def test_src_tree_is_clean(self):
+        result = lint_paths([REPO_ROOT / "src"])
+        assert result.files_checked > 50
+        assert [f.render() for f in result.findings] == []
+        # The tree documents its intentional exemptions inline.
+        assert result.suppressed >= 4

@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro.core.engine import NTadocEngine, RunResult
 from repro.analytics.word_count import WordCount
+from repro.core.engine import NTadocEngine, RunResult
 from repro.metrics.report import (
     comparison_report,
     format_bytes,

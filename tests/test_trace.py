@@ -112,7 +112,6 @@ class TestReplay:
     def test_replay_engine_workload_on_future_devices(self):
         """The §VI-F methodology: trace a real engine pool once, replay on
         candidate architectures."""
-        from repro.analytics.word_count import WordCount
         from repro.core.dag import Dag
         from repro.core.pruning import PrunedDag
         from repro.core.summation import summate_all
