@@ -158,6 +158,8 @@ class UncompressedEngine:
         mem = pool.memory
 
         def op_commit() -> None:
+            # Data durable before the marker advances (flushes can tear).
+            mem.flush()
             count = layout.read_u64(mem, marker_off)
             layout.write_u64(mem, marker_off, count + 1)
             mem.flush()
@@ -166,12 +168,11 @@ class UncompressedEngine:
 
     def _persist_phase(self, pool, phase_persist, name: str) -> None:
         if phase_persist is not None:
-            # A lone complete_phase is safe here: the simulator's flush is
-            # atomic, so its single pool.flush persists data and marker
-            # together (see PhasePersistence.complete_phase).  A separate
-            # data barrier would double the phase path's flush_ops and
-            # distort the Fig. 5 phase-vs-operation comparison.
-            phase_persist.complete_phase(name)  # nvmlint: disable=ND005
+            # Data (and directory) first, marker second -- flushes are
+            # not atomic, so a marker riding the data flush could persist
+            # ahead of the data it checkpoints.
+            pool.flush()
+            phase_persist.complete_phase(name)
         elif self.config.persistence == "operation":
             pool.flush()
 

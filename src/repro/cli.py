@@ -112,6 +112,28 @@ def _build_parser() -> argparse.ArgumentParser:
         help="corpus cache directory (skips Sequitur on reruns)",
     )
 
+    p = sub.add_parser(
+        "crashsweep",
+        help="enumerate crash points and verify recovery (docs/recovery.md)",
+    )
+    p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="bounded sweep (>= 200 points; the CI configuration)",
+    )
+    p.add_argument(
+        "--seed",
+        type=int,
+        default=20240817,
+        help="sweep seed; a fixed seed makes the JSON report byte-stable",
+    )
+    p.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write the JSON report here (default: stdout summary only)",
+    )
+
     sub.add_parser(
         "lint",
         help="check NVM access discipline (see docs/lint.md)",
@@ -295,6 +317,34 @@ def _cmd_reproduce(args) -> int:
     return 0
 
 
+def _cmd_crashsweep(args) -> int:
+    from repro.harness.crashsweep import SweepConfig, render_report, run_sweep
+
+    config = (
+        SweepConfig.smoke(seed=args.seed)
+        if args.smoke
+        else SweepConfig.full(seed=args.seed)
+    )
+    report = run_sweep(config)
+    rendered = render_report(report)
+    if args.out is not None:
+        args.out.write_text(rendered, encoding="utf-8")
+        print(f"wrote {args.out}")
+    violations = report["violations"]
+    print(
+        f"swept {report['points_swept']} crash points "
+        f"({report['recoveries']} recoveries, "
+        f"mean recovery {report['mean_recovery_ns']:.0f} simulated ns): "
+        f"{len(violations)} violation(s)"
+    )
+    for violation in violations:
+        print(
+            f"  [{violation['scenario']}/{violation['kind']} "
+            f"@{violation['index']}] {violation['problem']}"
+        )
+    return 1 if violations else 0
+
+
 _COMMANDS = {
     "compress": _cmd_compress,
     "decompress": _cmd_decompress,
@@ -305,6 +355,7 @@ _COMMANDS = {
     "search": _cmd_search,
     "query": _cmd_query,
     "reproduce": _cmd_reproduce,
+    "crashsweep": _cmd_crashsweep,
 }
 
 

@@ -47,6 +47,8 @@ from repro.sequitur import serialization
 
 if TYPE_CHECKING:  # avoid a circular import; tasks import core.grammar
     from repro.analytics.base import AnalyticsTask
+    from repro.core.recovery import RecoveryReport
+    from repro.nvm.faults import FaultPlan
 
 #: Estimated DRAM bytes per dictionary word (string + index overhead).
 _DICT_WORD_OVERHEAD = 60
@@ -129,6 +131,9 @@ class RunResult:
     strategy: str
     ngram_names: dict[int, tuple[int, ...]] = field(default_factory=dict)
     pool_stats: Any = None
+    #: True when this run resumed from a RecoveryReport instead of a
+    #: fresh pool (its analytics output must match the uncrashed run's).
+    resumed: bool = False
 
     @property
     def init_ns(self) -> float:
@@ -220,10 +225,29 @@ class NTadocEngine:
     # Execution
     # ------------------------------------------------------------------
 
-    def run(self, task: "AnalyticsTask") -> RunResult:
-        """Execute ``task`` through both phases; return the measurement."""
+    def run(
+        self,
+        task: "AnalyticsTask",
+        *,
+        fault_plan: "FaultPlan | None" = None,
+        resume_from: "RecoveryReport | None" = None,
+    ) -> RunResult:
+        """Execute ``task`` through both phases; return the measurement.
+
+        Args:
+            task: The analytics task to run.
+            fault_plan: Optional fault-injection schedule armed on the
+                pool device for the whole run (crash-sweep harness).
+            resume_from: Resume from a crashed run's
+                :class:`~repro.core.recovery.RecoveryReport` instead of
+                building a fresh pool; completed phases are skipped and
+                the analytics output is bit-identical to an uncrashed
+                run's.
+        """
         from repro.analytics.base import CompressedTaskContext
 
+        if resume_from is not None:
+            return self._run_resumed(task, resume_from)
         config = self.config
         corpus = self.corpus
         clock = SimulatedClock()
@@ -237,6 +261,8 @@ class NTadocEngine:
         pool_mem = SimulatedMemory(
             profile, pool_bytes, clock, cache_bytes=cache_bytes, name="pool"
         )
+        if fault_plan is not None:
+            pool_mem.arm_faults(fault_plan)
         dram_mem = SimulatedMemory(
             DeviceProfile.dram(), 1 << 24, clock, name="dram-scratch"
         )
@@ -328,6 +354,106 @@ class NTadocEngine:
             pool_stats=pool_mem.stats,
         )
 
+    def _run_resumed(
+        self, task: "AnalyticsTask", report: "RecoveryReport"
+    ) -> RunResult:
+        """Resume an interrupted run from a recovered pool.
+
+        The recovered pool's clock keeps ticking (recovery cost is part
+        of the measured time), any armed fault plan is disarmed, and
+        completed phases are skipped: with initialization checkpointed,
+        only the per-run CPU/stream charges are re-paid and the traversal
+        phase re-executes against the surviving pruned DAG.  Traversal is
+        overwrite-idempotent (weights reset, structures rebuilt at the
+        restored allocator top), so the analytics output is bit-identical
+        to an uncrashed run's.
+        """
+        from repro.analytics.base import CompressedTaskContext
+        from repro.nvm.allocator import PoolAllocator
+
+        if report.needs_full_rebuild or report.pruned is None:
+            # Not even initialization survived: nothing to resume from.
+            return self.run(task)
+        config = self.config
+        corpus = self.corpus
+        pool = report.pool
+        pool_mem = pool.memory
+        pool_mem.disarm_faults()
+        clock = pool_mem.clock
+        dram_mem = SimulatedMemory(
+            DeviceProfile.dram(), 1 << 24, clock, name="dram-scratch"
+        )
+        dram_alloc = PoolAllocator(dram_mem, base=0, capacity=dram_mem.size)
+        ledger = MemoryLedger()
+        timeline = PhaseTimeline(clock)
+        disk = DeviceProfile.by_name(config.disk)
+        phase_persist = (
+            PhasePersistence(pool) if config.persistence == "phase" else None
+        )
+        op_commit = self._make_op_commit(pool)
+        pruned = report.pruned
+
+        with timeline.phase("initialization"):
+            # The compressed artifact is re-streamed from disk and the
+            # in-DRAM derivations re-paid; the device-resident DAG pool
+            # itself survived the crash and is NOT rebuilt.
+            charge_sequential_io(clock, disk, serialized_size(corpus))
+            ledger.charge("dram", "dictionary", _dictionary_bytes(corpus))
+            glen = corpus.grammar_length()
+            clock.cpu(4 * glen + 6 * corpus.n_rules)
+
+        strategy = self._resolve_strategy()
+        ctx = CompressedTaskContext(
+            pruned=pruned,
+            allocator=pool.allocator,
+            dram=dram_mem,
+            dram_allocator=dram_alloc,
+            clock=clock,
+            ledger=ledger,
+            vocab=corpus.vocab,
+            file_names=corpus.file_names,
+            topo_order=self._topo,
+            reverse_topo=self._reverse_topo,
+            topo_position=self._topo_position,
+            strategy=strategy,
+            strategy_forced=config.traversal != "auto",
+            growable=config.use_growable_structures,
+            ngram_n=config.ngram_n,
+            term_vector_k=config.term_vector_k,
+            op_commit=op_commit if config.persistence == "operation" else (lambda: None),
+        )
+
+        with timeline.phase("initialization"):
+            task.prepare(ctx)
+            # The initialization checkpoint already persisted before the
+            # crash; it is not re-written.
+
+        with timeline.phase("traversal"):
+            result = task.run_compressed(ctx)
+            result_bytes = task.result_size_bytes(result)
+            self._write_result_blob(pool, result_bytes)
+            self._persist_phase(pool, phase_persist, "traversal")
+            charge_sequential_io(clock, disk, result_bytes, write=True)
+
+        dram_peak = ledger.peak("dram") + dram_alloc.peak_bytes
+        pool_peak = pool.allocator.peak_bytes
+        if config.device == "dram":
+            dram_peak += pool_peak
+        return RunResult(
+            task=task.name,
+            system=self.system_name,
+            result=result,
+            phase_ns=timeline.as_dict(),
+            total_ns=timeline.total_sim_ns(),
+            dram_peak=dram_peak,
+            pool_peak=pool_peak,
+            pool_device=config.device,
+            strategy=strategy,
+            ngram_names=ctx.ngram_names,
+            pool_stats=pool_mem.stats,
+            resumed=True,
+        )
+
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
@@ -343,7 +469,10 @@ class NTadocEngine:
         """Operation-level persistence: commit marker + flush per batch."""
         if self.config.persistence != "operation":
             return lambda: None
-        marker_off = pool.alloc_region("__opmarker__", 8)
+        if pool.has_region("__opmarker__"):  # resumed run
+            marker_off = pool.get_region("__opmarker__")[0]
+        else:
+            marker_off = pool.alloc_region("__opmarker__", 8)
         mem = pool.memory
         batch = max(1, self.config.op_batch)
         pending = 0
@@ -354,6 +483,10 @@ class NTadocEngine:
             if pending < batch:
                 return
             pending = 0
+            # The batch's data must be durable before the commit marker
+            # advances -- flushes are not atomic, so marker and data on
+            # one flush could persist in either order.
+            mem.flush()
             count = layout.read_u64(mem, marker_off)
             layout.write_u64(mem, marker_off, count + 1)
             mem.flush()
@@ -364,12 +497,12 @@ class NTadocEngine:
         self, pool: NvmPool, phase_persist: PhasePersistence | None, name: str
     ) -> None:
         if phase_persist is not None:
-            # A lone complete_phase is safe here: the simulator's flush is
-            # atomic, so its single pool.flush persists data and marker
-            # together (see PhasePersistence.complete_phase).  A separate
-            # data barrier would double the phase path's flush_ops and
-            # distort the Fig. 5 phase-vs-operation comparison.
-            phase_persist.complete_phase(name)  # nvmlint: disable=ND005
+            # Data (and directory) first, marker second: flushes are not
+            # atomic, so a marker riding the same flush as its data could
+            # persist ahead of it and checkpoint a phase whose writes
+            # never reached media.
+            pool.flush()
+            phase_persist.complete_phase(name)
         elif self.config.persistence == "operation":
             pool.flush()
 

@@ -39,7 +39,25 @@ class CorruptDataError(ReproError):
 
 
 class TransactionError(ReproError):
-    """Misuse of the operation-level transaction API."""
+    """Misuse of the operation-level transaction API.
+
+    Attributes:
+        required: Bytes the failing undo-log append needed, when the
+            error reports a full log (``None`` otherwise).
+        available: Bytes the log had left, when the error reports a full
+            log (``None`` otherwise).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        required: int | None = None,
+        available: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.required = required
+        self.available = available
 
 
 class CrashPoint(ReproError):

@@ -45,6 +45,7 @@ from repro.lint.rules import (  # noqa: E402  (registry must exist first)
     nd003_nondeterminism,
     nd004_struct_width,
     nd005_phase_order,
+    nd006_marker_order,
 )
 
 __all__ = [
@@ -57,4 +58,5 @@ __all__ = [
     "nd003_nondeterminism",
     "nd004_struct_width",
     "nd005_phase_order",
+    "nd006_marker_order",
 ]

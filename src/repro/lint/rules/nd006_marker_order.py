@@ -1,0 +1,81 @@
+"""ND006: marker written without a preceding data flush in the function.
+
+Flushes are not atomic (see ``repro.nvm.faults``): when a commit or
+checkpoint *marker* rides the same flush as the data it claims, a torn
+flush can persist the marker line first, and recovery then trusts data
+that never reached media.  The discipline mirrors ND005 one level lower,
+at the raw-write layer -- any store whose target is named like a marker
+must be ordered after a flush barrier::
+
+    mem.flush()                          # the guarded data is durable
+    layout.write_u64(mem, marker_off, n) # the marker may now advance
+    mem.flush()
+
+The rule flags write-style calls (``write``/``write_uint``/
+``write_u32``/``write_u64``/``poke``) whose arguments reference a name
+containing ``marker``, when no ``flush()`` call appears earlier in the
+same function.  The persistence layer (``nvm/persist.py``), which
+implements the barrier itself, is whitelisted.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import Finding, ModuleFile, iter_calls
+from repro.lint.rules import register
+
+ALLOWED_SUFFIXES = ("repro/nvm/persist.py",)
+
+_WRITE_NAMES = ("write", "write_uint", "write_u32", "write_u64", "poke")
+
+
+def _mentions_marker(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and "marker" in sub.id.lower():
+            return True
+        if isinstance(sub, ast.Attribute) and "marker" in sub.attr.lower():
+            return True
+    return False
+
+
+@register
+class MarkerOrder:
+    id = "ND006"
+    summary = "marker write without a preceding data flush()"
+
+    def check(self, module: ModuleFile) -> Iterator[Finding]:
+        if module.is_test_file or module.rel_endswith(*ALLOWED_SUFFIXES):
+            return
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(module, node)
+
+    def _check_function(
+        self, module: ModuleFile, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        first_flush: int | None = None
+        marker_writes: list[ast.Call] = []
+        for call in iter_calls(func):
+            name = None
+            if isinstance(call.func, ast.Attribute):
+                name = call.func.attr
+            elif isinstance(call.func, ast.Name):
+                name = call.func.id
+            if name == "flush":
+                if first_flush is None or call.lineno < first_flush:
+                    first_flush = call.lineno
+            elif name in _WRITE_NAMES and any(
+                _mentions_marker(arg) for arg in call.args
+            ):
+                marker_writes.append(call)
+        for call in marker_writes:
+            if first_flush is None or call.lineno <= first_flush:
+                yield module.finding(
+                    self.id,
+                    call,
+                    "marker write without a preceding flush() in this "
+                    "function can persist ahead of the data it claims "
+                    "(flushes tear); issue a data flush barrier first",
+                )

@@ -45,6 +45,10 @@ class DeviceProfile:
         persistent: Whether flushed data survives a crash.
         byte_addressable: ``True`` for load/store media (DRAM, NVM);
             ``False`` for block devices that always move whole blocks.
+        atomic_unit: Power-fail atomicity granularity in bytes.  A torn
+            flush (see :mod:`repro.nvm.faults`) can cut a line mid-way,
+            but only at multiples of this unit -- 8 bytes on x86 NVM
+            (an aligned store either persists wholly or not at all).
     """
 
     name: str
@@ -57,6 +61,7 @@ class DeviceProfile:
     persistent: bool
     byte_addressable: bool
     syscall_ns: float = 0.0
+    atomic_unit: int = 8
 
     def line_of(self, offset: int) -> int:
         """Return the line index containing byte ``offset``."""

@@ -1,0 +1,245 @@
+"""Fault injection for the simulated NVM: crash points, torn flushes,
+media corruption.
+
+The simulator's baseline crash model is wholesale-atomic: ``crash()``
+reverts to the last flushed image in one piece.  Real persistent memory
+fails harder -- power can be lost *during* a flush, after an arbitrary
+subset of the dirty lines (in an arbitrary order, and mid-line down to
+the platform's atomic persist unit) has reached media.  A
+:class:`FaultPlan` armed on a :class:`~repro.nvm.memory.SimulatedMemory`
+makes those failures first-class and enumerable:
+
+* crash deterministically at the k-th **write** event (any charged store:
+  ``write``/``write_uint``/``fill``/``rmw_add``/``rmw_add_each`` site),
+* crash at the k-th **flush** event, tearing the flush per a
+  :class:`TornFlush` spec -- a seeded permutation of the dirty lines, a
+  persisted prefix length, and an optional partial cut of the next line
+  at :attr:`DeviceProfile.atomic_unit` granularity,
+* crash at the k-th **line-persist** event (the per-line progress of a
+  flush), which tears that flush mid-way in write-back order,
+* inject one-shot, detectable **read corruption** at chosen offsets.
+
+A plan with no crash configured is a pure *counting* plan: it observes
+the event stream (totals, per-flush profiles) so a sweep harness can
+enumerate every crash point of a reference run and replay each one
+deterministically.  All randomness is seeded (``random.Random``), so the
+same plan always tears the same way.
+
+Event *serials* give a total order over the run: every write, flush, and
+line-persist increments :attr:`FaultPlan.serial` by one, and a firing
+plan records :attr:`crash_serial`, letting harnesses align a crash with
+externally tracked commit windows.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import CrashPoint
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.nvm.memory import SimulatedMemory
+
+#: The three countable event kinds a plan can crash on.
+EVENT_KINDS = ("write", "flush", "line_persist")
+
+
+@dataclass(frozen=True)
+class TornFlush:
+    """How a flush tears when a crash lands on it.
+
+    Attributes:
+        order_seed: Seed for shuffling the write-back order of the dirty
+            lines; ``None`` keeps the flush's sorted media order.  Any
+            adversarial *subset* of dirty lines is reachable as a prefix
+            of some permutation.
+        persisted_lines: How many whole lines (in the chosen order) reach
+            media before power is lost.
+        partial_bytes: How many bytes of the *next* line also persist,
+            rounded down to the device's atomic persist unit.  This is
+            what tears a value mid-line.
+    """
+
+    order_seed: int | None = None
+    persisted_lines: int = 0
+    partial_bytes: int = 0
+
+
+@dataclass
+class ReadCorruption:
+    """One-shot media corruption surfaced on the next overlapping read.
+
+    The ``mask`` is XORed into the returned data at ``offset``.  With
+    ``sticky`` (the default) the flipped bytes are also written back into
+    the device image, modelling a persistent media error rather than a
+    transient bus glitch; either way checksummed readers must *detect*
+    it, never silently trust it.
+    """
+
+    offset: int
+    mask: bytes = b"\xff"
+    sticky: bool = True
+    consumed: bool = field(default=False, compare=False)
+
+
+class FaultPlan:
+    """A deterministic schedule of injected failures for one memory.
+
+    Args:
+        crash_kind: ``"write"``, ``"flush"``, ``"line_persist"``, or
+            ``None`` for a counting-only plan.
+        crash_index: 1-based ordinal of the event to crash on.
+        torn: Tear specification applied when the crash lands on a flush
+            (``crash_kind="flush"``); a plain boundary crash (nothing of
+            the flush persists) when omitted.  ``"line_persist"`` crashes
+            derive their tear from the ordinal instead.
+        corruptions: :class:`ReadCorruption` sites to surface on reads.
+
+    After the plan fires, :attr:`memory` points at the wrecked device and
+    :attr:`crash_serial` records the event serial of the failure; callers
+    then invoke ``memory.crash()`` to realize the power loss and hand the
+    image to recovery.
+    """
+
+    def __init__(
+        self,
+        crash_kind: str | None = None,
+        crash_index: int = 0,
+        torn: TornFlush | None = None,
+        corruptions: list[ReadCorruption] | tuple[ReadCorruption, ...] = (),
+    ) -> None:
+        if crash_kind is not None and crash_kind not in EVENT_KINDS:
+            raise ValueError(f"unknown crash event kind {crash_kind!r}")
+        if crash_kind is not None and crash_index < 1:
+            raise ValueError("crash_index is 1-based; must be >= 1")
+        self.crash_kind = crash_kind
+        self.crash_index = crash_index
+        self.torn = torn
+        self.corruptions = list(corruptions)
+        #: Event counters by kind.
+        self.events: dict[str, int] = {kind: 0 for kind in EVENT_KINDS}
+        #: Monotonic serial over all events (writes + flushes + line persists).
+        self.serial = 0
+        #: One profile dict per flush event, in order: ``{"flush": ordinal,
+        #: "writes_before": write events seen when it started,
+        #: "dirty_lines": lines it would persist, "serial": its serial}``.
+        self.flush_profiles: list[dict[str, int]] = []
+        #: Set when the plan fires.
+        self.fired = False
+        self.crash_serial: int | None = None
+        self.memory: "SimulatedMemory | None" = None
+
+    # -- crash hooks (called by SimulatedMemory) ------------------------
+
+    def on_write(self, mem: "SimulatedMemory") -> None:
+        """Count one write event; crash if this is the chosen one.
+
+        The crash fires *before* the store lands, modelling power loss on
+        the bus: the k-th write never reaches even the volatile buffer.
+        """
+        self.events["write"] += 1
+        self.serial += 1
+        if self.crash_kind == "write" and self.events["write"] == self.crash_index:
+            self._fire(mem, f"injected crash at write event #{self.crash_index}")
+
+    def on_flush(
+        self, mem: "SimulatedMemory", dirty_lines: list[int]
+    ) -> tuple[list[int], int, int] | None:
+        """Count one flush event; return a tear directive or ``None``.
+
+        A directive is ``(ordered_lines, full_lines, partial_bytes)``:
+        the memory must persist ``ordered_lines[:full_lines]`` plus the
+        first ``partial_bytes`` of the next line, then raise
+        :class:`CrashPoint` (see ``SimulatedMemory._apply_torn_flush``).
+        ``None`` means the flush proceeds normally (and its per-line
+        persists have been counted here).
+        """
+        self.events["flush"] += 1
+        self.serial += 1
+        ordinal = self.events["flush"]
+        self.flush_profiles.append(
+            {
+                "flush": ordinal,
+                "writes_before": self.events["write"],
+                "dirty_lines": len(dirty_lines),
+                "serial": self.serial,
+            }
+        )
+        if self.crash_kind == "flush" and ordinal == self.crash_index:
+            return self._resolve_tear(mem, dirty_lines)
+        if self.crash_kind == "line_persist":
+            before = self.events["line_persist"]
+            if before < self.crash_index <= before + len(dirty_lines):
+                full = self.crash_index - before
+                self.events["line_persist"] = self.crash_index
+                self.serial += full
+                self._mark_fired(mem)
+                return (list(dirty_lines), full, 0)
+        self.events["line_persist"] += len(dirty_lines)
+        self.serial += len(dirty_lines)
+        return None
+
+    def _resolve_tear(
+        self, mem: "SimulatedMemory", dirty_lines: list[int]
+    ) -> tuple[list[int], int, int]:
+        spec = self.torn or TornFlush()
+        lines = list(dirty_lines)
+        if spec.order_seed is not None:
+            random.Random(spec.order_seed).shuffle(lines)
+        full = min(max(spec.persisted_lines, 0), len(lines))
+        partial = spec.partial_bytes if full < len(lines) else 0
+        self.events["line_persist"] += full + (1 if partial > 0 else 0)
+        self.serial += full + (1 if partial > 0 else 0)
+        self._mark_fired(mem)
+        return (lines, full, partial)
+
+    def _mark_fired(self, mem: "SimulatedMemory") -> None:
+        self.fired = True
+        self.crash_serial = self.serial
+        self.memory = mem
+
+    def _fire(self, mem: "SimulatedMemory", message: str) -> None:
+        self._mark_fired(mem)
+        exc = CrashPoint(message)
+        exc.memory = mem  # type: ignore[attr-defined]
+        raise exc
+
+    def raise_torn(self, mem: "SimulatedMemory", persisted: int) -> None:
+        """Raise the CrashPoint for a tear directive already applied."""
+        exc = CrashPoint(
+            f"injected torn flush at flush event #{self.events['flush']}: "
+            f"{persisted} of the dirty lines persisted"
+        )
+        exc.memory = mem  # type: ignore[attr-defined]
+        raise exc
+
+    # -- read corruption ------------------------------------------------
+
+    @property
+    def has_pending_corruption(self) -> bool:
+        return any(not c.consumed for c in self.corruptions)
+
+    def take_corruption_hits(
+        self, offset: int, size: int
+    ) -> list[tuple[int, bytes, bool]]:
+        """Consume corruption sites overlapping ``[offset, offset+size)``.
+
+        Returns ``(relative_offset, mask, sticky)`` triples clipped to the
+        read window; each site fires at most once.
+        """
+        hits: list[tuple[int, bytes, bool]] = []
+        end = offset + size
+        for site in self.corruptions:
+            if site.consumed or not site.mask:
+                continue
+            site_end = site.offset + len(site.mask)
+            if site.offset >= end or site_end <= offset:
+                continue
+            site.consumed = True
+            lo = max(site.offset, offset)
+            hi = min(site_end, end)
+            mask = site.mask[lo - site.offset : hi - site.offset]
+            hits.append((lo - offset, mask, site.sticky))
+        return hits

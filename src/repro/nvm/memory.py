@@ -18,6 +18,14 @@ Crash semantics (ADR): a persistent memory that crashes reverts to the
 image captured by its most recent :meth:`SimulatedMemory.flush`.  This
 matches the paper's phase-level checkpoint model, where recovery restarts
 from the last completed phase and overwrites dirty intermediate state.
+
+Fault injection: a :class:`~repro.nvm.faults.FaultPlan` armed via
+:meth:`SimulatedMemory.arm_faults` observes every write/flush event and
+can make a flush *non-atomic* -- persisting only a chosen subset and
+ordering of the dirty lines (cut mid-line at the device's atomic persist
+unit) before raising :class:`~repro.errors.CrashPoint`.  A subsequent
+``crash()`` then reveals the torn image, which is what the recovery
+layer's checksums and ping-pong slots are hardened against.
 """
 
 from __future__ import annotations
@@ -127,6 +135,14 @@ class SimulatedMemory:
         self._evict_programmed: set[int] = set()
         self._flushed_image: mmap.mmap | bytearray | None = None
         self._backing_path: Path | None = None
+        #: Armed fault-injection plan (see repro.nvm.faults); None almost
+        #: always -- every hook below is guarded by a None check so the
+        #: hot paths pay one attribute load when faults are off.
+        self._fault_plan = None
+        #: Completed-flush counter.  Crash-consistent writers (the pool
+        #: directory's ping-pong arenas) compare epochs to know whether a
+        #: span written earlier has since reached media.
+        self.flush_epoch = 0
         self._batched = batched
         self._touch_impl = self._touch_batch if batched else self._touch
         #: Per-line media program counts (endurance accounting); only
@@ -185,12 +201,20 @@ class SimulatedMemory:
             self.clock.ns += total
             stats.read_ops += 1
             stats.bytes_read += size
-            return bytes(self._buf[offset:end])
+            data = bytes(self._buf[offset:end])
+            plan = self._fault_plan
+            if plan is not None and plan.has_pending_corruption:
+                data = self._corrupt_read(offset, data)
+            return data
         self._check_range(offset, size)
         self._touch_impl(offset, size, False)
         stats.read_ops += 1
         stats.bytes_read += size
-        return bytes(self._buf[offset : offset + size])
+        data = bytes(self._buf[offset : offset + size])
+        plan = self._fault_plan
+        if plan is not None and plan.has_pending_corruption:
+            data = self._corrupt_read(offset, data)
+        return data
 
     def write(self, offset: int, data: bytes | bytearray | memoryview) -> None:
         """Write ``data`` at ``offset``, charging device cost.
@@ -199,6 +223,8 @@ class SimulatedMemory:
         cost (write-allocate without fetch): the old contents are fully
         overwritten, as a page cache or WPQ buffer would recognize.
         """
+        if self._fault_plan is not None:
+            self._fault_plan.on_write(self)
         size = len(data)
         profile = self.profile
         line_size = profile.line_size
@@ -287,7 +313,14 @@ class SimulatedMemory:
         line_size = profile.line_size
         first = offset // line_size
         end = offset + size
-        if not self._batched or (end - 1) // line_size != first:
+        plan = self._fault_plan
+        if (
+            not self._batched
+            or (end - 1) // line_size != first
+            or (plan is not None and plan.has_pending_corruption)
+        ):
+            # Injected read corruption is applied by read(); route scalar
+            # loads through it while any site is pending.
             return int.from_bytes(self.read(offset, size), "little", signed=signed)
         if offset < 0 or end > self.size:
             self._check_range(offset, size)
@@ -341,6 +374,8 @@ class SimulatedMemory:
         if not self._batched or (end - 1) // line_size != first:
             self.write(offset, value.to_bytes(size, "little", signed=signed))
             return
+        if self._fault_plan is not None:
+            self._fault_plan.on_write(self)
         if offset < 0 or end > self.size:
             self._check_range(offset, size)
         stats = self.stats
@@ -412,6 +447,8 @@ class SimulatedMemory:
             )
             self.write(offset, value.to_bytes(size, "little", signed=signed))
             return value
+        if self._fault_plan is not None:
+            self._fault_plan.on_write(self)
         if offset < 0 or end > self.size:
             self._check_range(offset, size)
         stats = self.stats
@@ -511,6 +548,7 @@ class SimulatedMemory:
         wear = self.wear
         buf = self._buf
         from_bytes = int.from_bytes
+        fault_plan = self._fault_plan
         lml = self._last_media_line
         size1 = size - 1
         values: list[int] | None = [] if collect else None
@@ -564,13 +602,16 @@ class SimulatedMemory:
                     )
                 first = offset // line_size
                 if (offset + size1) // line_size != first:
-                    # Line-straddling field: sync and take the scalar path.
+                    # Line-straddling field: sync and take the scalar path
+                    # (which runs its own fault hook).
                     sync()
                     value = self.rmw_add(offset, size, delta, signed=signed)
                     lml = self._last_media_line
                     if values is not None:
                         values.append(value)
                     continue
+                if fault_plan is not None:
+                    fault_plan.on_write(self)
                 # Read half (reads always fetch on miss; no_fetch is
                 # write-only -- see _touch), with the LRU dict driven
                 # directly instead of through LineCache.access.  The write
@@ -633,6 +674,8 @@ class SimulatedMemory:
         if size == 0:
             self.write(offset, b"")
             return
+        if self._fault_plan is not None:
+            self._fault_plan.on_write(self)
         self._check_range(offset, size)
         self._touch_impl(offset, size, True)
         stats = self.stats
@@ -663,6 +706,11 @@ class SimulatedMemory:
         # deterministic (and physically sequential) write-back order keeps
         # the whole pipeline reproducible under ND003's discipline.
         dirty_lines = sorted(self._dirty_lines)
+        plan = self._fault_plan
+        if plan is not None:
+            tear = plan.on_flush(self, dirty_lines)
+            if tear is not None:
+                self._apply_torn_flush(plan, *tear)  # raises CrashPoint
         flushed = len(dirty_lines)
         if flushed:
             self.clock.advance(flushed * (self.profile.flush_ns + self.profile.syscall_ns))
@@ -690,7 +738,56 @@ class SimulatedMemory:
         self._dirty_lines.clear()
         if self.profile.persistent and self._backing_path is not None:
             self._backing_path.write_bytes(bytes(self._flushed_image))
+        self.flush_epoch += 1
         return flushed
+
+    def _apply_torn_flush(
+        self,
+        plan,
+        ordered_lines: list[int],
+        full_lines: int,
+        partial_bytes: int,
+    ) -> None:
+        """Persist a torn prefix of this flush, then die.
+
+        Models power loss mid-flush: ``ordered_lines[:full_lines]`` reach
+        media whole, the next line persists only its first
+        ``partial_bytes`` (rounded down to the device's atomic unit), and
+        everything else stays dirty.  Dirty tracking, the cache, and the
+        flush epoch are deliberately left untouched -- the machine is
+        dead; the caller observes the wreckage via :meth:`crash`.
+        """
+        profile = self.profile
+        line_size = profile.line_size
+        persisted = ordered_lines[:full_lines]
+        cut_line = ordered_lines[full_lines] if full_lines < len(ordered_lines) else None
+        cut_bytes = 0
+        if cut_line is not None and partial_bytes > 0:
+            unit = max(profile.atomic_unit, 1)
+            cut_bytes = min((partial_bytes // unit) * unit, line_size)
+        charged = len(persisted) + (1 if cut_bytes else 0)
+        if charged:
+            self.clock.advance(charged * (profile.flush_ns + profile.syscall_ns))
+            self.stats.flushed_lines += charged
+        if profile.persistent:
+            if self._flushed_image is None:
+                self._flushed_image = mmap.mmap(-1, self.size)
+            image = self._flushed_image
+            already_programmed = self._evict_programmed
+            for line in persisted:
+                start = line * line_size
+                end = min(start + line_size, self.size)
+                image[start:end] = self._buf[start:end]
+                if line not in already_programmed:
+                    self._program_line(line)
+            if cut_bytes:
+                start = cut_line * line_size
+                end = min(start + cut_bytes, self.size)
+                if end > start:
+                    image[start:end] = self._buf[start:end]
+                if cut_line not in already_programmed:
+                    self._program_line(cut_line)
+        plan.raise_torn(self, len(persisted))
 
     def crash(self) -> None:
         """Simulate a power failure.
@@ -730,6 +827,46 @@ class SimulatedMemory:
     def dirty_line_count(self) -> int:
         """Number of lines dirtied since the last flush."""
         return len(self._dirty_lines)
+
+    # ------------------------------------------------------------------
+    # Fault injection (see repro.nvm.faults)
+    # ------------------------------------------------------------------
+
+    def arm_faults(self, plan) -> None:
+        """Attach a :class:`~repro.nvm.faults.FaultPlan` to this device.
+
+        While armed, every charged write and every flush reports to the
+        plan, which may tear the flush or raise
+        :class:`~repro.errors.CrashPoint`; reads surface any corruption
+        sites the plan carries.  Arming replaces a previous plan.
+        """
+        self._fault_plan = plan
+
+    def disarm_faults(self) -> None:
+        """Detach the fault plan; subsequent accesses run clean."""
+        self._fault_plan = None
+
+    @property
+    def fault_plan(self):
+        """The armed :class:`~repro.nvm.faults.FaultPlan`, or ``None``."""
+        return self._fault_plan
+
+    def _corrupt_read(self, offset: int, data: bytes) -> bytes:
+        """Apply pending read-corruption sites overlapping this read."""
+        hits = self._fault_plan.take_corruption_hits(offset, len(data))
+        if not hits:
+            return data
+        out = bytearray(data)
+        for rel, mask, sticky in hits:
+            for i, m in enumerate(mask):
+                out[rel + i] ^= m
+            if sticky:
+                # Poison the media image too: the corruption is a hard
+                # error, not a transient glitch, so re-reads see it.
+                self._buf[offset + rel : offset + rel + len(mask)] = out[
+                    rel : rel + len(mask)
+                ]
+        return bytes(out)
 
     # ------------------------------------------------------------------
     # Raw access (no cost) -- verification and test support only

@@ -8,27 +8,48 @@ written by one process (or surviving a simulated crash) can be reopened:
 ``load_directory`` restores both the name table and the allocator's bump
 pointer.
 
-Header layout (little-endian)::
+Header layout (version 2, little-endian)::
 
     0x00  u64  magic ("NTADOCPL")
     0x08  u32  version
-    0x0C  u32  entry count
-    0x10  u64  allocator top
-    0x18  entries: u16 name length, name bytes, u64 offset, u64 size
+    0x10  slot A (32 B): u32 seq, u32 count, u64 allocator top,
+                         u32 blob length, u32 blob crc32,
+                         u32 crc32 of the preceding 24 bytes, pad
+    0x30  slot B (same layout)
+    0x50  arena A: directory entry blob
+          arena B: second entry blob (arenas split the remaining header)
+
+    entry: u16 name length, name bytes, u64 offset, u64 size
+
+Flushes are *not* atomic under fault injection (``repro.nvm.faults``), so
+the directory is written ping-pong: each save goes to whichever
+slot+arena pair can be overwritten without endangering the newest
+*media-resident* copy, decided by comparing the memory's flush epoch
+against the epoch of each arena's last write.  A torn flush can
+therefore corrupt at most the arena being written; the CRC-guarded
+fallback slot still names a directory no older than the last completed
+flush.  Both slot metadata and the entry blob are CRC32-checked, so a
+torn or corrupted copy is detected, never trusted.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 
 from repro.errors import PoolLayoutError
 from repro.nvm.allocator import PoolAllocator
 from repro.nvm.memory import SimulatedMemory
 
 _MAGIC = 0x4E5441444F43504C  # "NTADOCPL"
-_VERSION = 1
-_HEADER_FMT = "<QII Q".replace(" ", "")
-_HEADER_SIZE = struct.calcsize(_HEADER_FMT)
+_VERSION = 2
+_FIXED_FMT = "<QI"  # magic, version
+_FIXED_SIZE = 16  # struct.calcsize + 4 pad bytes
+_SLOT_FMT = "<IIQII"  # seq, count, allocator top, blob length, blob crc32
+_SLOT_BODY_SIZE = struct.calcsize(_SLOT_FMT)
+_SLOT_SIZE = 32  # body + crc32 + pad
+_SLOT0_OFF = _FIXED_SIZE
+_ARENA_BASE = _SLOT0_OFF + 2 * _SLOT_SIZE
 
 
 class NvmPool:
@@ -46,7 +67,7 @@ class NvmPool:
         header_bytes: int = 4096,
         scatter: bool = False,
     ) -> None:
-        if header_bytes < _HEADER_SIZE:
+        if (header_bytes - _ARENA_BASE) // 2 < 64:
             raise ValueError("header too small for pool metadata")
         self.memory = memory
         self.header_bytes = header_bytes
@@ -57,6 +78,13 @@ class NvmPool:
             scatter=scatter,
         )
         self._regions: dict[str, tuple[int, int]] = {}
+        self._arena_size = ((header_bytes - _ARENA_BASE) // 2) & ~7
+        self._dir_seq = 0
+        #: Sequence number last written to each arena (0 = never).
+        self._arena_seq = [0, 0]
+        #: memory.flush_epoch at each arena's last write; -1 = clean.  An
+        #: arena is media-clean once a flush completed after its write.
+        self._arena_epoch = [-1, -1]
 
     # ------------------------------------------------------------------
     # Region management
@@ -95,6 +123,20 @@ class NvmPool:
         del self._regions[name]
         self.allocator.free(offset, size)
 
+    def move_region(self, name: str, offset: int, size: int) -> None:
+        """Point an existing region at a new ``(offset, size)`` extent.
+
+        The caller owns the data copy and the old extent's lifetime (the
+        undo log's growth path deliberately leaks its old extent until
+        the new directory is durable).
+
+        Raises:
+            PoolLayoutError: if the region does not exist.
+        """
+        if name not in self._regions:
+            raise PoolLayoutError(f"no region named {name!r}")
+        self._regions[name] = (offset, size)
+
     def region_names(self) -> list[str]:
         """Return region names in insertion order."""
         return list(self._regions)
@@ -113,13 +155,14 @@ class NvmPool:
     # Directory persistence
     # ------------------------------------------------------------------
 
-    def save_directory(self) -> None:
-        """Serialize the directory into the pool header (charged I/O)."""
-        parts = [
-            struct.pack(
-                _HEADER_FMT, _MAGIC, _VERSION, len(self._regions), self.allocator.top
-            )
-        ]
+    def _slot_off(self, arena: int) -> int:
+        return _SLOT0_OFF + arena * _SLOT_SIZE
+
+    def _arena_off(self, arena: int) -> int:
+        return _ARENA_BASE + arena * self._arena_size
+
+    def _encode_entries(self) -> bytes:
+        parts: list[bytes] = []
         for name, (offset, size) in self._regions.items():
             encoded = name.encode("utf-8")
             if len(encoded) > 255:
@@ -127,43 +170,136 @@ class NvmPool:
             parts.append(struct.pack("<H", len(encoded)))
             parts.append(encoded)
             parts.append(struct.pack("<QQ", offset, size))
-        blob = b"".join(parts)
-        if len(blob) > self.header_bytes:
+        return b"".join(parts)
+
+    def _pick_save_arena(self) -> int:
+        """Choose the slot+arena pair this save may overwrite.
+
+        Invariant: between two completed flushes only ONE arena's bytes
+        ever change, so however a flush tears, the other arena still
+        holds a valid directory at least as new as the last completed
+        flush.  An arena is *clean* when a flush completed after its last
+        write (its bytes are on media); rewriting a clean arena would be
+        safe only if the other one were also durable, so:
+
+        * one arena dirty -> keep writing that one;
+        * both clean -> overwrite the stale one (lower sequence);
+        * both dirty (never happens via this method; defensive) -> the
+          newer one, keeping the older as the least-bad fallback.
+        """
+        epoch = self.memory.flush_epoch
+        clean0 = self._arena_epoch[0] < epoch
+        clean1 = self._arena_epoch[1] < epoch
+        if clean0 and clean1:
+            return 0 if self._arena_seq[0] <= self._arena_seq[1] else 1
+        if clean0:
+            return 1
+        if clean1:
+            return 0
+        return 0 if self._arena_seq[0] >= self._arena_seq[1] else 1
+
+    def save_directory(self) -> None:
+        """Serialize the directory into the pool header (charged I/O).
+
+        Writes the entry blob and its CRC-sealed slot to the ping-pong
+        target chosen by :meth:`_pick_save_arena`; the other slot stays
+        byte-identical so a torn flush cannot lose both copies.
+        """
+        blob = self._encode_entries()
+        if len(blob) > self._arena_size:
             raise PoolLayoutError(
-                f"directory ({len(blob)} B) exceeds header ({self.header_bytes} B)"
+                f"directory ({len(blob)} B) exceeds header arena "
+                f"({self._arena_size} B)"
             )
-        self.memory.write(0, blob)
+        arena = self._pick_save_arena()
+        self._dir_seq += 1
+        seq = self._dir_seq
+        body = struct.pack(
+            _SLOT_FMT,
+            seq,
+            len(self._regions),
+            self.allocator.top,
+            len(blob),
+            zlib.crc32(blob),
+        )
+        slot = body + struct.pack("<I", zlib.crc32(body)) + b"\x00" * (
+            _SLOT_SIZE - _SLOT_BODY_SIZE - 4
+        )
+        mem = self.memory
+        mem.write(0, struct.pack(_FIXED_FMT, _MAGIC, _VERSION))
+        if blob:
+            mem.write(self._arena_off(arena), blob)
+        mem.write(self._slot_off(arena), slot)
+        self._arena_seq[arena] = seq
+        self._arena_epoch[arena] = mem.flush_epoch
+
+    def _parse_slot(
+        self, raw: bytes, arena: int
+    ) -> tuple[int, int, dict[str, tuple[int, int]]] | None:
+        """Validate one slot+arena pair; None if torn/corrupt/unwritten."""
+        off = self._slot_off(arena)
+        body = raw[off : off + _SLOT_BODY_SIZE]
+        (stored_crc,) = struct.unpack_from("<I", raw, off + _SLOT_BODY_SIZE)
+        if zlib.crc32(body) != stored_crc:
+            return None
+        seq, count, top, blob_len, blob_crc = struct.unpack(_SLOT_FMT, body)
+        if seq == 0 or blob_len > self._arena_size:
+            return None
+        arena_off = self._arena_off(arena)
+        blob = raw[arena_off : arena_off + blob_len]
+        if zlib.crc32(blob) != blob_crc:
+            return None
+        regions: dict[str, tuple[int, int]] = {}
+        pos = 0
+        try:
+            for _ in range(count):
+                (name_len,) = struct.unpack_from("<H", blob, pos)
+                pos += 2
+                name = blob[pos : pos + name_len].decode("utf-8")
+                pos += name_len
+                offset, size = struct.unpack_from("<QQ", blob, pos)
+                pos += 16
+                regions[name] = (offset, size)
+        except (struct.error, UnicodeDecodeError):
+            return None
+        return (seq, top, regions)
 
     def load_directory(self) -> None:
         """Restore the directory (and allocator top) from the pool header.
 
+        Picks the valid slot with the highest sequence number; a torn or
+        corrupt copy fails its CRC and the other slot is used instead.
+
         Raises:
-            PoolLayoutError: on bad magic or a truncated/corrupt header.
+            PoolLayoutError: on bad magic, or when no slot passes
+                validation (truncated/corrupt header).
         """
         raw = self.memory.read(0, self.header_bytes)
-        try:
-            magic, version, count, top = struct.unpack_from(_HEADER_FMT, raw, 0)
-        except struct.error as exc:
-            raise PoolLayoutError("truncated pool header") from exc
+        magic, version = struct.unpack_from(_FIXED_FMT, raw, 0)
         if magic != _MAGIC:
             raise PoolLayoutError("bad pool magic: not an N-TADOC pool image")
         if version != _VERSION:
             raise PoolLayoutError(f"unsupported pool version {version}")
-        regions: dict[str, tuple[int, int]] = {}
-        pos = _HEADER_SIZE
-        for _ in range(count):
-            try:
-                (name_len,) = struct.unpack_from("<H", raw, pos)
-                pos += 2
-                name = raw[pos : pos + name_len].decode("utf-8")
-                pos += name_len
-                offset, size = struct.unpack_from("<QQ", raw, pos)
-                pos += 16
-            except (struct.error, UnicodeDecodeError) as exc:
-                raise PoolLayoutError("corrupt pool directory entry") from exc
-            regions[name] = (offset, size)
+        best: tuple[int, int, dict[str, tuple[int, int]]] | None = None
+        seqs = [0, 0]
+        for arena in (0, 1):
+            parsed = self._parse_slot(raw, arena)
+            if parsed is None:
+                continue
+            seqs[arena] = parsed[0]
+            if best is None or parsed[0] > best[0]:
+                best = parsed
+        if best is None:
+            raise PoolLayoutError(
+                "corrupt pool directory: neither slot passes validation"
+            )
+        seq, top, regions = best
         self._regions = regions
         self.allocator._top = max(top, self.allocator.base)
+        self._dir_seq = max(seqs)
+        self._arena_seq = seqs
+        # The loaded image is by definition on media: both arenas clean.
+        self._arena_epoch = [-1, -1]
 
     def flush(self) -> int:
         """Persist the directory and all dirty lines; return lines flushed."""

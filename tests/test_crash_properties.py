@@ -10,8 +10,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.recovery import recover_pool
-from repro.errors import RecoveryError
+from repro.errors import CrashPoint, RecoveryError
 from repro.nvm.device import DeviceProfile
+from repro.nvm.faults import FaultPlan, TornFlush
 from repro.nvm.memory import SimulatedMemory
 from repro.nvm.persist import PhasePersistence, TransactionLog
 from repro.nvm.pool import NvmPool
@@ -123,6 +124,105 @@ def test_transactions_atomic_under_crash(transactions, crash_inside_last):
             report.pool.memory.read(data_off + slot * 4, 4)
             == committed_state[slot]
         ), f"slot {slot} inconsistent after crash"
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    order_seed=st.integers(0, 2**20),
+    persisted=st.integers(0, 6),
+    partial=st.integers(0, 256),
+)
+def test_torn_flush_tears_only_at_atomic_units(order_seed, persisted, partial):
+    """However a flush tears -- any seeded subset of the dirty lines, in
+    any order, cut mid-line -- every surviving atomic unit is either the
+    old value or the new one, at most one line is mixed, and the mixed
+    line is a clean new-prefix/old-suffix split."""
+    mem = SimulatedMemory(DeviceProfile.nvm(), 1 << 16)
+    pool = NvmPool(mem)
+    off = pool.alloc_region("data", 1024)
+    old = bytes(range(256)) * 4
+    mem.write(off, old)
+    pool.flush()
+    new = bytes(b ^ 0xFF for b in old)
+    mem.write(off, new)
+
+    plan = FaultPlan(
+        "flush", 1, torn=TornFlush(order_seed, persisted, partial)
+    )
+    mem.arm_faults(plan)
+    try:
+        mem.flush()
+        raise AssertionError("torn flush did not crash")
+    except CrashPoint:
+        pass
+    mem.disarm_faults()
+    mem.crash()
+
+    surviving = mem.read(off, 1024)
+    unit = DeviceProfile.nvm().atomic_unit
+    mixed_lines = 0
+    for start in range(0, 1024, 256):
+        is_new = []
+        for u in range(start, start + 256, unit):
+            word = surviving[u : u + unit]
+            assert word in (old[u : u + unit], new[u : u + unit]), (
+                "value torn below the atomic persist unit"
+            )
+            is_new.append(word == new[u : u + unit])
+        if any(is_new) and not all(is_new):
+            mixed_lines += 1
+            cut = is_new.index(False)
+            assert not any(is_new[cut:]), "non-prefix tear within a line"
+    assert mixed_lines <= 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    payloads=st.lists(
+        st.binary(min_size=8, max_size=8), min_size=1, max_size=6
+    ),
+    crash_flush=st.integers(1, 40),
+)
+def test_crash_at_flush_boundary_preserves_committed_prefix(
+    payloads, crash_flush
+):
+    """A boundary crash at any flush leaves exactly the committed-prefix
+    snapshot: finished transactions survive, the in-flight one vanishes."""
+    pool = fresh_pool()
+    mem = pool.memory
+    data_off = pool.alloc_region("slots", 8 * 8)
+    mem.fill(data_off, 8 * 8)
+    log = TransactionLog(pool)
+    pool.flush()  # directory + zeroed slots durable before injection
+
+    snapshots = [bytes(64)]
+    current = bytearray(64)
+    for index, payload in enumerate(payloads):
+        slot = index % 8
+        current[slot * 8 : slot * 8 + 8] = payload
+        snapshots.append(bytes(current))
+
+    plan = FaultPlan("flush", crash_flush)
+    mem.arm_faults(plan)
+    commit_flush_ordinals = []
+    crashed = False
+    try:
+        for index, payload in enumerate(payloads):
+            tx = log.begin()
+            tx.write(data_off + (index % 8) * 8, payload)
+            tx.commit()
+            commit_flush_ordinals.append(plan.events["flush"])
+    except CrashPoint:
+        crashed = True
+    mem.disarm_faults()
+
+    if not crashed:
+        assert mem.read(data_off, 64) == snapshots[-1]
+        return
+    mem.crash()
+    report = recover_pool(mem)
+    committed = sum(1 for f in commit_flush_ordinals if f < crash_flush)
+    assert report.pool.memory.read(data_off, 64) == snapshots[committed]
 
 
 @settings(max_examples=25, deadline=None)

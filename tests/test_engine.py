@@ -109,9 +109,12 @@ class TestPersistencePlumbing:
         assert phase.pool_stats.flushed_lines > 0
 
     def test_operation_persistence_flushes_more(self, corpus):
+        # op_batch=1 commits every operation; on this tiny corpus the
+        # default batching can collapse to a single commit, whose flush
+        # count ties the phase path's data+marker barriers.
         phase = NTadocEngine(corpus).run(WordCount())
         op = NTadocEngine(
-            corpus, EngineConfig(persistence="operation")
+            corpus, EngineConfig(persistence="operation", op_batch=1)
         ).run(WordCount())
         assert op.pool_stats.flush_ops > phase.pool_stats.flush_ops
         assert op.total_ns > phase.total_ns

@@ -1,0 +1,213 @@
+"""Unit tests for the fault-injection layer (`repro.nvm.faults`)."""
+
+import pytest
+
+from repro.errors import CrashPoint
+from repro.nvm.device import DeviceProfile
+from repro.nvm.faults import FaultPlan, ReadCorruption, TornFlush
+from repro.nvm.memory import SimulatedMemory
+
+
+@pytest.fixture
+def mem():
+    return SimulatedMemory(DeviceProfile.nvm(), 1 << 16)
+
+
+class TestCountingPlan:
+    def test_counts_without_crashing(self, mem):
+        plan = FaultPlan()
+        mem.arm_faults(plan)
+        mem.write(0, b"x" * 512)
+        mem.write(1024, b"y" * 16)
+        mem.flush()
+        mem.write(2048, b"z" * 8)
+        mem.flush()
+        assert plan.events["write"] == 3
+        assert plan.events["flush"] == 2
+        assert not plan.fired
+
+    def test_flush_profiles_record_windows(self, mem):
+        line = mem.profile.line_size
+        plan = FaultPlan()
+        mem.arm_faults(plan)
+        mem.write(0, b"x" * line)          # dirties line 0
+        mem.write(line * 4, b"y" * line)   # dirties line 4
+        mem.flush()
+        mem.write(0, b"z")
+        mem.flush()
+        assert [p["flush"] for p in plan.flush_profiles] == [1, 2]
+        assert plan.flush_profiles[0]["writes_before"] == 2
+        assert plan.flush_profiles[0]["dirty_lines"] == 2
+        assert plan.flush_profiles[1]["writes_before"] == 3
+        assert plan.flush_profiles[1]["dirty_lines"] == 1
+
+    def test_serial_totally_orders_events(self, mem):
+        plan = FaultPlan()
+        mem.arm_faults(plan)
+        mem.write(0, b"x" * 512)  # two dirty lines
+        mem.flush()               # 1 flush event + 2 line persists
+        # 1 write + 1 flush + 2 line_persist
+        assert plan.serial == 4
+        assert plan.events["line_persist"] == 2
+
+
+class TestCrashAtWrite:
+    def test_kth_write_never_lands(self, mem):
+        mem.write(0, b"A" * 8)
+        mem.flush()
+        mem.arm_faults(FaultPlan("write", 2))
+        mem.write(0, b"B" * 8)  # write #1 lands (volatile)
+        with pytest.raises(CrashPoint):
+            mem.write(8, b"C" * 8)  # write #2 fires before the store
+        mem.disarm_faults()
+        mem.crash()
+        # Neither unflushed write survives; the flushed image does.
+        assert mem.read(0, 8) == b"A" * 8
+        assert mem.read(8, 8) == bytes(8)
+
+    def test_validation_rejects_bad_plans(self):
+        with pytest.raises(ValueError):
+            FaultPlan("teleport", 1)
+        with pytest.raises(ValueError):
+            FaultPlan("write", 0)
+
+
+class TestCrashAtFlush:
+    def test_boundary_crash_persists_nothing_of_the_flush(self, mem):
+        mem.write(0, b"A" * 8)
+        mem.flush()
+        mem.write(0, b"B" * 8)
+        mem.arm_faults(FaultPlan("flush", 1))
+        with pytest.raises(CrashPoint):
+            mem.flush()
+        mem.disarm_faults()
+        mem.crash()
+        assert mem.read(0, 8) == b"A" * 8
+
+    def test_torn_flush_persists_chosen_prefix(self, mem):
+        line = mem.profile.line_size
+        mem.write(0, b"A" * (line * 3))
+        mem.flush()
+        mem.write(0, b"B" * (line * 3))
+        plan = FaultPlan(
+            "flush", 1, torn=TornFlush(order_seed=None, persisted_lines=1)
+        )
+        mem.arm_faults(plan)
+        with pytest.raises(CrashPoint):
+            mem.flush()
+        mem.disarm_faults()
+        mem.crash()
+        # Sorted order: exactly the first line persisted.
+        assert mem.read(0, line) == b"B" * line
+        assert mem.read(line, line * 2) == b"A" * (line * 2)
+
+    def test_partial_bytes_round_down_to_atomic_unit(self, mem):
+        line = mem.profile.line_size
+        unit = mem.profile.atomic_unit
+        mem.write(0, b"A" * line)
+        mem.flush()
+        mem.write(0, b"B" * line)
+        cut = unit + unit // 2  # deliberately unaligned request
+        plan = FaultPlan("flush", 1, torn=TornFlush(None, 0, cut))
+        mem.arm_faults(plan)
+        with pytest.raises(CrashPoint):
+            mem.flush()
+        mem.disarm_faults()
+        mem.crash()
+        persisted = (cut // unit) * unit
+        assert mem.read(0, persisted) == b"B" * persisted
+        assert mem.read(persisted, line - persisted) == b"A" * (line - persisted)
+
+    def test_same_seed_tears_identically(self, mem):
+        def wreckage(seed):
+            m = SimulatedMemory(DeviceProfile.nvm(), 1 << 16)
+            m.write(0, b"A" * 2048)
+            m.flush()
+            m.write(0, b"B" * 2048)
+            m.arm_faults(FaultPlan("flush", 1, torn=TornFlush(seed, 3, 16)))
+            with pytest.raises(CrashPoint):
+                m.flush()
+            m.disarm_faults()
+            m.crash()
+            return m.read(0, 2048)
+
+        assert wreckage(1234) == wreckage(1234)
+        # A different seed permutes which lines persist.
+        assert wreckage(1234) != wreckage(99)
+
+
+class TestCrashAtLinePersist:
+    def test_line_persist_ordinal_tears_mid_flush(self, mem):
+        line = mem.profile.line_size
+        mem.write(0, b"A" * (line * 4))
+        mem.flush()
+        mem.write(0, b"B" * (line * 4))
+        mem.arm_faults(FaultPlan("line_persist", 2))
+        with pytest.raises(CrashPoint):
+            mem.flush()
+        mem.disarm_faults()
+        mem.crash()
+        assert mem.read(0, line * 2) == b"B" * (line * 2)
+        assert mem.read(line * 2, line * 2) == b"A" * (line * 2)
+
+    def test_ordinal_spans_multiple_flushes(self, mem):
+        line = mem.profile.line_size
+        mem.write(0, b"A" * line)
+        plan = FaultPlan("line_persist", 2)
+        mem.arm_faults(plan)
+        mem.flush()  # 1 line persist; no crash
+        mem.write(line, b"B" * line)
+        mem.write(line * 2, b"C" * line)
+        with pytest.raises(CrashPoint):
+            mem.flush()  # line persist #2 lands inside this flush
+        mem.disarm_faults()
+        mem.crash()
+        assert mem.read(0, line) == b"A" * line
+        # Exactly one of the second flush's two lines persisted.
+        survived = [
+            mem.read(line, line) == b"B" * line,
+            mem.read(line * 2, line) == b"C" * line,
+        ]
+        assert sum(survived) == 1
+
+
+class TestReadCorruption:
+    def test_corruption_fires_once_on_overlapping_read(self, mem):
+        mem.write(0, b"\x00" * 64)
+        mem.flush()
+        plan = FaultPlan(corruptions=[ReadCorruption(8, b"\xff\xff")])
+        mem.arm_faults(plan)
+        first = mem.read(0, 16)
+        assert first[8:10] == b"\xff\xff"
+        assert first[:8] == bytes(8)
+        # Sticky: the damage persists in the image but fires only once.
+        assert not plan.has_pending_corruption
+        assert mem.read(0, 16)[8:10] == b"\xff\xff"
+
+    def test_non_sticky_corruption_is_transient(self, mem):
+        mem.write(0, b"\x00" * 64)
+        mem.flush()
+        plan = FaultPlan(
+            corruptions=[ReadCorruption(8, b"\xff", sticky=False)]
+        )
+        mem.arm_faults(plan)
+        assert mem.read(8, 1) == b"\xff"
+        assert mem.read(8, 1) == b"\x00"
+
+    def test_non_overlapping_read_leaves_site_armed(self, mem):
+        mem.write(0, b"\x00" * 64)
+        mem.flush()
+        plan = FaultPlan(corruptions=[ReadCorruption(32, b"\xff")])
+        mem.arm_faults(plan)
+        assert mem.read(0, 16) == bytes(16)
+        assert plan.has_pending_corruption
+        assert mem.read(32, 1) == b"\xff"
+
+
+class TestDisarm:
+    def test_disarm_stops_counting_and_crashing(self, mem):
+        plan = FaultPlan("write", 1)
+        mem.arm_faults(plan)
+        mem.disarm_faults()
+        mem.write(0, b"x")  # would have crashed if still armed
+        assert plan.events["write"] == 0

@@ -163,3 +163,217 @@ class TestTransactions:
             tx.write(off + 1024, b"x" * 64)
         tx_cost = mem.clock.ns - before
         assert tx_cost > 3 * raw_cost
+
+
+class TestTornMarkerPingPong:
+    def test_torn_marker_mid_line_falls_back_to_previous_slot(self, pool):
+        """The acceptance case: power fails mid-way through the marker
+        slot's own flush, leaving half a slot on media.  The CRC rejects
+        the torn slot and the reader falls back to the other ping-pong
+        slot -- it must neither raise nor trust garbage."""
+        from repro.errors import CrashPoint
+        from repro.nvm.faults import FaultPlan, TornFlush
+        from repro.nvm.persist import _PHASE_SLOT_SIZE
+
+        mem = pool.memory
+        pp = PhasePersistence(pool)
+        with pp.phase("initialization"):
+            pool.alloc_region("data", 64)
+        assert pp.last_completed() == "initialization"  # count 1, slot 1
+
+        # Completing "traversal" writes count 2 into slot 0.  Tear that
+        # flush mid-slot: the marker line persists only up to an atomic
+        # unit inside slot 0's 40 bytes.
+        marker_off, _ = pool.get_region("__phases__")
+        line_size = mem.profile.line_size
+        in_line = marker_off % line_size
+        cut = in_line + _PHASE_SLOT_SIZE // 2 // 8 * 8  # mid-slot, 8-aligned
+        pool.flush()
+        mem.arm_faults(
+            FaultPlan("flush", 1, torn=TornFlush(None, 0, cut))
+        )
+        with pytest.raises(CrashPoint):
+            pp.complete_phase("traversal")
+        mem.disarm_faults()
+        mem.crash()
+
+        recovered = PhasePersistence(pool)
+        assert recovered.last_completed() == "initialization"
+        assert recovered.completed_count() == 1
+
+    def test_marker_alternates_slots(self, pool):
+        from repro.nvm.persist import _PHASE_SLOT_SIZE
+
+        pp = PhasePersistence(pool)
+        offset, _ = pool.get_region("__phases__")
+        with pp.phase("a"):
+            pass
+        slot1 = pool.memory.read(offset + _PHASE_SLOT_SIZE, _PHASE_SLOT_SIZE)
+        with pp.phase("b"):
+            pass
+        # Completing "b" (count 2) went to slot 0; slot 1 is untouched.
+        assert (
+            pool.memory.read(offset + _PHASE_SLOT_SIZE, _PHASE_SLOT_SIZE)
+            == slot1
+        )
+        assert pp.last_completed() == "b"
+
+
+class TestUndoLogValidation:
+    def test_corrupt_early_record_raises_with_index(self, pool):
+        import struct
+
+        from repro.errors import RecoveryError
+        from repro.nvm.persist import _LOG_HEADER_SIZE
+
+        off = pool.alloc_region("data", 64)
+        mem = pool.memory
+        mem.fill(off, 64)
+        log = TransactionLog(pool)
+        pool.flush()
+        tx = log.begin()
+        tx.write(off, b"AAAAAAAA")
+        tx.write(off + 8, b"BBBBBBBB")
+        tx.write(off + 16, b"CCCCCCCC")
+        mem.flush()
+        mem.crash()
+
+        log_off, _ = pool.get_region("__txlog__")
+        # Flip a byte inside record 0's header: non-tail corruption.
+        raw = mem.read(log_off + _LOG_HEADER_SIZE, 1)
+        mem.write(
+            log_off + _LOG_HEADER_SIZE, bytes([raw[0] ^ 0xFF])
+        )
+        fresh = TransactionLog(pool)
+        with pytest.raises(RecoveryError, match=r"record 0 of 3"):
+            fresh.recover()
+
+    def test_corrupt_tail_record_truncates(self, pool):
+        from repro.nvm.persist import _LOG_HEADER_SIZE, _LOG_RECORD_SIZE
+
+        off = pool.alloc_region("data", 64)
+        mem = pool.memory
+        mem.fill(off, 64)
+        log = TransactionLog(pool)
+        pool.flush()
+        tx = log.begin()
+        tx.write(off, b"AAAAAAAA")
+        tx.write(off + 8, b"BBBBBBBB")
+        mem.flush()
+        mem.crash()
+
+        log_off, _ = pool.get_region("__txlog__")
+        second = log_off + _LOG_HEADER_SIZE + _LOG_RECORD_SIZE + 8
+        raw = mem.read(second, 1)
+        mem.write(second, bytes([raw[0] ^ 0xFF]))
+        fresh = TransactionLog(pool)
+        # Only the torn tail is skipped; the validated record rolls back.
+        assert fresh.recover() == 1
+        assert mem.read(off, 8) == bytes(8)
+
+    def test_out_of_bounds_record_raises(self, pool):
+        import struct
+
+        from repro.errors import RecoveryError
+        from repro.nvm.persist import _LOG_HEADER_FMT, _LOG_HEADER_SIZE
+
+        from repro.nvm.persist import _LOG_RECORD_FMT
+
+        log = TransactionLog(pool)
+        log_off, _ = pool.get_region("__txlog__")
+        mem = pool.memory
+        # Forge an active two-record header whose first record claims
+        # more bytes than the region holds; a non-tail record may not
+        # fall back to torn-tail truncation.
+        mem.write(log_off, struct.pack(_LOG_HEADER_FMT, 1, 2, 1))
+        mem.write(
+            log_off + _LOG_HEADER_SIZE,
+            struct.pack(_LOG_RECORD_FMT, 0, 1 << 20, 0),
+        )
+        with pytest.raises(RecoveryError, match="overruns the log region"):
+            log.recover()
+
+    def test_stale_record_from_previous_tx_never_replays(self, pool):
+        """Record slots are reused across transactions; a stale record
+        must fail validation (its CRC is sealed with the old sequence
+        number) instead of un-committing the previous transaction."""
+        import struct
+
+        from repro.nvm.persist import _LOG_HEADER_FMT
+
+        off = pool.alloc_region("data", 64)
+        mem = pool.memory
+        mem.fill(off, 64)
+        log = TransactionLog(pool)
+        pool.flush()
+        with log.transaction() as tx:
+            tx.write(off, b"COMMITED")
+        # Model the torn flush the crash sweep found: a second
+        # transaction's header (count=1) persists while its record slot
+        # still holds the first transaction's bytes.
+        log_off, _ = pool.get_region("__txlog__")
+        _, _, seq = struct.unpack(
+            _LOG_HEADER_FMT, mem.read(log_off, 16)
+        )
+        mem.write(log_off, struct.pack(_LOG_HEADER_FMT, 1, 1, seq + 1))
+        mem.flush()
+        mem.crash()
+
+        fresh = TransactionLog(pool)
+        assert fresh.needs_recovery()
+        assert fresh.recover() == 0  # stale tail skipped, nothing undone
+        assert mem.read(off, 8) == b"COMMITED"
+
+
+class TestTransactionErrorReporting:
+    def test_full_log_error_carries_sizes(self, pool):
+        off = pool.alloc_region("data", 4096)
+        log = TransactionLog(pool, capacity=64)
+        tx = log.begin()
+        with pytest.raises(TransactionError) as excinfo:
+            for i in range(10):
+                tx.write(off + i * 16, b"0123456789abcdef")
+        err = excinfo.value
+        assert err.required is not None and err.required > 0
+        assert err.available is not None and err.available >= 0
+        assert err.required > err.available
+        assert "docs/recovery.md" in str(err)
+
+    def test_misuse_errors_have_no_sizes(self, pool):
+        log = TransactionLog(pool)
+        log.begin()
+        with pytest.raises(TransactionError) as excinfo:
+            log.begin()
+        assert excinfo.value.required is None
+        assert excinfo.value.available is None
+
+
+class TestAutoCapacity:
+    def test_log_grows_instead_of_raising(self, pool):
+        off = pool.alloc_region("data", 4096)
+        log = TransactionLog(pool, capacity=64, auto_capacity=True)
+        with log.transaction() as tx:
+            for i in range(10):
+                tx.write(off + i * 16, b"0123456789abcdef")
+        assert log.capacity > 64
+        assert pool.get_region("__txlog__")[1] == log.capacity
+        for i in range(10):
+            assert pool.memory.read(off + i * 16, 16) == b"0123456789abcdef"
+
+    def test_grown_log_still_recovers(self, pool):
+        off = pool.alloc_region("data", 4096)
+        mem = pool.memory
+        mem.fill(off, 160)
+        log = TransactionLog(pool, capacity=64, auto_capacity=True)
+        pool.flush()
+        tx = log.begin()
+        for i in range(10):
+            tx.write(off + i * 16, b"0123456789abcdef")
+        mem.flush()
+        mem.crash()
+
+        from repro.core.recovery import recover_pool
+
+        report = recover_pool(mem)
+        assert report.transactions_rolled_back == 10
+        assert report.pool.memory.read(off, 160) == bytes(160)
