@@ -12,6 +12,8 @@ Each task implements three entry points:
 from repro.analytics.base import (
     AnalyticsTask,
     CompressedTaskContext,
+    FusedTask,
+    TraversalNeeds,
     UncompressedTaskContext,
 )
 from repro.analytics.inverted_index import InvertedIndex
@@ -47,11 +49,13 @@ __all__ = [
     "ALL_TASKS",
     "AnalyticsTask",
     "CompressedTaskContext",
+    "FusedTask",
     "InvertedIndex",
     "RankedInvertedIndex",
     "SequenceCount",
     "Sort",
     "TermVector",
+    "TraversalNeeds",
     "UncompressedTaskContext",
     "WordCount",
     "WordLocate",

@@ -5,9 +5,23 @@ from __future__ import annotations
 from repro.analytics.base import (
     AnalyticsTask,
     CompressedTaskContext,
+    FusedTask,
+    TraversalNeeds,
     UncompressedTaskContext,
 )
 from repro.analytics.perfile import per_file_word_counts, per_file_word_counts_scan
+
+
+def _extend_postings(
+    postings: dict[int, list[int]], file_index: int, file_counts: dict, ctx
+) -> int:
+    """Append one file's words to the posting lists; returns entries added."""
+    added = 0
+    for word in file_counts:
+        postings.setdefault(word, []).append(file_index)
+        added += 1
+        ctx.clock.cpu(1)
+    return added
 
 
 def _build_postings(counts: list[dict[int, int]], ctx) -> dict[int, list[int]]:
@@ -15,10 +29,7 @@ def _build_postings(counts: list[dict[int, int]], ctx) -> dict[int, list[int]]:
     postings: dict[int, list[int]] = {}
     total_entries = 0
     for file_index, file_counts in enumerate(counts):
-        for word in file_counts:
-            postings.setdefault(word, []).append(file_index)
-            total_entries += 1
-            ctx.clock.cpu(1)
+        total_entries += _extend_postings(postings, file_index, file_counts, ctx)
     ctx.ledger.charge("dram", "postings", total_entries * 8 + len(postings) * 16)
     ctx.ledger.release("dram", "postings", total_entries * 8 + len(postings) * 16)
     return postings
@@ -31,6 +42,26 @@ class InvertedIndex(AnalyticsTask):
 
     def run_compressed(self, ctx: CompressedTaskContext) -> dict[int, list[int]]:
         return _build_postings(per_file_word_counts(ctx), ctx)
+
+    def fuse(self, ctx: CompressedTaskContext) -> FusedTask:
+        postings: dict[int, list[int]] = {}
+        entries = [0]
+
+        def visit(file_index: int, segment: list[int], counts: dict) -> None:
+            entries[0] += _extend_postings(postings, file_index, counts, ctx)
+
+        def finish() -> dict[int, list[int]]:
+            nbytes = entries[0] * 8 + len(postings) * 16
+            ctx.ledger.charge("dram", "postings", nbytes)
+            ctx.ledger.release("dram", "postings", nbytes)
+            return postings
+
+        return FusedTask(
+            self,
+            TraversalNeeds(direction="bottomup", segments=True, file_counts=True),
+            visit_segment=visit,
+            finish=finish,
+        )
 
     def run_uncompressed(
         self, ctx: UncompressedTaskContext

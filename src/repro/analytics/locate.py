@@ -23,6 +23,8 @@ from __future__ import annotations
 from repro.analytics.base import (
     AnalyticsTask,
     CompressedTaskContext,
+    FusedTask,
+    TraversalNeeds,
     UncompressedTaskContext,
 )
 from repro.core.grammar import is_rule_ref, is_word, rule_index
@@ -49,53 +51,80 @@ class WordLocate(AnalyticsTask):
     # Compressed path
     # ------------------------------------------------------------------
 
+    def _mark_rule(self, ctx, contains, rule, words, subrules) -> None:
+        found = any(word == self.word for word, _ in words) or any(
+            contains.get(sub) for sub, _ in subrules
+        )
+        if found:
+            contains.set(rule)
+        ctx.clock.cpu(1)
+
+    def _walk(self, ctx, contains, symbols: list[int], hits: list[int]) -> None:
+        """Collect matches in ``symbols`` (iterative: depth-proof)."""
+        pruned = ctx.pruned
+        offset = 0
+        # Each frame: (symbol list, cursor).
+        stack: list[list] = [[symbols, 0]]
+        while stack:
+            frame = stack[-1]
+            body, cursor = frame
+            if cursor >= len(body):
+                stack.pop()
+                continue
+            symbol = body[cursor]
+            frame[1] = cursor + 1
+            ctx.clock.cpu(1)
+            if is_word(symbol):
+                if symbol == self.word:
+                    hits.append(offset)
+                offset += 1
+            elif is_rule_ref(symbol):
+                sub = rule_index(symbol)
+                if contains.get(sub):
+                    stack.append([pruned.raw_body(sub), 0])
+                else:
+                    offset += self._explen[sub]  # skipped in O(1)
+
     def run_compressed(self, ctx: CompressedTaskContext) -> dict[int, list[int]]:
         pruned = ctx.pruned
         contains = PBitmap.create(ctx.allocator, pruned.n_rules)
         for rule in ctx.reverse_topo:
-            found = any(
-                word == self.word for word, _ in pruned.words(rule)
-            ) or any(
-                contains.get(sub) for sub, _ in pruned.subrules(rule)
+            self._mark_rule(
+                ctx, contains, rule, pruned.words(rule), pruned.subrules(rule)
             )
-            if found:
-                contains.set(rule)
-            ctx.clock.cpu(1)
 
         positions: dict[int, list[int]] = {}
-
-        def walk(symbols: list[int], hits: list[int]) -> None:
-            """Collect matches in ``symbols`` (iterative: depth-proof)."""
-            offset = 0
-            # Each frame: (symbol list, cursor).
-            stack: list[list] = [[symbols, 0]]
-            while stack:
-                frame = stack[-1]
-                body, cursor = frame
-                if cursor >= len(body):
-                    stack.pop()
-                    continue
-                symbol = body[cursor]
-                frame[1] = cursor + 1
-                ctx.clock.cpu(1)
-                if is_word(symbol):
-                    if symbol == self.word:
-                        hits.append(offset)
-                    offset += 1
-                elif is_rule_ref(symbol):
-                    sub = rule_index(symbol)
-                    if contains.get(sub):
-                        stack.append([pruned.raw_body(sub), 0])
-                    else:
-                        offset += self._explen[sub]  # skipped in O(1)
-
         for file_index, segment in enumerate(ctx.root_segments()):
             hits: list[int] = []
-            walk(segment, hits)
+            self._walk(ctx, contains, segment, hits)
             if hits:
                 positions[file_index] = hits
             ctx.op_commit()
         return positions
+
+    def fuse(self, ctx: CompressedTaskContext) -> FusedTask:
+        # Same two phases as the sequential path, but the contains-bitmap
+        # pass rides the shared bottom-up rule sweep and the document walk
+        # rides the shared segment sweep.
+        contains = PBitmap.create(ctx.allocator, ctx.pruned.n_rules)
+        positions: dict[int, list[int]] = {}
+
+        def visit_rule(rule: int, words, subrules) -> None:
+            self._mark_rule(ctx, contains, rule, words, subrules)
+
+        def visit_segment(file_index: int, segment: list[int], counts) -> None:
+            hits: list[int] = []
+            self._walk(ctx, contains, segment, hits)
+            if hits:
+                positions[file_index] = hits
+
+        return FusedTask(
+            self,
+            TraversalNeeds(direction="bottomup", segments=True),
+            visit_rule_bottomup=visit_rule,
+            visit_segment=visit_segment,
+            finish=lambda: positions,
+        )
 
     # ------------------------------------------------------------------
     # Baseline + oracle

@@ -8,6 +8,11 @@ Both traversal strategies of Section VI-E are implemented:
 * **top-down**: for each file, a full-DAG topological sweep propagates
   segment-seeded weights (the original TADOC behaviour whose cost is
   O(files x |DAG|)).
+
+Per-file counts are cached on the context, keyed by the strategy that
+produced them, so a fused plan (or several tasks sharing one context)
+charges the device traffic once no matter how many consumers read the
+counts.
 """
 
 from __future__ import annotations
@@ -20,49 +25,54 @@ from repro.core.traversal import (
 )
 
 
-def per_file_word_counts(ctx: CompressedTaskContext) -> list[dict[int, int]]:
-    """Word counts per file on the compressed representation."""
-    if ctx.strategy == "bottomup":
-        return _per_file_bottomup(ctx)
-    return _per_file_topdown(ctx)
+def per_file_word_counts(
+    ctx: CompressedTaskContext, strategy: str | None = None
+) -> list[dict[int, int]]:
+    """Word counts per file on the compressed representation (cached).
 
-
-def _per_file_bottomup(ctx: CompressedTaskContext) -> list[dict[int, int]]:
-    wordlists = ctx.wordlists()
+    Args:
+        ctx: The shared task context.
+        strategy: ``"topdown"`` or ``"bottomup"``; defaults to the
+            context's resolved strategy.  Counts computed under one
+            strategy are cached and reused by every later consumer.
+    """
+    strategy = strategy or ctx.strategy
+    cached = ctx._file_counts.get(strategy)
+    if cached is not None:
+        return cached
     counts: list[dict[int, int]] = []
     for segment in ctx.root_segments():
-        file_counts = merge_segment_counts(
-            ctx.pruned, segment, wordlists, ctx.clock
-        )
+        file_counts = segment_word_counts(ctx, segment, strategy)
         ctx.ledger.charge("dram", "file_counts", len(file_counts) * 16)
         counts.append(file_counts)
         ctx.op_commit()
     for file_counts in counts:
         ctx.ledger.release("dram", "file_counts", len(file_counts) * 16)
+    ctx._file_counts[strategy] = counts
     return counts
 
 
-def _per_file_topdown(ctx: CompressedTaskContext) -> list[dict[int, int]]:
-    counts: list[dict[int, int]] = []
-    for segment in ctx.root_segments():
-        weights = full_sweep_weights_for_segment(
-            ctx.pruned, segment, ctx.topo_order
+def segment_word_counts(
+    ctx: CompressedTaskContext, segment: list[int], strategy: str
+) -> dict[int, int]:
+    """Word counts for one root-body file segment under ``strategy``."""
+    if strategy == "bottomup":
+        return merge_segment_counts(
+            ctx.pruned, segment, ctx.wordlists(), ctx.clock
         )
-        file_counts: dict[int, int] = {}
-        for symbol in segment:
+    weights = full_sweep_weights_for_segment(
+        ctx.pruned, segment, ctx.topo_order
+    )
+    file_counts: dict[int, int] = {}
+    for symbol in segment:
+        ctx.clock.cpu(1)
+        if is_word(symbol):
+            file_counts[symbol] = file_counts.get(symbol, 0) + 1
+    for rule, weight in weights.items():
+        for word, freq in ctx.pruned.words(rule):
+            file_counts[word] = file_counts.get(word, 0) + weight * freq
             ctx.clock.cpu(1)
-            if is_word(symbol):
-                file_counts[symbol] = file_counts.get(symbol, 0) + 1
-        for rule, weight in weights.items():
-            for word, freq in ctx.pruned.words(rule):
-                file_counts[word] = file_counts.get(word, 0) + weight * freq
-                ctx.clock.cpu(1)
-        ctx.ledger.charge("dram", "file_counts", len(file_counts) * 16)
-        counts.append(file_counts)
-        ctx.op_commit()
-    for file_counts in counts:
-        ctx.ledger.release("dram", "file_counts", len(file_counts) * 16)
-    return counts
+    return file_counts
 
 
 def per_file_word_counts_scan(

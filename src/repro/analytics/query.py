@@ -204,10 +204,11 @@ class QueryEngine:
             w for w in words if w not in self._postings and w in self._word_ids
         ]
         if missing:
-            run = self._engine.run(
-                WordSearch([self._word_ids[w] for w in missing])
+            plan = self._engine.run_many(
+                [WordSearch([self._word_ids[w] for w in missing])]
             )
-            self.sim_ns_spent += run.total_ns
+            self.sim_ns_spent += plan.total_ns
+            run = plan.results[0]
             for word in missing:
                 files = run.result[self._word_ids[word]]
                 self._postings[word] = set(files)

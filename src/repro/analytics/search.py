@@ -18,6 +18,8 @@ from __future__ import annotations
 from repro.analytics.base import (
     AnalyticsTask,
     CompressedTaskContext,
+    FusedTask,
+    TraversalNeeds,
     UncompressedTaskContext,
 )
 from repro.core.grammar import is_rule_ref, is_word, rule_index
@@ -39,50 +41,84 @@ class WordSearch(AnalyticsTask):
             raise ValueError("need at least one query word")
         self.query_words = list(query_words)
 
+    def _make_bitmaps(self, ctx) -> dict[int, PBitmap]:
+        # One pool-resident bitmap per query word, a bit per rule meaning
+        # "this rule's expansion contains the word".
+        return {
+            word: PBitmap.create(ctx.allocator, ctx.pruned.n_rules)
+            for word in self.query_words
+        }
+
+    def _mark_rule(self, ctx, bitmaps, queries, rule, words, subrules) -> None:
+        present: set[int] = set()
+        for word, _freq in words:
+            if word in queries:
+                present.add(word)
+            ctx.clock.cpu(1)
+        for query in self.query_words:
+            bitmap = bitmaps[query]
+            if query in present or any(
+                bitmap.get(sub) for sub, _ in subrules
+            ):
+                bitmap.set(rule)
+            ctx.clock.cpu(1)
+
+    def _scan_segment(
+        self, ctx, bitmaps, queries, postings, file_index, segment
+    ) -> None:
+        found: set[int] = set()
+        for symbol in segment:
+            ctx.clock.cpu(1)
+            if is_word(symbol):
+                if symbol in queries:
+                    found.add(symbol)
+            elif is_rule_ref(symbol):
+                rule = rule_index(symbol)
+                for query in queries - found:
+                    if bitmaps[query].get(rule):
+                        found.add(query)
+            if len(found) == len(queries):
+                break  # early exit: every query already matched
+        for word in sorted(found):
+            postings[word].append(file_index)
+
     def run_compressed(self, ctx: CompressedTaskContext) -> dict[int, list[int]]:
         pruned = ctx.pruned
         queries = set(self.query_words)
-        # Bottom-up: one pool-resident bitmap per query word, a bit per
-        # rule meaning "this rule's expansion contains the word".
-        bitmaps = {
-            word: PBitmap.create(ctx.allocator, pruned.n_rules)
-            for word in self.query_words
-        }
+        bitmaps = self._make_bitmaps(ctx)
         for rule in ctx.reverse_topo:
-            present: set[int] = set()
-            for word, _freq in pruned.words(rule):
-                if word in queries:
-                    present.add(word)
-                ctx.clock.cpu(1)
+            words = pruned.words(rule)
             subrules = pruned.subrules(rule)
-            for query in self.query_words:
-                bitmap = bitmaps[query]
-                if query in present or any(
-                    bitmap.get(sub) for sub, _ in subrules
-                ):
-                    bitmap.set(rule)
-                ctx.clock.cpu(1)
+            self._mark_rule(ctx, bitmaps, queries, rule, words, subrules)
             ctx.op_commit()
         # Scan each document's root segment.
         postings: dict[int, list[int]] = {w: [] for w in self.query_words}
         for file_index, segment in enumerate(ctx.root_segments()):
-            found: set[int] = set()
-            for symbol in segment:
-                ctx.clock.cpu(1)
-                if is_word(symbol):
-                    if symbol in queries:
-                        found.add(symbol)
-                elif is_rule_ref(symbol):
-                    rule = rule_index(symbol)
-                    for query in queries - found:
-                        if bitmaps[query].get(rule):
-                            found.add(query)
-                if len(found) == len(queries):
-                    break  # early exit: every query already matched
-            for word in sorted(found):
-                postings[word].append(file_index)
+            self._scan_segment(ctx, bitmaps, queries, postings, file_index, segment)
             ctx.op_commit()
         return postings
+
+    def fuse(self, ctx: CompressedTaskContext) -> FusedTask:
+        # Rides the shared bottom-up rule sweep (per-rule words/subrules
+        # records are read once for every fused consumer) and the shared
+        # segment sweep.
+        queries = set(self.query_words)
+        bitmaps = self._make_bitmaps(ctx)
+        postings: dict[int, list[int]] = {w: [] for w in self.query_words}
+
+        def visit_rule(rule: int, words, subrules) -> None:
+            self._mark_rule(ctx, bitmaps, queries, rule, words, subrules)
+
+        def visit_segment(file_index: int, segment: list[int], counts) -> None:
+            self._scan_segment(ctx, bitmaps, queries, postings, file_index, segment)
+
+        return FusedTask(
+            self,
+            TraversalNeeds(direction="bottomup", segments=True),
+            visit_rule_bottomup=visit_rule,
+            visit_segment=visit_segment,
+            finish=lambda: postings,
+        )
 
     def run_uncompressed(
         self, ctx: UncompressedTaskContext

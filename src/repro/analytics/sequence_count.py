@@ -13,10 +13,11 @@ from __future__ import annotations
 from repro.analytics.base import (
     AnalyticsTask,
     CompressedTaskContext,
+    FusedTask,
+    TraversalNeeds,
     UncompressedTaskContext,
 )
 from repro.core.ngrams import NgramWalker, combine_profiles, pack_ngram
-from repro.core.traversal import propagate_weights_topdown
 
 
 def compute_rule_profiles(ctx: CompressedTaskContext) -> list[dict[int, int]]:
@@ -40,13 +41,22 @@ def compute_rule_profiles(ctx: CompressedTaskContext) -> list[dict[int, int]]:
         ctx.op_commit()
     ctx.ledger.charge("dram", "ngram_profiles", total_entries * 24)
     ctx.ngram_profiles = profiles
+    ctx.profiles_live = True
     return profiles
 
 
 def release_rule_profiles(
     ctx: CompressedTaskContext, profiles: list[dict[int, int]]
 ) -> None:
-    """Release the ledger charge taken by :func:`compute_rule_profiles`."""
+    """Release the ledger charge taken by :func:`compute_rule_profiles`.
+
+    The profiles are shared context state (sequence count and ranked
+    inverted index both consume them); in a fused plan the first finisher
+    releases the charge and later releases are no-ops.
+    """
+    if not ctx.profiles_live:
+        return
+    ctx.profiles_live = False
     total_entries = sum(len(p) for p in profiles)
     ctx.ledger.release("dram", "ngram_profiles", total_entries * 24)
 
@@ -61,12 +71,38 @@ class SequenceCount(AnalyticsTask):
 
     def run_compressed(self, ctx: CompressedTaskContext) -> dict[int, int]:
         profiles = compute_rule_profiles(ctx)
-        propagate_weights_topdown(ctx.pruned, ctx.allocator)
+        ctx.ensure_weights()
         weights = [ctx.pruned.weight(rule) for rule in range(ctx.pruned.n_rules)]
+        return self._combine(ctx, profiles, weights)
+
+    @staticmethod
+    def _combine(ctx, profiles, weights) -> dict[int, int]:
         ctx.clock.cpu(sum(len(p) for p in profiles))
         totals = combine_profiles(profiles, weights)
         release_rule_profiles(ctx, profiles)
         return totals
+
+    def fuse(self, ctx: CompressedTaskContext) -> FusedTask:
+        # Rides the fused top-down sweep: the weight each rule carries is
+        # captured from the shared per-rule record read instead of paying
+        # a dedicated weight read per rule.  Profiles are computed at
+        # fuse time, which the planner runs inside the initialization
+        # phase (the same accounting as the sequential prepare() hook).
+        profiles = compute_rule_profiles(ctx)
+        weights: list[int] = []
+
+        def visit(rule: int, weight: int, words: list) -> None:
+            weights.append(weight)
+
+        def finish() -> dict[int, int]:
+            return self._combine(ctx, profiles, weights)
+
+        return FusedTask(
+            self,
+            TraversalNeeds(direction="topdown", weights=True, profiles=True),
+            visit_rule=visit,
+            finish=finish,
+        )
 
     def run_uncompressed(self, ctx: UncompressedTaskContext) -> dict[int, int]:
         n = ctx.ngram_n

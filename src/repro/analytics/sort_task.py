@@ -11,6 +11,7 @@ from __future__ import annotations
 from repro.analytics.base import (
     AnalyticsTask,
     CompressedTaskContext,
+    FusedTask,
     UncompressedTaskContext,
     charge_sort,
 )
@@ -28,6 +29,29 @@ class Sort(AnalyticsTask):
     def run_compressed(self, ctx: CompressedTaskContext) -> list[tuple[int, int]]:
         counts = self._word_count.run_compressed(ctx)
         return self._sort(counts, ctx.vocab, ctx)
+
+    def fuse(self, ctx: CompressedTaskContext) -> FusedTask:
+        # Sort is word count plus a dictionary-order sort: ride the same
+        # fused sweep as word count (including its word-list alternate,
+        # when the planner takes it) and sort in finish().
+        return self._wrap(ctx, self._word_count.fuse(ctx))
+
+    def _wrap(self, ctx: CompressedTaskContext, inner: FusedTask) -> FusedTask:
+        def finish() -> list[tuple[int, int]]:
+            return self._sort(inner.finish(), ctx.vocab, ctx)
+
+        alternate = None
+        if inner.wordlist_alternate is not None:
+            alternate = lambda: self._wrap(ctx, inner.wordlist_alternate())  # noqa: E731
+
+        return FusedTask(
+            self,
+            inner.needs,
+            visit_rule=inner.visit_rule,
+            visit_rule_bottomup=inner.visit_rule_bottomup,
+            finish=finish,
+            wordlist_alternate=alternate,
+        )
 
     def run_uncompressed(
         self, ctx: UncompressedTaskContext

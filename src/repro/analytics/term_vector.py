@@ -5,6 +5,8 @@ from __future__ import annotations
 from repro.analytics.base import (
     AnalyticsTask,
     CompressedTaskContext,
+    FusedTask,
+    TraversalNeeds,
     UncompressedTaskContext,
     charge_sort,
 )
@@ -29,6 +31,19 @@ class TermVector(AnalyticsTask):
     ) -> list[list[tuple[int, int]]]:
         counts = per_file_word_counts(ctx)
         return [_top_k(c, ctx.term_vector_k, ctx) for c in counts]
+
+    def fuse(self, ctx: CompressedTaskContext) -> FusedTask:
+        vectors: list[list[tuple[int, int]]] = []
+
+        def visit(file_index: int, segment: list[int], counts: dict) -> None:
+            vectors.append(_top_k(counts, ctx.term_vector_k, ctx))
+
+        return FusedTask(
+            self,
+            TraversalNeeds(direction="bottomup", segments=True, file_counts=True),
+            visit_segment=visit,
+            finish=lambda: vectors,
+        )
 
     def run_uncompressed(
         self, ctx: UncompressedTaskContext

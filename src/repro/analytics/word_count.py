@@ -10,9 +10,10 @@ from __future__ import annotations
 from repro.analytics.base import (
     AnalyticsTask,
     CompressedTaskContext,
+    FusedTask,
+    TraversalNeeds,
     UncompressedTaskContext,
 )
-from repro.core.traversal import propagate_weights_topdown
 from repro.pstruct.pcounter import FrequencyCounter
 
 
@@ -21,29 +22,71 @@ class WordCount(AnalyticsTask):
 
     name = "word_count"
 
-    def run_compressed(self, ctx: CompressedTaskContext) -> dict[int, int]:
+    @staticmethod
+    def _use_root_wordlist(ctx: CompressedTaskContext) -> bool:
         # Corpus-global counting is naturally top-down; the bottom-up path
         # (read the root's word list) is taken only when explicitly pinned
         # -- the auto heuristic exists for *per-file* tasks (Section VI-E).
-        if ctx.strategy == "bottomup" and ctx.strategy_forced:
+        return ctx.strategy == "bottomup" and ctx.strategy_forced
+
+    @staticmethod
+    def _accumulate(ctx, counter, weight, words) -> None:
+        """One rule's contribution: ``weight x freq`` per pruned word."""
+        if weight == 0:
+            return
+        if words:
+            if weight == 1:
+                counter.add_many(words)
+            else:
+                counter.add_many((word, weight * freq) for word, freq in words)
+            ctx.clock.cpu(len(words))
+        ctx.op_commit()
+
+    def run_compressed(self, ctx: CompressedTaskContext) -> dict[int, int]:
+        if self._use_root_wordlist(ctx):
             root_list = ctx.wordlists()[0]
             return dict(root_list.items())
-        propagate_weights_topdown(ctx.pruned, ctx.allocator)
+        ctx.ensure_weights()
         counter = self._make_counter(ctx)
         pruned = ctx.pruned
-        cpu = ctx.clock.cpu
         for rule in range(pruned.n_rules):
             weight, words = pruned.weight_and_words(rule)
-            if weight == 0:
-                continue
-            if words:
-                if weight == 1:
-                    counter.add_many(words)
-                else:
-                    counter.add_many((word, weight * freq) for word, freq in words)
-                cpu(len(words))
-            ctx.op_commit()
+            self._accumulate(ctx, counter, weight, words)
         return counter.to_dict()
+
+    def _fuse_root_wordlist(self, ctx: CompressedTaskContext) -> FusedTask:
+        return FusedTask(
+            self,
+            TraversalNeeds(direction="bottomup", wordlists=True),
+            finish=lambda: dict(ctx.wordlists()[0].items()),
+        )
+
+    def fuse(self, ctx: CompressedTaskContext) -> FusedTask:
+        if self._use_root_wordlist(ctx):
+            return self._fuse_root_wordlist(ctx)
+        # Allocate the counter lazily: if the planner swaps this bundle
+        # for its word-list alternate, no counter is ever needed.
+        counter: FrequencyCounter | None = None
+
+        def visit(rule: int, weight: int, words: list) -> None:
+            nonlocal counter
+            if counter is None:
+                counter = self._make_counter(ctx)
+            self._accumulate(ctx, counter, weight, words)
+
+        def finish() -> dict[int, int]:
+            nonlocal counter
+            if counter is None:
+                counter = self._make_counter(ctx)
+            return counter.to_dict()
+
+        return FusedTask(
+            self,
+            TraversalNeeds(direction="topdown", weights=True),
+            visit_rule=visit,
+            finish=finish,
+            wordlist_alternate=lambda: self._fuse_root_wordlist(ctx),
+        )
 
     def run_uncompressed(self, ctx: UncompressedTaskContext) -> dict[int, int]:
         counter = FrequencyCounter.dense(ctx.allocator, ctx.vocab_size)

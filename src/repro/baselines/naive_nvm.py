@@ -23,6 +23,33 @@ from repro.core.grammar import CompressedCorpus
 class _NaiveNvmEngine(NTadocEngine):
     system_name = "naive_nvm"
 
+    def run_many(self, tasks, *, fault_plan=None, resume_from=None):
+        """The direct port predates the shared-traversal planner
+        ("methods unchanged"): many tasks run back to back, each paying
+        its own pool build and traversals."""
+        from repro.core.plan import (
+            PlanResult,
+            merge_sequential_results,
+            sequential_plan_stats,
+        )
+
+        tasks = list(tasks)
+        if not tasks:
+            raise ValueError("run_many needs at least one task")
+        if fault_plan is not None or resume_from is not None:
+            raise ValueError(
+                "the naive port's sequential run_many does not support "
+                "fault injection or resume; use run() per task"
+            )
+        results = [self.run(task) for task in tasks]
+        phase_ns, total_ns = merge_sequential_results(results)
+        return PlanResult(
+            results=results,
+            stats=sequential_plan_stats(len(tasks)),
+            phase_ns=phase_ns,
+            total_ns=total_ns,
+        )
+
 
 def naive_nvm_engine(
     corpus: CompressedCorpus,

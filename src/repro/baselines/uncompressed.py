@@ -149,6 +149,31 @@ class UncompressedEngine:
             pool_stats=mem.stats,
         )
 
+    def run_many(self, tasks: list[AnalyticsTask]):
+        """Task-by-task execution (the baseline has no shared-traversal
+        planner: every task pays its own data layout and scan).
+
+        Returns a :class:`~repro.core.plan.PlanResult` so harness code
+        can treat every system's multi-task entry point uniformly.
+        """
+        from repro.core.plan import (
+            PlanResult,
+            merge_sequential_results,
+            sequential_plan_stats,
+        )
+
+        tasks = list(tasks)
+        if not tasks:
+            raise ValueError("run_many needs at least one task")
+        results = [self.run(task) for task in tasks]
+        phase_ns, total_ns = merge_sequential_results(results)
+        return PlanResult(
+            results=results,
+            stats=sequential_plan_stats(len(tasks)),
+            phase_ns=phase_ns,
+            total_ns=total_ns,
+        )
+
     # The persistence helpers mirror NTadocEngine's.
 
     def _make_op_commit(self, pool: NvmPool):

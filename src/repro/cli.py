@@ -59,8 +59,14 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", type=Path, required=True)
     p.add_argument("--scale", type=float, default=1.0)
 
-    p = sub.add_parser("run", help="run one analytics task")
-    p.add_argument("task", choices=_TASK_NAMES)
+    p = sub.add_parser("run", help="run one analytics task (or a fused list)")
+    p.add_argument(
+        "task",
+        metavar="task[,task...]",
+        help=f"task name from {{{','.join(_TASK_NAMES)}}}; a "
+        "comma-separated list runs all of them through the "
+        "shared-traversal planner (one pool build, fused DAG passes)",
+    )
     p.add_argument("corpus", type=Path)
     p.add_argument("--system", choices=sorted(SYSTEMS), default="ntadoc")
     p.add_argument(
@@ -240,16 +246,43 @@ def _render_result(run, corpus, top: int) -> None:
 
 
 def _cmd_run(args) -> int:
+    names = [name.strip() for name in args.task.split(",") if name.strip()]
+    unknown = [name for name in names if name not in _TASK_NAMES]
+    if not names or unknown:
+        bad = ", ".join(unknown) or "(empty)"
+        print(
+            f"unknown task(s): {bad}; choose from {', '.join(_TASK_NAMES)}",
+            file=sys.stderr,
+        )
+        # Same contract as an argparse choices violation.
+        raise SystemExit(2)
     corpus = serialization.load(args.corpus)
     config = EngineConfig(traversal=args.traversal, ngram_n=args.ngram)
-    run = run_system(args.system, corpus, task_by_name(args.task), config)
-    print(run_report(run))
-    _render_result(run, corpus, args.top)
+    if len(names) == 1:
+        run = run_system(args.system, corpus, task_by_name(names[0]), config)
+        print(run_report(run))
+        _render_result(run, corpus, args.top)
+        return 0
+    from repro.harness.runner import run_many_system
+    from repro.metrics.report import plan_report
+
+    plan = run_many_system(
+        args.system, corpus, [task_by_name(name) for name in names], config
+    )
+    print(plan_report(plan))
+    for run in plan.results:
+        print()
+        print(run_report(run))
+        _render_result(run, corpus, args.top)
     return 0
 
 
 def _cmd_compare(args) -> int:
     corpus = serialization.load(args.corpus)
+    # Every system's engine is built over the same corpus object, so the
+    # corpus-derived analysis (DAG view, topological orders, Algorithm-2
+    # bounds, head/tail lists) and the baseline's expanded token lists
+    # are derived once and shared across systems via their memo caches.
     runs = [
         run_system(system, corpus, task_by_name(args.task))
         for system in args.systems

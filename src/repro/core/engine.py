@@ -134,6 +134,15 @@ class RunResult:
     #: True when this run resumed from a RecoveryReport instead of a
     #: fresh pool (its analytics output must match the uncrashed run's).
     resumed: bool = False
+    #: True when this result came out of a fused multi-task plan; its
+    #: timing fields are then *attributions* of the plan's single charge.
+    fused: bool = False
+    #: This task's even share of the plan's shared substrate cost
+    #: (pool build, fused sweeps); 0 for a solo run.
+    shared_ns: float = 0.0
+    #: Simulated ns spent exclusively in this task's own hooks
+    #: (fused plans only; 0 for a solo run).
+    exclusive_ns: float = 0.0
 
     @property
     def init_ns(self) -> float:
@@ -160,6 +169,85 @@ def _dictionary_bytes(corpus: CompressedCorpus) -> int:
     )
 
 
+@dataclass(frozen=True)
+class CorpusAnalysis:
+    """Corpus-derived DAG metadata shared by every engine over a corpus.
+
+    Deriving this (DAG view, topological orders, Algorithm-2 bounds,
+    head/tail lists) is pure Python work on the corpus alone, so it is
+    memoized *on the corpus object* keyed by the head/tail width: a
+    comparison run building one engine per system stops re-deriving it,
+    and repeated engine builds in tests are cheap.  Engines still
+    *charge* the derivation cost per run -- the memo only removes host
+    work, never simulated cost.
+    """
+
+    dag: Dag
+    topo: list[int]
+    reverse_topo: list[int]
+    topo_position: list[int]
+    bounds: list[int]
+    heads: list
+    tails: list
+    headtail_k: int
+
+
+def corpus_analysis(corpus: CompressedCorpus, headtail_k: int) -> CorpusAnalysis:
+    """Memoized :class:`CorpusAnalysis` for ``corpus`` at one head/tail width."""
+    cache = getattr(corpus, "_analysis_cache", None)
+    if cache is None:
+        cache = {}
+        corpus._analysis_cache = cache  # type: ignore[attr-defined]
+    analysis = cache.get(headtail_k)
+    if analysis is None:
+        dag = Dag(corpus)
+        topo = dag.topological_order()
+        topo_position = [0] * corpus.n_rules
+        for position, rule in enumerate(topo):
+            topo_position[rule] = position
+        # Algorithm 2 bounds, clamped by two further safe upper bounds on
+        # a rule's distinct-word count: its expansion length and the
+        # vocabulary size (an implementation refinement over the paper's
+        # raw summation; see DESIGN.md).
+        raw_bounds = summate_all(dag)
+        explens = dag.expansion_lengths()
+        vocab_size = max(len(corpus.vocab), 1)
+        bounds = [
+            min(bound, explen, vocab_size)
+            for bound, explen in zip(raw_bounds, explens)
+        ]
+        heads, tails = head_tail_lists(dag, headtail_k)
+        analysis = CorpusAnalysis(
+            dag=dag,
+            topo=topo,
+            reverse_topo=list(reversed(topo)),
+            topo_position=topo_position,
+            bounds=bounds,
+            heads=heads,
+            tails=tails,
+            headtail_k=headtail_k,
+        )
+        cache[headtail_k] = analysis
+    return analysis
+
+
+@dataclass
+class _RunState:
+    """Per-run simulated machinery, shared by the solo and fused paths."""
+
+    clock: SimulatedClock
+    pool_mem: SimulatedMemory
+    dram_mem: SimulatedMemory
+    dram_alloc: Any
+    pool: NvmPool
+    ledger: MemoryLedger
+    timeline: PhaseTimeline
+    disk: DeviceProfile
+    phase_persist: PhasePersistence | None
+    op_commit: Any
+    pruned: PrunedDag | None = None
+
+
 class NTadocEngine:
     """Runs analytics tasks on a compressed corpus under one configuration.
 
@@ -176,32 +264,22 @@ class NTadocEngine:
     ) -> None:
         self.corpus = corpus
         self.config = config or EngineConfig()
-        self._dag = Dag(corpus)
-        self._topo = self._dag.topological_order()
-        self._reverse_topo = list(reversed(self._topo))
-        self._topo_position = [0] * corpus.n_rules
-        for position, rule in enumerate(self._topo):
-            self._topo_position[rule] = position
-        # Algorithm 2 bounds, clamped by two further safe upper bounds on
-        # a rule's distinct-word count: its expansion length and the
-        # vocabulary size (an implementation refinement over the paper's
-        # raw summation; see DESIGN.md).
-        raw_bounds = summate_all(self._dag)
-        explens = self._dag.expansion_lengths()
-        vocab_size = max(len(corpus.vocab), 1)
-        self._bounds = [
-            min(bound, explen, vocab_size)
-            for bound, explen in zip(raw_bounds, explens)
-        ]
         k = max(self.config.ngram_n - 1, 1)
-        self._heads, self._tails = head_tail_lists(self._dag, k)
+        analysis = corpus_analysis(corpus, k)
+        self._dag = analysis.dag
+        self._topo = analysis.topo
+        self._reverse_topo = analysis.reverse_topo
+        self._topo_position = analysis.topo_position
+        self._bounds = analysis.bounds
+        self._heads = analysis.heads
+        self._tails = analysis.tails
         self._headtail_k = k
 
     # ------------------------------------------------------------------
     # Sizing
     # ------------------------------------------------------------------
 
-    def _estimate_pool_bytes(self) -> int:
+    def _estimate_pool_bytes(self, n_tasks: int = 1) -> int:
         corpus = self.corpus
         glen = corpus.grammar_length()
         n = corpus.n_rules
@@ -215,6 +293,9 @@ class NTadocEngine:
         queue = n * 8 + 4096
         results = glen * 16 + len(corpus.vocab) * 16 + 65536
         estimate = base + headtail + wordlists + counters + queue + results
+        # A fused plan shares the pool across its tasks: every extra task
+        # may add its own counters, bitmaps, and result blob.
+        estimate += (max(n_tasks, 1) - 1) * (counters + results + n * 16)
         if self.config.naive or self.config.scattered_layout or self.config.growable_structures:
             # Scatter gaps (up to 8 lines per allocation) plus growth garbage.
             line = DeviceProfile.by_name(self.config.device).line_size
@@ -224,6 +305,143 @@ class NTadocEngine:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+
+    def _fresh_state(
+        self, fault_plan: "FaultPlan | None" = None, n_tasks: int = 1
+    ) -> _RunState:
+        """Cold simulated machinery for one run (or one fused plan)."""
+        from repro.nvm.allocator import PoolAllocator
+
+        config = self.config
+        clock = SimulatedClock()
+        profile = DeviceProfile.by_name(config.device)
+        pool_bytes = config.pool_bytes or self._estimate_pool_bytes(n_tasks)
+        cache_bytes = config.cache_bytes
+        if not profile.byte_addressable:
+            # Block devices sit behind the OS page cache; the paper caps
+            # the memory budget at 20% of the dataset.
+            cache_bytes = max(cache_bytes, pool_bytes // 5)
+        pool_mem = SimulatedMemory(
+            profile, pool_bytes, clock, cache_bytes=cache_bytes, name="pool"
+        )
+        if fault_plan is not None:
+            pool_mem.arm_faults(fault_plan)
+        dram_mem = SimulatedMemory(
+            DeviceProfile.dram(), 1 << 24, clock, name="dram-scratch"
+        )
+        dram_alloc = PoolAllocator(dram_mem, base=0, capacity=dram_mem.size)
+        pool = NvmPool(pool_mem, scatter=config.use_scattered_layout)
+        return _RunState(
+            clock=clock,
+            pool_mem=pool_mem,
+            dram_mem=dram_mem,
+            dram_alloc=dram_alloc,
+            pool=pool,
+            ledger=MemoryLedger(),
+            timeline=PhaseTimeline(clock),
+            disk=DeviceProfile.by_name(config.disk),
+            phase_persist=(
+                PhasePersistence(pool) if config.persistence == "phase" else None
+            ),
+            op_commit=self._make_op_commit(pool),
+        )
+
+    def _resumed_state(self, report: "RecoveryReport") -> _RunState:
+        """Machinery wrapped around a recovered pool: its clock keeps
+        ticking (recovery cost is part of the measured time) and any
+        armed fault plan is disarmed."""
+        from repro.nvm.allocator import PoolAllocator
+
+        config = self.config
+        pool = report.pool
+        pool_mem = pool.memory
+        pool_mem.disarm_faults()
+        clock = pool_mem.clock
+        dram_mem = SimulatedMemory(
+            DeviceProfile.dram(), 1 << 24, clock, name="dram-scratch"
+        )
+        dram_alloc = PoolAllocator(dram_mem, base=0, capacity=dram_mem.size)
+        return _RunState(
+            clock=clock,
+            pool_mem=pool_mem,
+            dram_mem=dram_mem,
+            dram_alloc=dram_alloc,
+            pool=pool,
+            ledger=MemoryLedger(),
+            timeline=PhaseTimeline(clock),
+            disk=DeviceProfile.by_name(config.disk),
+            phase_persist=(
+                PhasePersistence(pool) if config.persistence == "phase" else None
+            ),
+            op_commit=self._make_op_commit(pool),
+            pruned=report.pruned,
+        )
+
+    def _charge_init_stream(self, state: _RunState) -> None:
+        """Per-run initialization charges that precede any pool work:
+        stream the compressed artifact from disk, house the dictionary in
+        DRAM, and pay the metadata derivation (DAG build, topo sort,
+        Algorithm 2, head/tail preprocessing) -- linear grammar passes."""
+        corpus = self.corpus
+        charge_sequential_io(state.clock, state.disk, serialized_size(corpus))
+        state.ledger.charge("dram", "dictionary", _dictionary_bytes(corpus))
+        glen = corpus.grammar_length()
+        state.clock.cpu(4 * glen + 6 * corpus.n_rules)
+
+    def _build_pruned(self, state: _RunState) -> PrunedDag:
+        """Build the device-resident pruned DAG pool (once per plan)."""
+        config = self.config
+        return PrunedDag.build(
+            state.pool,
+            self.corpus,
+            self._dag,
+            bounds=None if config.use_growable_structures else self._bounds,
+            headtail_k=self._headtail_k,
+            heads=self._heads,
+            tails=self._tails,
+            per_rule=config.use_scattered_layout,
+            on_rule=(
+                state.op_commit if config.persistence == "operation" else None
+            ),
+        )
+
+    def _make_context(self, state: _RunState):
+        """The shared task context over ``state``'s pruned DAG pool."""
+        from repro.analytics.base import CompressedTaskContext
+
+        config = self.config
+        corpus = self.corpus
+        return CompressedTaskContext(
+            pruned=state.pruned,
+            allocator=state.pool.allocator,
+            dram=state.dram_mem,
+            dram_allocator=state.dram_alloc,
+            clock=state.clock,
+            ledger=state.ledger,
+            vocab=corpus.vocab,
+            file_names=corpus.file_names,
+            topo_order=self._topo,
+            reverse_topo=self._reverse_topo,
+            topo_position=self._topo_position,
+            strategy=self._resolve_strategy(),
+            strategy_forced=config.traversal != "auto",
+            growable=config.use_growable_structures,
+            ngram_n=config.ngram_n,
+            term_vector_k=config.term_vector_k,
+            op_commit=(
+                state.op_commit
+                if config.persistence == "operation"
+                else (lambda: None)
+            ),
+        )
+
+    def _peaks(self, state: _RunState) -> tuple[int, int]:
+        """(dram_peak, pool_peak) of one finished run or plan."""
+        dram_peak = state.ledger.peak("dram") + state.dram_alloc.peak_bytes
+        pool_peak = state.pool.allocator.peak_bytes
+        if self.config.device == "dram":
+            dram_peak += pool_peak
+        return dram_peak, pool_peak
 
     def run(
         self,
@@ -244,214 +462,251 @@ class NTadocEngine:
                 the analytics output is bit-identical to an uncrashed
                 run's.
         """
-        from repro.analytics.base import CompressedTaskContext
-
         if resume_from is not None:
             return self._run_resumed(task, resume_from)
-        config = self.config
-        corpus = self.corpus
-        clock = SimulatedClock()
-        profile = DeviceProfile.by_name(config.device)
-        pool_bytes = config.pool_bytes or self._estimate_pool_bytes()
-        cache_bytes = config.cache_bytes
-        if not profile.byte_addressable:
-            # Block devices sit behind the OS page cache; the paper caps
-            # the memory budget at 20% of the dataset.
-            cache_bytes = max(cache_bytes, pool_bytes // 5)
-        pool_mem = SimulatedMemory(
-            profile, pool_bytes, clock, cache_bytes=cache_bytes, name="pool"
-        )
-        if fault_plan is not None:
-            pool_mem.arm_faults(fault_plan)
-        dram_mem = SimulatedMemory(
-            DeviceProfile.dram(), 1 << 24, clock, name="dram-scratch"
-        )
-        from repro.nvm.allocator import PoolAllocator
+        state = self._fresh_state(fault_plan)
+        with state.timeline.phase("initialization"):
+            self._charge_init_stream(state)
+            state.pruned = self._build_pruned(state)
 
-        dram_alloc = PoolAllocator(dram_mem, base=0, capacity=dram_mem.size)
-        pool = NvmPool(pool_mem, scatter=config.use_scattered_layout)
-        ledger = MemoryLedger()
-        timeline = PhaseTimeline(clock)
-        disk = DeviceProfile.by_name(config.disk)
-
-        phase_persist = (
-            PhasePersistence(pool) if config.persistence == "phase" else None
-        )
-        op_commit = self._make_op_commit(pool)
-
-        with timeline.phase("initialization"):
-            # Stream the compressed artifact from disk.
-            charge_sequential_io(clock, disk, serialized_size(corpus))
-            # Dictionary resides in DRAM for every system.
-            ledger.charge("dram", "dictionary", _dictionary_bytes(corpus))
-            # Metadata derivation cost (DAG build, topo sort, Algorithm 2,
-            # head/tail preprocessing) -- linear passes over the grammar.
-            glen = corpus.grammar_length()
-            clock.cpu(4 * glen + 6 * corpus.n_rules)
-            pruned = PrunedDag.build(
-                pool,
-                corpus,
-                self._dag,
-                bounds=None if config.use_growable_structures else self._bounds,
-                headtail_k=self._headtail_k,
-                heads=self._heads,
-                tails=self._tails,
-                per_rule=config.use_scattered_layout,
-                on_rule=op_commit if config.persistence == "operation" else None,
-            )
-
-        strategy = self._resolve_strategy()
-        ctx = CompressedTaskContext(
-            pruned=pruned,
-            allocator=pool.allocator,
-            dram=dram_mem,
-            dram_allocator=dram_alloc,
-            clock=clock,
-            ledger=ledger,
-            vocab=corpus.vocab,
-            file_names=corpus.file_names,
-            topo_order=self._topo,
-            reverse_topo=self._reverse_topo,
-            topo_position=self._topo_position,
-            strategy=strategy,
-            strategy_forced=config.traversal != "auto",
-            growable=config.use_growable_structures,
-            ngram_n=config.ngram_n,
-            term_vector_k=config.term_vector_k,
-            op_commit=op_commit if config.persistence == "operation" else (lambda: None),
-        )
+        ctx = self._make_context(state)
 
         # Task-specific precomputation belongs to the initialization
         # phase (Table II's accounting); re-enter it for the prepare hook
         # and the phase checkpoint.
-        with timeline.phase("initialization"):
+        with state.timeline.phase("initialization"):
             task.prepare(ctx)
-            self._persist_phase(pool, phase_persist, "initialization")
+            self._persist_phase(state.pool, state.phase_persist, "initialization")
 
-        with timeline.phase("traversal"):
+        with state.timeline.phase("traversal"):
             result = task.run_compressed(ctx)
             result_bytes = task.result_size_bytes(result)
-            self._write_result_blob(pool, result_bytes)
-            self._persist_phase(pool, phase_persist, "traversal")
+            self._write_result_blob(state.pool, result_bytes)
+            self._persist_phase(state.pool, state.phase_persist, "traversal")
             # Write analytics output back to disk (end of measurement window).
-            charge_sequential_io(clock, disk, result_bytes, write=True)
+            charge_sequential_io(state.clock, state.disk, result_bytes, write=True)
 
-        dram_peak = ledger.peak("dram") + dram_alloc.peak_bytes
-        pool_peak = pool.allocator.peak_bytes
-        if config.device == "dram":
-            dram_peak += pool_peak
-        return RunResult(
-            task=task.name,
-            system=self.system_name,
-            result=result,
-            phase_ns=timeline.as_dict(),
-            total_ns=timeline.total_sim_ns(),
-            dram_peak=dram_peak,
-            pool_peak=pool_peak,
-            pool_device=config.device,
-            strategy=strategy,
-            ngram_names=ctx.ngram_names,
-            pool_stats=pool_mem.stats,
-        )
+        return self._solo_result(task, state, ctx, result)
 
     def _run_resumed(
         self, task: "AnalyticsTask", report: "RecoveryReport"
     ) -> RunResult:
         """Resume an interrupted run from a recovered pool.
 
-        The recovered pool's clock keeps ticking (recovery cost is part
-        of the measured time), any armed fault plan is disarmed, and
-        completed phases are skipped: with initialization checkpointed,
+        Completed phases are skipped: with initialization checkpointed,
         only the per-run CPU/stream charges are re-paid and the traversal
         phase re-executes against the surviving pruned DAG.  Traversal is
         overwrite-idempotent (weights reset, structures rebuilt at the
         restored allocator top), so the analytics output is bit-identical
         to an uncrashed run's.
         """
-        from repro.analytics.base import CompressedTaskContext
-        from repro.nvm.allocator import PoolAllocator
-
         if report.needs_full_rebuild or report.pruned is None:
             # Not even initialization survived: nothing to resume from.
             return self.run(task)
-        config = self.config
-        corpus = self.corpus
-        pool = report.pool
-        pool_mem = pool.memory
-        pool_mem.disarm_faults()
-        clock = pool_mem.clock
-        dram_mem = SimulatedMemory(
-            DeviceProfile.dram(), 1 << 24, clock, name="dram-scratch"
-        )
-        dram_alloc = PoolAllocator(dram_mem, base=0, capacity=dram_mem.size)
-        ledger = MemoryLedger()
-        timeline = PhaseTimeline(clock)
-        disk = DeviceProfile.by_name(config.disk)
-        phase_persist = (
-            PhasePersistence(pool) if config.persistence == "phase" else None
-        )
-        op_commit = self._make_op_commit(pool)
-        pruned = report.pruned
-
-        with timeline.phase("initialization"):
+        state = self._resumed_state(report)
+        with state.timeline.phase("initialization"):
             # The compressed artifact is re-streamed from disk and the
             # in-DRAM derivations re-paid; the device-resident DAG pool
             # itself survived the crash and is NOT rebuilt.
-            charge_sequential_io(clock, disk, serialized_size(corpus))
-            ledger.charge("dram", "dictionary", _dictionary_bytes(corpus))
-            glen = corpus.grammar_length()
-            clock.cpu(4 * glen + 6 * corpus.n_rules)
+            self._charge_init_stream(state)
 
-        strategy = self._resolve_strategy()
-        ctx = CompressedTaskContext(
-            pruned=pruned,
-            allocator=pool.allocator,
-            dram=dram_mem,
-            dram_allocator=dram_alloc,
-            clock=clock,
-            ledger=ledger,
-            vocab=corpus.vocab,
-            file_names=corpus.file_names,
-            topo_order=self._topo,
-            reverse_topo=self._reverse_topo,
-            topo_position=self._topo_position,
-            strategy=strategy,
-            strategy_forced=config.traversal != "auto",
-            growable=config.use_growable_structures,
-            ngram_n=config.ngram_n,
-            term_vector_k=config.term_vector_k,
-            op_commit=op_commit if config.persistence == "operation" else (lambda: None),
-        )
+        ctx = self._make_context(state)
 
-        with timeline.phase("initialization"):
+        with state.timeline.phase("initialization"):
             task.prepare(ctx)
             # The initialization checkpoint already persisted before the
             # crash; it is not re-written.
 
-        with timeline.phase("traversal"):
+        with state.timeline.phase("traversal"):
             result = task.run_compressed(ctx)
             result_bytes = task.result_size_bytes(result)
-            self._write_result_blob(pool, result_bytes)
-            self._persist_phase(pool, phase_persist, "traversal")
-            charge_sequential_io(clock, disk, result_bytes, write=True)
+            self._write_result_blob(state.pool, result_bytes)
+            self._persist_phase(state.pool, state.phase_persist, "traversal")
+            charge_sequential_io(state.clock, state.disk, result_bytes, write=True)
 
-        dram_peak = ledger.peak("dram") + dram_alloc.peak_bytes
-        pool_peak = pool.allocator.peak_bytes
-        if config.device == "dram":
-            dram_peak += pool_peak
+        return self._solo_result(task, state, ctx, result, resumed=True)
+
+    def _solo_result(
+        self,
+        task: "AnalyticsTask",
+        state: _RunState,
+        ctx,
+        result: Any,
+        *,
+        resumed: bool = False,
+    ) -> RunResult:
+        dram_peak, pool_peak = self._peaks(state)
         return RunResult(
             task=task.name,
             system=self.system_name,
             result=result,
-            phase_ns=timeline.as_dict(),
-            total_ns=timeline.total_sim_ns(),
+            phase_ns=state.timeline.as_dict(),
+            total_ns=state.timeline.total_sim_ns(),
             dram_peak=dram_peak,
             pool_peak=pool_peak,
-            pool_device=config.device,
-            strategy=strategy,
+            pool_device=self.config.device,
+            strategy=ctx.strategy,
             ngram_names=ctx.ngram_names,
-            pool_stats=pool_mem.stats,
-            resumed=True,
+            pool_stats=state.pool_mem.stats,
+            resumed=resumed,
+        )
+
+    # ------------------------------------------------------------------
+    # Fused multi-task execution (the shared-traversal planner)
+    # ------------------------------------------------------------------
+
+    def run_many(
+        self,
+        tasks: "list[AnalyticsTask]",
+        *,
+        fault_plan: "FaultPlan | None" = None,
+        resume_from: "RecoveryReport | None" = None,
+    ):
+        """Execute many tasks against ONE pool build and fused traversals.
+
+        The planner (:mod:`repro.core.plan`) runs at most one DAG pass
+        per traversal direction and one root-segment sweep, dispatching
+        shared per-rule and per-file records to every task that declared
+        a need for them.  Per-task results are bit-identical to solo
+        :meth:`run` calls; simulated time is charged once and attributed
+        per task (an even share of the shared substrate plus each task's
+        exclusive hook time).
+
+        Args:
+            tasks: The analytics tasks to fuse, in submission order.
+            fault_plan: Optional fault-injection schedule armed on the
+                pool device for the whole plan (crash-sweep harness).
+            resume_from: Resume a crashed plan from its recovered pool;
+                per-task outputs match an uncrashed plan's.
+
+        Returns:
+            A :class:`~repro.core.plan.PlanResult`.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            raise ValueError("run_many needs at least one task")
+        if resume_from is not None:
+            return self._run_many_resumed(tasks, resume_from)
+        from repro.core.plan import execute_fused
+
+        state = self._fresh_state(fault_plan, n_tasks=len(tasks))
+        with state.timeline.phase("initialization"):
+            self._charge_init_stream(state)
+            state.pruned = self._build_pruned(state)
+
+        ctx = self._make_context(state)
+
+        with state.timeline.phase("initialization"):
+            fused = self._fuse_tasks(ctx, tasks)
+            self._persist_phase(state.pool, state.phase_persist, "initialization")
+
+        with state.timeline.phase("traversal"):
+            outcome = execute_fused(ctx, fused)
+            self._write_plan_results(state, fused, outcome.results)
+            self._persist_phase(state.pool, state.phase_persist, "traversal")
+
+        return self._finish_plan(state, ctx, fused, outcome)
+
+    def _run_many_resumed(self, tasks: "list[AnalyticsTask]", report):
+        """Resume an interrupted fused plan from a recovered pool (same
+        contract as :meth:`_run_resumed`, for the whole plan)."""
+        from repro.core.plan import execute_fused
+
+        if report.needs_full_rebuild or report.pruned is None:
+            return self.run_many(tasks)
+        state = self._resumed_state(report)
+        with state.timeline.phase("initialization"):
+            self._charge_init_stream(state)
+
+        ctx = self._make_context(state)
+
+        with state.timeline.phase("initialization"):
+            fused = self._fuse_tasks(ctx, tasks)
+            # The initialization checkpoint already persisted before the
+            # crash; it is not re-written.
+
+        with state.timeline.phase("traversal"):
+            outcome = execute_fused(ctx, fused)
+            self._write_plan_results(state, fused, outcome.results)
+            self._persist_phase(state.pool, state.phase_persist, "traversal")
+
+        return self._finish_plan(state, ctx, fused, outcome, resumed=True)
+
+    def _fuse_tasks(self, ctx, tasks: "list[AnalyticsTask]") -> list:
+        """Collect every task's fused declaration (initialization phase).
+
+        Fuse-time preparation (e.g. the sequence tasks' rule profiles) is
+        the fused counterpart of the solo prepare() hook; its simulated
+        time is attributed exclusively to the declaring task.
+        """
+        fused = []
+        for task in tasks:
+            start = ctx.clock.ns
+            f = task.fuse(ctx)
+            f.init_ns += ctx.clock.ns - start
+            fused.append(f)
+        return fused
+
+    def _write_plan_results(self, state: _RunState, fused: list, results: list) -> None:
+        """Write each task's result blob and charge its disk write-back
+        (both attributed exclusively to the producing task)."""
+        for f, result in zip(fused, results):
+            start = state.clock.ns
+            result_bytes = f.task.result_size_bytes(result)
+            self._write_result_blob(state.pool, result_bytes)
+            charge_sequential_io(state.clock, state.disk, result_bytes, write=True)
+            f.exclusive_ns += state.clock.ns - start
+
+    def _finish_plan(
+        self, state: _RunState, ctx, fused: list, outcome, *, resumed: bool = False
+    ):
+        """Assemble the PlanResult: per-task attribution of one charge."""
+        from repro.core.plan import PlanResult, PlanStats, plan_groups
+
+        phase_ns = state.timeline.as_dict()
+        total_ns = state.timeline.total_sim_ns()
+        n = len(fused)
+        init_total = phase_ns.get("initialization", 0.0)
+        trav_total = phase_ns.get("traversal", 0.0)
+        shared_init = max(init_total - sum(f.init_ns for f in fused), 0.0)
+        shared_trav = max(trav_total - sum(f.exclusive_ns for f in fused), 0.0)
+        dram_peak, pool_peak = self._peaks(state)
+        results = []
+        for f, result in zip(fused, outcome.results):
+            task_phases = {
+                "initialization": shared_init / n + f.init_ns,
+                "traversal": shared_trav / n + f.exclusive_ns,
+            }
+            results.append(
+                RunResult(
+                    task=f.task.name,
+                    system=self.system_name,
+                    result=result,
+                    phase_ns=task_phases,
+                    total_ns=task_phases["initialization"]
+                    + task_phases["traversal"],
+                    dram_peak=dram_peak,
+                    pool_peak=pool_peak,
+                    pool_device=self.config.device,
+                    strategy=ctx.strategy,
+                    ngram_names=ctx.ngram_names,
+                    pool_stats=state.pool_mem.stats,
+                    resumed=resumed,
+                    fused=True,
+                    shared_ns=(shared_init + shared_trav) / n,
+                    exclusive_ns=f.init_ns + f.exclusive_ns,
+                )
+            )
+        stats = PlanStats(
+            n_tasks=n,
+            pool_builds=1,
+            dag_passes=outcome.dag_passes,
+            segment_sweeps=outcome.segment_sweeps,
+            groups=plan_groups(fused),
+            fused=True,
+        )
+        return PlanResult(
+            results=results, stats=stats, phase_ns=phase_ns, total_ns=total_ns
         )
 
     # ------------------------------------------------------------------

@@ -157,6 +157,7 @@ def compute_wordlists_bottomup(
     reverse_topo: list[int],
     growable: bool = False,
     op_commit=None,
+    visitors: tuple = (),
 ) -> list[PHashTable]:
     """Build every rule's word list bottom-up (reverse topological order).
 
@@ -166,6 +167,12 @@ def compute_wordlists_bottomup(
     mode that pays reconstruction traffic on every overflow.  The table
     of rule r maps word id -> occurrences in ONE expansion of r.
 
+    ``visitors`` are optional ``(rule, words, subrules)`` callbacks fused
+    into the sweep: each rule's entry lists are read from the device once
+    and shared between the table construction and every visitor, so
+    bottom-up consumers (word search marking, locate marking) ride the
+    same DAG pass instead of re-reading every rule.
+
     Returns the per-rule tables, indexed by rule.
     """
     tables: list[PHashTable | None] = [None] * pruned.n_rules
@@ -174,9 +181,11 @@ def compute_wordlists_bottomup(
             # The naive-baseline mode keeps faithful per-element updates:
             # its cost is the point of measuring it.
             table = PHashTable.create(allocator, expected_entries=4, growable=True)
-            for word, freq in pruned.words(rule):
+            words = pruned.words(rule)
+            subs = pruned.subrules(rule)
+            for word, freq in words:
                 table.add(word, freq)
-            for subrule, freq in pruned.subrules(rule):
+            for subrule, freq in subs:
                 subtable = tables[subrule]
                 for word, count in subtable.items():
                     table.add(word, count * freq)
@@ -194,9 +203,25 @@ def compute_wordlists_bottomup(
                         (word, count * freq) for word, count in subtable.items()
                     )
         tables[rule] = table
+        for visit in visitors:
+            visit(rule, words, subs)
         if op_commit is not None:
             op_commit()
     return tables  # type: ignore[return-value]
+
+
+def bottomup_rule_sweep(pruned: PrunedDag, reverse_topo: list[int], visitors: tuple) -> None:
+    """One reverse-topological DAG pass feeding per-rule visitors.
+
+    Used by the planner when bottom-up consumers (search/locate marking)
+    are fused *without* word-list construction: each rule's entry lists
+    are read once (a single contiguous record read) and handed to every
+    ``(rule, words, subrules)`` visitor.
+    """
+    for rule in reverse_topo:
+        subs, words = pruned.entries(rule)
+        for visit in visitors:
+            visit(rule, words, subs)
 
 
 def merge_segment_counts(

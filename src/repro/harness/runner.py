@@ -76,3 +76,19 @@ def run_system(
 ) -> RunResult:
     """Run one task under one named system configuration."""
     return build_engine(system, corpus, base).run(task)
+
+
+def run_many_system(
+    system: str,
+    corpus: CompressedCorpus,
+    tasks: list,
+    base: EngineConfig | None = None,
+):
+    """Run many tasks under one named system configuration.
+
+    N-TADOC systems fuse the tasks through the shared-traversal planner
+    (one pool build, minimal DAG passes); baselines without a planner
+    execute them back to back.  Either way the return value is a
+    :class:`~repro.core.plan.PlanResult`.
+    """
+    return build_engine(system, corpus, base).run_many(tasks)

@@ -51,6 +51,37 @@ def run_report(run: RunResult) -> str:
     return "\n".join(lines)
 
 
+def plan_report(plan) -> str:
+    """One fused multi-task plan, as a per-task attribution table."""
+    stats = plan.stats
+    passes = ", ".join(
+        f"{direction}: {count}"
+        for direction, count in sorted(stats.dag_passes.items())
+    ) or "none"
+    lines = [
+        f"plan      : {stats.n_tasks} task(s), "
+        f"{stats.pool_builds} pool build(s), DAG passes {passes}, "
+        f"{stats.segment_sweeps} segment sweep(s)",
+        f"total     : {format_ns(plan.total_ns)} simulated (charged once)",
+    ]
+    rows = []
+    for run in plan.results:
+        rows.append(
+            [
+                run.task,
+                format_ns(run.total_ns),
+                format_ns(run.shared_ns),
+                format_ns(run.exclusive_ns),
+            ]
+        )
+    table = format_table(
+        ["task", "attributed", "shared share", "exclusive"],
+        rows,
+        title="per-task attribution",
+    )
+    return "\n".join(lines) + "\n" + table
+
+
 def comparison_report(runs: list[RunResult], baseline_index: int = 0) -> str:
     """Several runs of the same task, as a speedup table."""
     if not runs:
