@@ -11,6 +11,7 @@ Commands::
     search      find the documents containing given words
     query       boolean document query ("error AND NOT retry")
     reproduce   regenerate a paper figure/table (wraps the benchmarks)
+    profile     trace one run: span tree, hot spans, exporters, snapshots
     lint        run nvmlint, the NVM access-discipline checker
 """
 
@@ -24,7 +25,12 @@ from repro.analytics import ALL_TASKS, task_by_name
 from repro.core.engine import EngineConfig, serialized_size
 from repro.datasets.profiles import PROFILES, dataset_files
 from repro.harness.runner import SYSTEMS, run_system
-from repro.metrics.report import comparison_report, format_bytes, run_report
+from repro.metrics.report import (
+    comparison_report,
+    format_bytes,
+    format_ns,
+    run_report,
+)
 from repro.sequitur import serialization
 from repro.sequitur.compressor import compress_files
 
@@ -138,6 +144,65 @@ def _build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=None,
         help="write the JSON report here (default: stdout summary only)",
+    )
+
+    p = sub.add_parser(
+        "profile",
+        help="run task(s) under the span tracer (docs/observability.md)",
+    )
+    p.add_argument(
+        "dataset",
+        help="corpus path, or a synthetic profile letter "
+        f"({'/'.join(sorted(PROFILES))}) generated at --scale",
+    )
+    p.add_argument(
+        "task",
+        metavar="task[,task...]",
+        help=f"task name from {{{','.join(_TASK_NAMES)}}}; a "
+        "comma-separated list profiles one fused plan",
+    )
+    p.add_argument(
+        "--scale",
+        type=float,
+        default=0.5,
+        help="synthetic dataset scale (profile-letter datasets only)",
+    )
+    p.add_argument(
+        "--traversal", choices=("auto", "topdown", "bottomup"), default="auto"
+    )
+    p.add_argument("--ngram", type=int, default=2, help="sequence length")
+    p.add_argument(
+        "--depth",
+        type=int,
+        default=None,
+        help="record spans only down to this nesting depth",
+    )
+    p.add_argument(
+        "--top", type=int, default=15, help="rows in the hot-spans table"
+    )
+    p.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        help="write Chrome trace-event JSON (chrome://tracing, Perfetto)",
+    )
+    p.add_argument(
+        "--snapshot-out",
+        type=Path,
+        default=None,
+        help="write a canonical perf-snapshot JSON",
+    )
+    p.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="diff the snapshot against this baseline; exit 1 on regression",
+    )
+    p.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="relative regression tolerance for --baseline (default 0.10)",
     )
 
     sub.add_parser(
@@ -378,6 +443,78 @@ def _cmd_crashsweep(args) -> int:
     return 1 if violations else 0
 
 
+def _cmd_profile(args) -> int:
+    from repro.core.engine import NTadocEngine
+    from repro.metrics.report import hot_spans_report, ops_report, trace_report
+    from repro.obs import snapshot as snapshot_mod
+    from repro.obs.export import write_chrome_trace
+    from repro.obs.tracer import Tracer
+
+    names = [name.strip() for name in args.task.split(",") if name.strip()]
+    unknown = [name for name in names if name not in _TASK_NAMES]
+    if not names or unknown:
+        bad = ", ".join(unknown) or "(empty)"
+        print(
+            f"unknown task(s): {bad}; choose from {', '.join(_TASK_NAMES)}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+
+    dataset = args.dataset
+    if dataset in PROFILES and not Path(dataset).exists():
+        corpus = compress_files(dataset_files(dataset, args.scale))
+        workload = (
+            f"{dataset}@{args.scale:g} {args.traversal} {','.join(names)}"
+        )
+    else:
+        corpus = serialization.load(Path(dataset))
+        workload = f"{dataset} {args.traversal} {','.join(names)}"
+
+    tracer = Tracer(max_depth=args.depth)
+    config = EngineConfig(
+        traversal=args.traversal, ngram_n=args.ngram, tracer=tracer
+    )
+    engine = NTadocEngine(corpus, config)
+    if len(names) == 1:
+        run = engine.run(task_by_name(names[0]))
+        total_ns = run.total_ns
+    else:
+        plan = engine.run_many([task_by_name(name) for name in names])
+        total_ns = plan.total_ns
+
+    print(trace_report(tracer, max_depth=args.depth))
+    print()
+    print(hot_spans_report(tracer, top=args.top))
+    if tracer.ops:
+        print()
+        print(ops_report(tracer))
+    print()
+    traced = tracer.total_sim_ns()
+    print(
+        f"run total : {format_ns(total_ns)} simulated "
+        f"({format_ns(traced)} traced, "
+        f"{traced / total_ns * 100 if total_ns else 100:.1f}% covered)"
+    )
+
+    if args.trace_out is not None:
+        size = write_chrome_trace(tracer, args.trace_out)
+        print(f"wrote Chrome trace {args.trace_out} ({format_bytes(size)})")
+    snapshot = snapshot_mod.build_snapshot(tracer, workload=workload)
+    if args.snapshot_out is not None:
+        snapshot_mod.save(snapshot, args.snapshot_out)
+        print(f"wrote perf snapshot {args.snapshot_out}")
+    if args.baseline is not None:
+        baseline = snapshot_mod.load(args.baseline)
+        diff = snapshot_mod.diff_snapshots(
+            baseline, snapshot, rel_tol=args.tolerance
+        )
+        print()
+        print(snapshot_mod.format_diff(diff, rel_tol=args.tolerance))
+        if not diff.ok:
+            return 1
+    return 0
+
+
 _COMMANDS = {
     "compress": _cmd_compress,
     "decompress": _cmd_decompress,
@@ -389,6 +526,7 @@ _COMMANDS = {
     "query": _cmd_query,
     "reproduce": _cmd_reproduce,
     "crashsweep": _cmd_crashsweep,
+    "profile": _cmd_profile,
 }
 
 

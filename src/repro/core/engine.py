@@ -41,6 +41,7 @@ from repro.nvm.device import DeviceProfile
 from repro.nvm.memory import SimulatedClock, SimulatedMemory, charge_sequential_io
 from repro.nvm.persist import PhasePersistence
 from repro.nvm.pool import NvmPool
+from repro.obs import tracer as obs
 from repro.pstruct import layout
 from repro.pstruct.layout import next_power_of_two
 from repro.sequitur import serialization
@@ -83,6 +84,11 @@ class EngineConfig:
             of ``naive``).
         growable_structures: Ablation flag -- ignore the Algorithm-2
             bounds and grow structures on demand (the other ingredient).
+        tracer: Opt-in :class:`~repro.obs.tracer.Tracer` attached for
+            the run's duration (spans, op counters, device attribution).
+            ``None`` (the default) records nothing and charges nothing;
+            either way the simulated costs are bit-identical.  Excluded
+            from equality/hashing so configs stay comparable.
     """
 
     device: str = "nvm"
@@ -98,6 +104,7 @@ class EngineConfig:
     op_batch: int = 8
     scattered_layout: bool = False
     growable_structures: bool = False
+    tracer: Any = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.persistence not in ("phase", "operation", "none"):
@@ -331,14 +338,16 @@ class NTadocEngine:
         )
         dram_alloc = PoolAllocator(dram_mem, base=0, capacity=dram_mem.size)
         pool = NvmPool(pool_mem, scatter=config.use_scattered_layout)
+        ledger = MemoryLedger()
+        self._bind_tracer(clock, pool_mem, dram_mem, ledger)
         return _RunState(
             clock=clock,
             pool_mem=pool_mem,
             dram_mem=dram_mem,
             dram_alloc=dram_alloc,
             pool=pool,
-            ledger=MemoryLedger(),
-            timeline=PhaseTimeline(clock),
+            ledger=ledger,
+            timeline=PhaseTimeline(clock, tracer=config.tracer),
             disk=DeviceProfile.by_name(config.disk),
             phase_persist=(
                 PhasePersistence(pool) if config.persistence == "phase" else None
@@ -361,14 +370,16 @@ class NTadocEngine:
             DeviceProfile.dram(), 1 << 24, clock, name="dram-scratch"
         )
         dram_alloc = PoolAllocator(dram_mem, base=0, capacity=dram_mem.size)
+        ledger = MemoryLedger()
+        self._bind_tracer(clock, pool_mem, dram_mem, ledger)
         return _RunState(
             clock=clock,
             pool_mem=pool_mem,
             dram_mem=dram_mem,
             dram_alloc=dram_alloc,
             pool=pool,
-            ledger=MemoryLedger(),
-            timeline=PhaseTimeline(clock),
+            ledger=ledger,
+            timeline=PhaseTimeline(clock, tracer=config.tracer),
             disk=DeviceProfile.by_name(config.disk),
             phase_persist=(
                 PhasePersistence(pool) if config.persistence == "phase" else None
@@ -376,6 +387,22 @@ class NTadocEngine:
             op_commit=self._make_op_commit(pool),
             pruned=report.pruned,
         )
+
+    def _bind_tracer(
+        self,
+        clock: SimulatedClock,
+        pool_mem: SimulatedMemory,
+        dram_mem: SimulatedMemory,
+        ledger: MemoryLedger,
+    ) -> None:
+        """Bind the configured tracer (if any) to this run's machinery."""
+        tracer = self.config.tracer
+        if tracer is not None:
+            tracer.bind(
+                clock=clock,
+                memories={"pool": pool_mem, "dram": dram_mem},
+                ledger=ledger,
+            )
 
     def _charge_init_stream(self, state: _RunState) -> None:
         """Per-run initialization charges that precede any pool work:
@@ -465,26 +492,36 @@ class NTadocEngine:
         if resume_from is not None:
             return self._run_resumed(task, resume_from)
         state = self._fresh_state(fault_plan)
-        with state.timeline.phase("initialization"):
-            self._charge_init_stream(state)
-            state.pruned = self._build_pruned(state)
+        with obs.attached(self.config.tracer):
+            with state.timeline.phase("initialization"):
+                with obs.span("init:stream", category="engine"):
+                    self._charge_init_stream(state)
+                with obs.span("init:pool_build", category="engine"):
+                    state.pruned = self._build_pruned(state)
 
-        ctx = self._make_context(state)
+            ctx = self._make_context(state)
 
-        # Task-specific precomputation belongs to the initialization
-        # phase (Table II's accounting); re-enter it for the prepare hook
-        # and the phase checkpoint.
-        with state.timeline.phase("initialization"):
-            task.prepare(ctx)
-            self._persist_phase(state.pool, state.phase_persist, "initialization")
+            # Task-specific precomputation belongs to the initialization
+            # phase (Table II's accounting); re-enter it for the prepare
+            # hook and the phase checkpoint.
+            with state.timeline.phase("initialization"):
+                with obs.span(f"task:{task.name}:prepare", category="task"):
+                    task.prepare(ctx)
+                self._persist_phase(state.pool, state.phase_persist, "initialization")
 
-        with state.timeline.phase("traversal"):
-            result = task.run_compressed(ctx)
-            result_bytes = task.result_size_bytes(result)
-            self._write_result_blob(state.pool, result_bytes)
-            self._persist_phase(state.pool, state.phase_persist, "traversal")
-            # Write analytics output back to disk (end of measurement window).
-            charge_sequential_io(state.clock, state.disk, result_bytes, write=True)
+            with state.timeline.phase("traversal"):
+                with obs.span(f"task:{task.name}:run", category="task"):
+                    result = task.run_compressed(ctx)
+                result_bytes = task.result_size_bytes(result)
+                with obs.span(f"task:{task.name}:write_back", category="task"):
+                    self._write_result_blob(state.pool, result_bytes)
+                self._persist_phase(state.pool, state.phase_persist, "traversal")
+                # Write analytics output back to disk (end of measurement
+                # window).
+                with obs.span("io:result_writeback", category="io"):
+                    charge_sequential_io(
+                        state.clock, state.disk, result_bytes, write=True
+                    )
 
         return self._solo_result(task, state, ctx, result)
 
@@ -504,25 +541,33 @@ class NTadocEngine:
             # Not even initialization survived: nothing to resume from.
             return self.run(task)
         state = self._resumed_state(report)
-        with state.timeline.phase("initialization"):
-            # The compressed artifact is re-streamed from disk and the
-            # in-DRAM derivations re-paid; the device-resident DAG pool
-            # itself survived the crash and is NOT rebuilt.
-            self._charge_init_stream(state)
+        with obs.attached(self.config.tracer):
+            with state.timeline.phase("initialization"):
+                # The compressed artifact is re-streamed from disk and the
+                # in-DRAM derivations re-paid; the device-resident DAG pool
+                # itself survived the crash and is NOT rebuilt.
+                with obs.span("init:stream", category="engine"):
+                    self._charge_init_stream(state)
 
-        ctx = self._make_context(state)
+            ctx = self._make_context(state)
 
-        with state.timeline.phase("initialization"):
-            task.prepare(ctx)
-            # The initialization checkpoint already persisted before the
-            # crash; it is not re-written.
+            with state.timeline.phase("initialization"):
+                with obs.span(f"task:{task.name}:prepare", category="task"):
+                    task.prepare(ctx)
+                # The initialization checkpoint already persisted before
+                # the crash; it is not re-written.
 
-        with state.timeline.phase("traversal"):
-            result = task.run_compressed(ctx)
-            result_bytes = task.result_size_bytes(result)
-            self._write_result_blob(state.pool, result_bytes)
-            self._persist_phase(state.pool, state.phase_persist, "traversal")
-            charge_sequential_io(state.clock, state.disk, result_bytes, write=True)
+            with state.timeline.phase("traversal"):
+                with obs.span(f"task:{task.name}:run", category="task"):
+                    result = task.run_compressed(ctx)
+                result_bytes = task.result_size_bytes(result)
+                with obs.span(f"task:{task.name}:write_back", category="task"):
+                    self._write_result_blob(state.pool, result_bytes)
+                self._persist_phase(state.pool, state.phase_persist, "traversal")
+                with obs.span("io:result_writeback", category="io"):
+                    charge_sequential_io(
+                        state.clock, state.disk, result_bytes, write=True
+                    )
 
         return self._solo_result(task, state, ctx, result, resumed=True)
 
@@ -590,20 +635,23 @@ class NTadocEngine:
         from repro.core.plan import execute_fused
 
         state = self._fresh_state(fault_plan, n_tasks=len(tasks))
-        with state.timeline.phase("initialization"):
-            self._charge_init_stream(state)
-            state.pruned = self._build_pruned(state)
+        with obs.attached(self.config.tracer):
+            with state.timeline.phase("initialization"):
+                with obs.span("init:stream", category="engine"):
+                    self._charge_init_stream(state)
+                with obs.span("init:pool_build", category="engine"):
+                    state.pruned = self._build_pruned(state)
 
-        ctx = self._make_context(state)
+            ctx = self._make_context(state)
 
-        with state.timeline.phase("initialization"):
-            fused = self._fuse_tasks(ctx, tasks)
-            self._persist_phase(state.pool, state.phase_persist, "initialization")
+            with state.timeline.phase("initialization"):
+                fused = self._fuse_tasks(ctx, tasks)
+                self._persist_phase(state.pool, state.phase_persist, "initialization")
 
-        with state.timeline.phase("traversal"):
-            outcome = execute_fused(ctx, fused)
-            self._write_plan_results(state, fused, outcome.results)
-            self._persist_phase(state.pool, state.phase_persist, "traversal")
+            with state.timeline.phase("traversal"):
+                outcome = execute_fused(ctx, fused)
+                self._write_plan_results(state, fused, outcome.results)
+                self._persist_phase(state.pool, state.phase_persist, "traversal")
 
         return self._finish_plan(state, ctx, fused, outcome)
 
@@ -615,20 +663,22 @@ class NTadocEngine:
         if report.needs_full_rebuild or report.pruned is None:
             return self.run_many(tasks)
         state = self._resumed_state(report)
-        with state.timeline.phase("initialization"):
-            self._charge_init_stream(state)
+        with obs.attached(self.config.tracer):
+            with state.timeline.phase("initialization"):
+                with obs.span("init:stream", category="engine"):
+                    self._charge_init_stream(state)
 
-        ctx = self._make_context(state)
+            ctx = self._make_context(state)
 
-        with state.timeline.phase("initialization"):
-            fused = self._fuse_tasks(ctx, tasks)
-            # The initialization checkpoint already persisted before the
-            # crash; it is not re-written.
+            with state.timeline.phase("initialization"):
+                fused = self._fuse_tasks(ctx, tasks)
+                # The initialization checkpoint already persisted before
+                # the crash; it is not re-written.
 
-        with state.timeline.phase("traversal"):
-            outcome = execute_fused(ctx, fused)
-            self._write_plan_results(state, fused, outcome.results)
-            self._persist_phase(state.pool, state.phase_persist, "traversal")
+            with state.timeline.phase("traversal"):
+                outcome = execute_fused(ctx, fused)
+                self._write_plan_results(state, fused, outcome.results)
+                self._persist_phase(state.pool, state.phase_persist, "traversal")
 
         return self._finish_plan(state, ctx, fused, outcome, resumed=True)
 
@@ -641,9 +691,10 @@ class NTadocEngine:
         """
         fused = []
         for task in tasks:
-            start = ctx.clock.ns
-            f = task.fuse(ctx)
-            f.init_ns += ctx.clock.ns - start
+            with obs.span(f"task:{task.name}:fuse", category="task"):
+                start = ctx.clock.ns
+                f = task.fuse(ctx)
+                f.init_ns += ctx.clock.ns - start
             fused.append(f)
         return fused
 
@@ -651,11 +702,14 @@ class NTadocEngine:
         """Write each task's result blob and charge its disk write-back
         (both attributed exclusively to the producing task)."""
         for f, result in zip(fused, results):
-            start = state.clock.ns
-            result_bytes = f.task.result_size_bytes(result)
-            self._write_result_blob(state.pool, result_bytes)
-            charge_sequential_io(state.clock, state.disk, result_bytes, write=True)
-            f.exclusive_ns += state.clock.ns - start
+            with obs.span(f"task:{f.task.name}:write_back", category="task"):
+                start = state.clock.ns
+                result_bytes = f.task.result_size_bytes(result)
+                self._write_result_blob(state.pool, result_bytes)
+                charge_sequential_io(
+                    state.clock, state.disk, result_bytes, write=True
+                )
+                f.exclusive_ns += state.clock.ns - start
 
     def _finish_plan(
         self, state: _RunState, ctx, fused: list, outcome, *, resumed: bool = False
@@ -752,14 +806,16 @@ class NTadocEngine:
         self, pool: NvmPool, phase_persist: PhasePersistence | None, name: str
     ) -> None:
         if phase_persist is not None:
-            # Data (and directory) first, marker second: flushes are not
-            # atomic, so a marker riding the same flush as its data could
-            # persist ahead of it and checkpoint a phase whose writes
-            # never reached media.
-            pool.flush()
-            phase_persist.complete_phase(name)
+            with obs.span(f"persist:phase:{name}", category="persist"):
+                # Data (and directory) first, marker second: flushes are
+                # not atomic, so a marker riding the same flush as its
+                # data could persist ahead of it and checkpoint a phase
+                # whose writes never reached media.
+                pool.flush()
+                phase_persist.complete_phase(name)
         elif self.config.persistence == "operation":
-            pool.flush()
+            with obs.span(f"persist:phase:{name}", category="persist"):
+                pool.flush()
 
     def _write_result_blob(self, pool: NvmPool, result_bytes: int) -> None:
         """Write the serialized result into the pool (sequential stream)."""

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.core.traversal import bottomup_rule_sweep
+from repro.obs import tracer as obs
 
 if TYPE_CHECKING:
     from repro.analytics.base import CompressedTaskContext, FusedTask
@@ -185,68 +186,100 @@ def execute_fused(
         if counts_strategy == "bottomup":
             need_wordlists = True
 
-    def timed(f: "FusedTask", hook):
+    def timed(f: "FusedTask", hook, label: str):
+        op_name = f"task:{f.task.name}:{label}"
+
         def call(*args) -> None:
             start = clock.ns
             hook(*args)
-            f.exclusive_ns += clock.ns - start
+            delta = clock.ns - start
+            f.exclusive_ns += delta
+            obs.op(op_name, delta)
 
         return call
 
     # --- bottom-up pass: word lists + bottom-up visitors, one sweep ----
     visitors = tuple(
-        timed(f, f.visit_rule_bottomup) for f in bottomup
+        timed(f, f.visit_rule_bottomup, "visit_bottomup") for f in bottomup
     )
     if need_wordlists:
         dag_passes["bottomup"] += 1
-        ctx.build_wordlists(visitors)
+        with obs.span(
+            "plan:bottomup_pass",
+            category="plan",
+            wordlists=True,
+            visitors=len(visitors),
+        ):
+            ctx.build_wordlists(visitors)
     elif visitors:
         dag_passes["bottomup"] += 1
-        bottomup_rule_sweep(ctx.pruned, ctx.reverse_topo, visitors)
-        ctx.op_commit()
+        with obs.span(
+            "plan:bottomup_pass",
+            category="plan",
+            wordlists=False,
+            visitors=len(visitors),
+        ):
+            bottomup_rule_sweep(ctx.pruned, ctx.reverse_topo, visitors)
+            ctx.op_commit()
 
     # --- top-down pass: weight propagation + one record read per rule --
-    if need_weights:
-        dag_passes["topdown"] += 1
-        ctx.ensure_weights()
-    if topdown:
-        callbacks = [(f, timed(f, f.visit_rule)) for f in topdown]
-        for rule in range(ctx.pruned.n_rules):
-            weight, words = ctx.pruned.weight_and_words(rule)
-            for _f, call in callbacks:
-                call(rule, weight, words)
+    if need_weights or topdown:
+        with obs.span(
+            "plan:topdown_pass", category="plan", visitors=len(topdown)
+        ):
+            if need_weights:
+                dag_passes["topdown"] += 1
+                ctx.ensure_weights()
+            if topdown:
+                callbacks = [
+                    (f, timed(f, f.visit_rule, "visit_topdown"))
+                    for f in topdown
+                ]
+                for rule in range(ctx.pruned.n_rules):
+                    weight, words = ctx.pruned.weight_and_words(rule)
+                    for _f, call in callbacks:
+                        call(rule, weight, words)
 
     # --- segment sweep: shared per-file counts + segment visitors ------
     if segmenters or need_counts:
         segment_sweeps = 1
-        callbacks = [(f, timed(f, f.visit_segment)) for f in segmenters]
-        shared_counts: list[dict[int, int]] = []
-        for file_index, segment in enumerate(ctx.root_segments()):
-            counts = None
+        with obs.span("plan:segment_sweep", category="plan") as sweep_span:
+            callbacks = [
+                (f, timed(f, f.visit_segment, "visit_segment"))
+                for f in segmenters
+            ]
+            shared_counts: list[dict[int, int]] = []
+            segments = ctx.root_segments()
+            if sweep_span is not None:
+                sweep_span.attrs["files"] = len(segments)
+            for file_index, segment in enumerate(segments):
+                counts = None
+                if need_counts:
+                    counts = segment_word_counts(ctx, segment, counts_strategy)
+                    ctx.ledger.charge("dram", "file_counts", len(counts) * 16)
+                    shared_counts.append(counts)
+                for f, call in callbacks:
+                    if f.needs.file_counts:
+                        call(file_index, segment, counts)
+                    else:
+                        call(file_index, segment, None)
+                ctx.op_commit()
             if need_counts:
-                counts = segment_word_counts(ctx, segment, counts_strategy)
-                ctx.ledger.charge("dram", "file_counts", len(counts) * 16)
-                shared_counts.append(counts)
-            for f, call in callbacks:
-                if f.needs.file_counts:
-                    call(file_index, segment, counts)
-                else:
-                    call(file_index, segment, None)
-            ctx.op_commit()
-        if need_counts:
-            for counts in shared_counts:
-                ctx.ledger.release("dram", "file_counts", len(counts) * 16)
-            ctx._file_counts.setdefault(counts_strategy, shared_counts)
+                for counts in shared_counts:
+                    ctx.ledger.release("dram", "file_counts", len(counts) * 16)
+                ctx._file_counts.setdefault(counts_strategy, shared_counts)
 
     # --- opaque fallbacks, then finishers, in submission order ---------
     results: list[Any] = []
     for f in fused:
-        start = clock.ns
-        if f.finish is not None:
-            result = f.finish()
-        else:
-            result = f.run()
-        f.exclusive_ns += clock.ns - start
+        label = "finish" if f.finish is not None else "run"
+        with obs.span(f"task:{f.task.name}:{label}", category="task"):
+            start = clock.ns
+            if f.finish is not None:
+                result = f.finish()
+            else:
+                result = f.run()
+            f.exclusive_ns += clock.ns - start
         results.append(result)
 
     return FusedOutcome(

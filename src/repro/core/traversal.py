@@ -21,6 +21,7 @@ from __future__ import annotations
 from repro.core.grammar import is_rule_ref, is_separator, rule_index
 from repro.core.pruning import PrunedDag
 from repro.nvm.allocator import PoolAllocator
+from repro.obs import tracer as obs
 from repro.pstruct import layout
 from repro.pstruct.phashtable import PHashTable
 from repro.pstruct.pqueue import PQueue
@@ -42,42 +43,47 @@ def propagate_weights_topdown(
     count example).  Uses a pool-resident traversal queue and a
     pool-resident remaining-degree array, per Fig. 3.
     """
-    n = pruned.n_rules
-    mem = allocator.memory
-    remaining_off = allocator.alloc(max(n * 4, 4))
-    degrees = pruned.in_degrees()
-    layout.write_u32_array(mem, remaining_off, degrees)
-    queue = PQueue.create(allocator, capacity=max(n, 1))
+    with obs.span(
+        "traversal:weights_topdown",
+        category="traversal",
+        rules=pruned.n_rules,
+    ):
+        n = pruned.n_rules
+        mem = allocator.memory
+        remaining_off = allocator.alloc(max(n * 4, 4))
+        degrees = pruned.in_degrees()
+        layout.write_u32_array(mem, remaining_off, degrees)
+        queue = PQueue.create(allocator, capacity=max(n, 1))
 
-    pruned.reset_weights()
-    pruned.set_weight(0, root_weight)
-    roots = [rule for rule in range(n) if degrees[rule] == 0]
-    if roots:
-        queue.push_many(roots)
-    while not queue.is_empty():
-        # Edge updates are batched across the whole popped block: no rule
-        # in a block can reference another (members already reached
-        # in-degree zero), so reading every member's weight up front and
-        # then issuing all weight pushes followed by all in-degree
-        # decrements is order-safe.  Each site still pays its own fused
-        # read-modify-write.
-        weight_sites: list[tuple[int, int]] = []
-        dec_sites: list[tuple[int, int]] = []
-        dec_subs: list[int] = []
-        for rule in queue.pop_many(_POP_BLOCK):
-            weight, subs = pruned.weight_and_subrules(rule)
-            for sub, freq in subs:
-                weight_sites.append((sub, weight * freq))
-                dec_sites.append((remaining_off + sub * 4, -1))
-                dec_subs.append(sub)
-        if not weight_sites:
-            continue
-        pruned.add_weight_many(weight_sites)
-        lefts = mem.rmw_add_each(dec_sites, 4, collect=True)
-        ready = [sub for sub, left in zip(dec_subs, lefts) if left == 0]
-        if ready:
-            queue.push_many(ready)
-    allocator.free(remaining_off, max(n * 4, 4))
+        pruned.reset_weights()
+        pruned.set_weight(0, root_weight)
+        roots = [rule for rule in range(n) if degrees[rule] == 0]
+        if roots:
+            queue.push_many(roots)
+        while not queue.is_empty():
+            # Edge updates are batched across the whole popped block: no
+            # rule in a block can reference another (members already
+            # reached in-degree zero), so reading every member's weight
+            # up front and then issuing all weight pushes followed by all
+            # in-degree decrements is order-safe.  Each site still pays
+            # its own fused read-modify-write.
+            weight_sites: list[tuple[int, int]] = []
+            dec_sites: list[tuple[int, int]] = []
+            dec_subs: list[int] = []
+            for rule in queue.pop_many(_POP_BLOCK):
+                weight, subs = pruned.weight_and_subrules(rule)
+                for sub, freq in subs:
+                    weight_sites.append((sub, weight * freq))
+                    dec_sites.append((remaining_off + sub * 4, -1))
+                    dec_subs.append(sub)
+            if not weight_sites:
+                continue
+            pruned.add_weight_many(weight_sites)
+            lefts = mem.rmw_add_each(dec_sites, 4, collect=True)
+            ready = [sub for sub, left in zip(dec_subs, lefts) if left == 0]
+            if ready:
+                queue.push_many(ready)
+        allocator.free(remaining_off, max(n * 4, 4))
 
 
 def local_weights_for_segment(
@@ -175,6 +181,25 @@ def compute_wordlists_bottomup(
 
     Returns the per-rule tables, indexed by rule.
     """
+    with obs.span(
+        "traversal:wordlists_bottomup",
+        category="traversal",
+        rules=pruned.n_rules,
+        visitors=len(visitors),
+    ):
+        return _compute_wordlists_bottomup(
+            pruned, allocator, reverse_topo, growable, op_commit, visitors
+        )
+
+
+def _compute_wordlists_bottomup(
+    pruned: PrunedDag,
+    allocator: PoolAllocator,
+    reverse_topo: list[int],
+    growable: bool,
+    op_commit,
+    visitors: tuple,
+) -> list[PHashTable]:
     tables: list[PHashTable | None] = [None] * pruned.n_rules
     for rule in reverse_topo:
         if growable:
@@ -218,10 +243,16 @@ def bottomup_rule_sweep(pruned: PrunedDag, reverse_topo: list[int], visitors: tu
     are read once (a single contiguous record read) and handed to every
     ``(rule, words, subrules)`` visitor.
     """
-    for rule in reverse_topo:
-        subs, words = pruned.entries(rule)
-        for visit in visitors:
-            visit(rule, words, subs)
+    with obs.span(
+        "traversal:bottomup_sweep",
+        category="traversal",
+        rules=pruned.n_rules,
+        visitors=len(visitors),
+    ):
+        for rule in reverse_topo:
+            subs, words = pruned.entries(rule)
+            for visit in visitors:
+                visit(rule, words, subs)
 
 
 def merge_segment_counts(

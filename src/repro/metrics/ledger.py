@@ -33,15 +33,35 @@ class MemoryLedger:
             self._peak[device] = self._current[device]
 
     def release(self, device: str, label: str, nbytes: int) -> None:
-        """Record ``nbytes`` leaving ``device`` (peak is unaffected)."""
+        """Record ``nbytes`` leaving ``device`` (peak is unaffected).
+
+        Raises:
+            ValueError: when ``nbytes`` is negative, or exceeds what the
+                ``(device, label)`` pair currently holds -- an
+                over-release would silently drive the resident count
+                negative and corrupt every later peak/DRAM-saving figure.
+        """
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
+        held = self._by_label[device][label]
+        if nbytes > held:
+            raise ValueError(
+                f"over-release on device {device!r}: label {label!r} holds "
+                f"{held} B, cannot release {nbytes} B"
+            )
         self._current[device] -= nbytes
         self._by_label[device][label] -= nbytes
 
     def current(self, device: str) -> int:
         """Bytes currently resident on ``device``."""
         return self._current[device]
+
+    def currents(self) -> dict[str, int]:
+        """Snapshot of resident bytes per device (zero entries omitted).
+
+        Used by the span tracer to compute per-span resident deltas.
+        """
+        return {device: n for device, n in self._current.items() if n}
 
     def peak(self, device: str) -> int:
         """Peak bytes ever resident on ``device``."""

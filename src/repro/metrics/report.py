@@ -2,30 +2,43 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.core.engine import RunResult
 from repro.harness.tables import format_table
 
+if TYPE_CHECKING:
+    from repro.obs.tracer import Tracer
+
 
 def format_ns(ns: float) -> str:
-    """Render simulated nanoseconds with an adaptive unit."""
-    if ns >= 1e9:
-        return f"{ns / 1e9:.3f} s"
-    if ns >= 1e6:
-        return f"{ns / 1e6:.3f} ms"
-    if ns >= 1e3:
-        return f"{ns / 1e3:.1f} us"
-    return f"{ns:.0f} ns"
+    """Render simulated nanoseconds with an adaptive unit.
+
+    Sign-preserving: span and snapshot *diffs* are signed, so ``-1500``
+    renders as ``-1.5 us``, not ``-1500 ns``.
+    """
+    sign = "-" if ns < 0 else ""
+    magnitude = abs(ns)
+    if magnitude >= 1e9:
+        return f"{sign}{magnitude / 1e9:.3f} s"
+    if magnitude >= 1e6:
+        return f"{sign}{magnitude / 1e6:.3f} ms"
+    if magnitude >= 1e3:
+        return f"{sign}{magnitude / 1e3:.1f} us"
+    return f"{sign}{magnitude:.0f} ns"
 
 
 def format_bytes(n: int) -> str:
-    """Render a byte count with an adaptive unit."""
-    if n >= 1 << 30:
-        return f"{n / (1 << 30):.2f} GiB"
-    if n >= 1 << 20:
-        return f"{n / (1 << 20):.2f} MiB"
-    if n >= 1 << 10:
-        return f"{n / (1 << 10):.1f} KiB"
-    return f"{n} B"
+    """Render a byte count with an adaptive unit (sign-preserving)."""
+    sign = "-" if n < 0 else ""
+    magnitude = abs(n)
+    if magnitude >= 1 << 30:
+        return f"{sign}{magnitude / (1 << 30):.2f} GiB"
+    if magnitude >= 1 << 20:
+        return f"{sign}{magnitude / (1 << 20):.2f} MiB"
+    if magnitude >= 1 << 10:
+        return f"{sign}{magnitude / (1 << 10):.1f} KiB"
+    return f"{sign}{magnitude} B"
 
 
 def run_report(run: RunResult) -> str:
@@ -80,6 +93,92 @@ def plan_report(plan) -> str:
         title="per-task attribution",
     )
     return "\n".join(lines) + "\n" + table
+
+
+def trace_report(tracer: "Tracer", max_depth: int | None = None) -> str:
+    """The span tree as an indented text outline.
+
+    Each line shows the span's simulated time, its share of the trace
+    total, its *self* time (simulated time not covered by child spans),
+    and the pool traffic attributed to it.
+    """
+    total = tracer.total_sim_ns() or 1.0
+    lines = [f"trace     : {format_ns(tracer.total_sim_ns())} simulated total"]
+    for span in tracer.spans():
+        if max_depth is not None and span.depth >= max_depth:
+            continue
+        pool = span.device.get("pool", {})
+        io = ""
+        read = pool.get("bytes_read", 0)
+        written = pool.get("bytes_written", 0)
+        if read or written:
+            io = (
+                f"  [pool r {format_bytes(read)}, "
+                f"w {format_bytes(written)}]"
+            )
+        lines.append(
+            f"{'  ' * span.depth}{span.name:<{max(40 - 2 * span.depth, 8)}s}"
+            f" {format_ns(span.sim_ns):>12s}"
+            f" {span.sim_ns / total * 100:5.1f}%"
+            f"  self {format_ns(span.self_sim_ns):>10s}{io}"
+        )
+    return "\n".join(lines)
+
+
+def hot_spans_report(tracer: "Tracer", top: int = 15) -> str:
+    """Flat hottest-spans table, ranked by *self* simulated time.
+
+    Spans are aggregated by path (identical call sites collapse into one
+    row with a count), so repeated per-task spans rank by their total.
+    """
+    from repro.obs.export import aggregate_spans
+
+    total = tracer.total_sim_ns() or 1.0
+    aggregated = aggregate_spans(tracer)
+    ranked = sorted(
+        aggregated.items(), key=lambda kv: kv[1]["self_sim_ns"], reverse=True
+    )
+    rows = []
+    for path, agg in ranked[:top]:
+        rows.append(
+            [
+                path,
+                str(agg["count"]),
+                format_ns(agg["self_sim_ns"]),
+                f"{agg['self_sim_ns'] / total * 100:.1f}%",
+                format_ns(agg["sim_ns"]),
+                format_bytes(agg["bytes_read"]),
+                format_bytes(agg["bytes_written"]),
+            ]
+        )
+    return format_table(
+        ["span", "n", "self", "self %", "total", "read", "written"],
+        rows,
+        title=f"hot spans (top {min(top, len(ranked))} of {len(ranked)} by self time)",
+    )
+
+
+def ops_report(tracer: "Tracer") -> str:
+    """Op-level counter table (bulk-op counts and sim-ns totals)."""
+    ranked = sorted(
+        tracer.ops.values(), key=lambda op: op.sim_ns, reverse=True
+    )
+    rows = []
+    for op in ranked:
+        rows.append(
+            [
+                op.name,
+                str(op.count),
+                format_ns(op.sim_ns),
+                format_ns(op.mean_ns),
+                format_ns(op.max_ns),
+            ]
+        )
+    return format_table(
+        ["op", "count", "total", "mean", "max"],
+        rows,
+        title="op counters",
+    )
 
 
 def comparison_report(runs: list[RunResult], baseline_index: int = 0) -> str:

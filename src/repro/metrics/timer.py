@@ -5,6 +5,12 @@ compressed dataset, build the DAG pool, allocate structures) and a *graph
 traversal phase* (propagate weights, collect and persist results).  The
 timeline records the simulated nanoseconds spent in each phase plus wall
 time for diagnostics.
+
+:func:`wall_now_s` is the repo's single sanctioned wall-clock read: wall
+time is only ever reported *next to* simulated time, never mixed into any
+simulated figure, so both the timeline and the span tracer
+(:mod:`repro.obs.tracer`) route through it instead of carrying their own
+nvmlint suppressions.
 """
 
 from __future__ import annotations
@@ -12,9 +18,18 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Any, Iterator
 
 from repro.nvm.memory import SimulatedClock
+
+
+def wall_now_s() -> float:
+    """Current host wall-clock reading, in seconds.
+
+    Reading the host clock here cannot skew any simulated figure: the
+    value is reported alongside simulated time for diagnostics only.
+    """
+    return time.perf_counter()  # nvmlint: disable=ND003
 
 
 @dataclass
@@ -28,24 +43,33 @@ class PhaseRecord:
 
 @dataclass
 class PhaseTimeline:
-    """Accumulates phase records against a simulated clock."""
+    """Accumulates phase records against a simulated clock.
+
+    With a ``tracer`` attached, every phase also opens a root-level
+    ``phase:<name>`` span sharing this timeline's exact clock readings,
+    so the tracer's root spans partition the timeline's total bit-exactly
+    (the obs layer's partition guarantee).
+    """
 
     clock: SimulatedClock
     records: list[PhaseRecord] = field(default_factory=list)
+    tracer: Any = None
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
         """Time a phase on both the simulated clock and the wall clock."""
         sim_start = self.clock.ns
-        # Wall time is reported *next to* simulated time, never mixed into
-        # it, so reading the host clock here cannot skew any figure.
-        wall_start = time.perf_counter()  # nvmlint: disable=ND003
-        yield
+        wall_start = wall_now_s()
+        if self.tracer is not None:
+            with self.tracer.span(f"phase:{name}", category="phase"):
+                yield
+        else:
+            yield
         self.records.append(
             PhaseRecord(
                 name=name,
                 sim_ns=self.clock.ns - sim_start,
-                wall_s=time.perf_counter() - wall_start,  # nvmlint: disable=ND003
+                wall_s=wall_now_s() - wall_start,
             )
         )
 

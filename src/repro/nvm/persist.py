@@ -34,6 +34,7 @@ from typing import Iterator
 
 from repro.errors import RecoveryError, TransactionError
 from repro.nvm.pool import NvmPool
+from repro.obs import tracer as obs
 
 _PHASE_REGION = "__phases__"
 _PHASE_BODY_FMT = "<I32s"  # completed count, padded phase name
@@ -141,11 +142,12 @@ class PhasePersistence:
         the ping-pong slot for the new count and is persisted by its own
         flush; tearing that flush leaves the previous slot intact.
         """
-        encoded = name.encode("utf-8")[:32]
-        offset, _ = self.pool.get_region(_PHASE_REGION)
-        count = self.completed_count() + 1
-        self._write_slot(offset, count % 2, count, encoded)
-        self.pool.memory.flush()
+        with obs.span("persist:marker", category="persist", phase=name):
+            encoded = name.encode("utf-8")[:32]
+            offset, _ = self.pool.get_region(_PHASE_REGION)
+            count = self.completed_count() + 1
+            self._write_slot(offset, count % 2, count, encoded)
+            self.pool.memory.flush()
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -205,14 +207,15 @@ class TransactionLog:
     @contextmanager
     def transaction(self) -> Iterator["Transaction"]:
         """Context-manager form of :meth:`begin`; commits on success."""
-        tx = self.begin()
-        try:
-            yield tx
-        except BaseException:
-            tx.abort()
-            raise
-        else:
-            tx.commit()
+        with obs.span("persist:tx", category="persist"):
+            tx = self.begin()
+            try:
+                yield tx
+            except BaseException:
+                tx.abort()
+                raise
+            else:
+                tx.commit()
 
     def needs_recovery(self) -> bool:
         """Return whether the persisted log shows an interrupted transaction."""
@@ -237,6 +240,11 @@ class TransactionLog:
             RecoveryError: naming the offending record index, when any
                 record before the last fails validation.
         """
+        with obs.span("persist:recover", category="persist") as span:
+            undone = self._recover(span)
+        return undone
+
+    def _recover(self, span) -> int:
         mem = self.pool.memory
         offset, size = self.pool.get_region(_LOG_REGION)
         active, count, seq = struct.unpack(
@@ -286,6 +294,8 @@ class TransactionLog:
         mem.flush()
         mem.write(offset, struct.pack(_LOG_HEADER_FMT, 0, 0, seq))
         mem.flush()
+        if span is not None:
+            span.attrs["records_undone"] = undone
         return undone
 
     # Internal hooks used by Transaction -------------------------------
@@ -350,6 +360,8 @@ class Transaction:
         if not self._open:
             raise TransactionError("transaction already finished")
         mem = self._pool.memory
+        tracer = obs.current_tracer()
+        start = mem.clock.ns if tracer is not None else 0.0
         record_size = _LOG_RECORD_SIZE + len(data)
         available = self._base + self._log.capacity - self._write_pos
         if record_size > available:
@@ -383,6 +395,8 @@ class Transaction:
         )
         mem.flush()  # persist undo record before mutating data
         mem.write(offset, data)
+        if tracer is not None:
+            tracer.op("persist:tx_write", mem.clock.ns - start)
 
     def commit(self) -> None:
         """Persist the data writes and retire the log."""

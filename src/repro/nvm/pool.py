@@ -40,6 +40,7 @@ import zlib
 from repro.errors import PoolLayoutError
 from repro.nvm.allocator import PoolAllocator
 from repro.nvm.memory import SimulatedMemory
+from repro.obs import tracer as obs
 
 _MAGIC = 0x4E5441444F43504C  # "NTADOCPL"
 _VERSION = 2
@@ -98,8 +99,12 @@ class NvmPool:
         """
         if name in self._regions:
             raise PoolLayoutError(f"region {name!r} already exists")
+        tracer = obs.current_tracer()
+        start = self.memory.clock.ns if tracer is not None else 0.0
         offset = self.allocator.alloc(size, align)
         self._regions[name] = (offset, size)
+        if tracer is not None:
+            tracer.op("pool:alloc_region", self.memory.clock.ns - start)
         return offset
 
     def get_region(self, name: str) -> tuple[int, int]:
@@ -205,6 +210,8 @@ class NvmPool:
         target chosen by :meth:`_pick_save_arena`; the other slot stays
         byte-identical so a torn flush cannot lose both copies.
         """
+        tracer = obs.current_tracer()
+        start = self.memory.clock.ns if tracer is not None else 0.0
         blob = self._encode_entries()
         if len(blob) > self._arena_size:
             raise PoolLayoutError(
@@ -232,6 +239,8 @@ class NvmPool:
         mem.write(self._slot_off(arena), slot)
         self._arena_seq[arena] = seq
         self._arena_epoch[arena] = mem.flush_epoch
+        if tracer is not None:
+            tracer.op("pool:save_directory", mem.clock.ns - start)
 
     def _parse_slot(
         self, raw: bytes, arena: int
@@ -303,5 +312,9 @@ class NvmPool:
 
     def flush(self) -> int:
         """Persist the directory and all dirty lines; return lines flushed."""
-        self.save_directory()
-        return self.memory.flush()
+        with obs.span("pool:flush", category="pool") as span:
+            self.save_directory()
+            flushed = self.memory.flush()
+            if span is not None:
+                span.attrs["lines_flushed"] = flushed
+            return flushed

@@ -42,6 +42,10 @@ class AccessTrace:
 
     device_size: int
     events: list[tuple[str, int, int]] = field(default_factory=list)
+    #: Simulated ns charged to the recorded device while recording.  A
+    #: transient accumulator for comparing live vs replayed cost; NOT
+    #: persisted by :meth:`save`/:meth:`load`.
+    charged_ns: float = 0.0
 
     def __len__(self) -> int:
         return len(self.events)
@@ -96,21 +100,44 @@ def record_trace(memory: SimulatedMemory) -> Iterator[AccessTrace]:
     trace is a side channel.
     """
     trace = AccessTrace(device_size=memory.size)
+    clock = memory.clock
     original_read = memory.read
     original_write = memory.write
     original_flush = memory.flush
+    original_fill = memory.fill
 
     def read(offset: int, size: int) -> bytes:
         trace.events.append(("r", offset, size))
-        return original_read(offset, size)
+        start = clock.ns
+        data = original_read(offset, size)
+        trace.charged_ns += clock.ns - start
+        return data
 
     def write(offset: int, data) -> None:
         trace.events.append(("w", offset, len(data)))
+        start = clock.ns
         original_write(offset, data)
+        trace.charged_ns += clock.ns - start
 
     def flush() -> int:
         trace.events.append(("f", 0, 0))
-        return original_flush()
+        start = clock.ns
+        flushed = original_flush()
+        trace.charged_ns += clock.ns - start
+        return flushed
+
+    def fill(offset: int, size: int, value: int = 0) -> None:
+        # fill charges exactly like one write of ``size`` bytes, so the
+        # trace records it as a plain write event (contents are
+        # immaterial to replay cost).  The zero-size case mirrors fill's
+        # own delegation to write, keeping the event stream single-entry.
+        if size == 0:
+            write(offset, b"")
+            return
+        trace.events.append(("w", offset, size))
+        start = clock.ns
+        original_fill(offset, size, value)
+        trace.charged_ns += clock.ns - start
 
     # The fused scalar accessors charge identically to their literal
     # read/write decomposition (pinned by the batch-equivalence suite),
@@ -138,6 +165,7 @@ def record_trace(memory: SimulatedMemory) -> Iterator[AccessTrace]:
     memory.read = read  # type: ignore[method-assign]
     memory.write = write  # type: ignore[method-assign]
     memory.flush = flush  # type: ignore[method-assign]
+    memory.fill = fill  # type: ignore[method-assign]
     memory.read_uint = read_uint  # type: ignore[method-assign]
     memory.write_uint = write_uint  # type: ignore[method-assign]
     memory.rmw_add = rmw_add  # type: ignore[method-assign]
@@ -148,6 +176,7 @@ def record_trace(memory: SimulatedMemory) -> Iterator[AccessTrace]:
         memory.read = original_read  # type: ignore[method-assign]
         memory.write = original_write  # type: ignore[method-assign]
         memory.flush = original_flush  # type: ignore[method-assign]
+        memory.fill = original_fill  # type: ignore[method-assign]
         del memory.read_uint
         del memory.write_uint
         del memory.rmw_add

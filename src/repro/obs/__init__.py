@@ -1,0 +1,26 @@
+"""Observability: deterministic span tracing, exporters, perf snapshots.
+
+The package is deliberately light so hot modules can import it without
+cost: :mod:`repro.obs.tracer` holds the tracer and the module-global
+no-op helpers, :mod:`repro.obs.export` the Chrome trace-event exporter
+and span aggregation, :mod:`repro.obs.snapshot` the canonical perf
+snapshot and its tolerance-band diff.  See docs/observability.md.
+"""
+
+from repro.obs.tracer import (
+    OpStats,
+    Span,
+    Tracer,
+    attached,
+    current_tracer,
+    traced_op,
+)
+
+__all__ = [
+    "OpStats",
+    "Span",
+    "Tracer",
+    "attached",
+    "current_tracer",
+    "traced_op",
+]

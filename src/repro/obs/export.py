@@ -1,0 +1,181 @@
+"""Exporters for recorded traces: Chrome trace-event JSON + aggregation.
+
+The Chrome trace-event format (the legacy JSON format Perfetto and
+``chrome://tracing`` both load) maps cleanly onto the span model:
+
+* every span becomes a complete (``"ph": "X"``) event whose ``ts`` /
+  ``dur`` are the span's *simulated* start/duration converted to
+  microseconds (the format's time unit), with wall time and the span's
+  per-device deltas in ``args``;
+* per-device cumulative traffic is emitted as counter (``"ph": "C"``)
+  events sampled at every span boundary, which Perfetto renders as
+  counter tracks under the process;
+* process/thread metadata (``"ph": "M"``) names the tracks.
+
+:func:`aggregate_spans` flattens the span tree into per-path aggregates
+(the basis of the hot-spans table and the perf snapshot): two spans
+share an aggregate when their root-to-span name paths match.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:
+    from repro.obs.tracer import Span, Tracer
+
+_PID = 1
+_TID = 1
+
+#: Per-device counters surfaced in span args (skipping zero entries).
+_ARG_KEYS = (
+    "bytes_read",
+    "bytes_written",
+    "lines_read",
+    "lines_written",
+    "cache_hits",
+    "cache_misses",
+    "flush_ops",
+    "flushed_lines",
+)
+
+
+def span_path(prefix: str, span: "Span") -> str:
+    """The aggregation path of ``span`` under ``prefix``."""
+    return f"{prefix}/{span.name}" if prefix else span.name
+
+
+def aggregate_spans(tracer: "Tracer") -> dict[str, dict[str, Any]]:
+    """Flatten the span tree into per-path aggregates.
+
+    Returns a dict keyed by the slash-joined root-to-span name path;
+    each value sums ``count``, inclusive/self simulated ns, wall ns, and
+    the device traffic of every span on that path.  Device counters are
+    summed across devices (the per-device split stays on the spans).
+    """
+    aggregates: dict[str, dict[str, Any]] = {}
+
+    def visit(span: "Span", prefix: str) -> None:
+        path = span_path(prefix, span)
+        entry = aggregates.get(path)
+        if entry is None:
+            entry = aggregates[path] = {
+                "depth": span.depth,
+                "category": span.category,
+                "count": 0,
+                "sim_ns": 0.0,
+                "self_sim_ns": 0.0,
+                "wall_ns": 0.0,
+                "bytes_read": 0,
+                "bytes_written": 0,
+                "flush_ops": 0,
+                "cache_hits": 0,
+                "cache_misses": 0,
+            }
+        entry["count"] += 1
+        entry["sim_ns"] += span.sim_ns
+        entry["self_sim_ns"] += span.self_sim_ns
+        entry["wall_ns"] += span.wall_ns
+        for stats in span.device.values():
+            for key in (
+                "bytes_read",
+                "bytes_written",
+                "flush_ops",
+                "cache_hits",
+                "cache_misses",
+            ):
+                entry[key] += stats.get(key, 0)
+        for child in span.children:
+            visit(child, path)
+
+    for root in tracer.roots:
+        visit(root, "")
+    return aggregates
+
+
+def _span_event(span: "Span") -> dict[str, Any]:
+    args: dict[str, Any] = {
+        "self_sim_ns": round(span.self_sim_ns, 1),
+        "wall_us": round(span.wall_ns / 1e3, 3),
+    }
+    for device, stats in span.device.items():
+        for key in _ARG_KEYS:
+            value = stats.get(key, 0)
+            if value:
+                args[f"{device}.{key}"] = value
+        hits = stats.get("cache_hits", 0)
+        misses = stats.get("cache_misses", 0)
+        if hits or misses:
+            args[f"{device}.cache_hit_rate"] = round(hits / (hits + misses), 4)
+    for device, delta in span.resident.items():
+        args[f"resident.{device}"] = delta
+    for key, value in span.attrs.items():
+        args[key] = value
+    return {
+        "ph": "X",
+        "pid": _PID,
+        "tid": _TID,
+        "name": span.name,
+        "cat": span.category,
+        "ts": span.sim_start / 1e3,
+        "dur": span.sim_ns / 1e3,
+        "args": args,
+    }
+
+
+def chrome_trace(tracer: "Tracer") -> dict[str, Any]:
+    """Render the trace as a Chrome trace-event JSON object.
+
+    Timestamps are simulated microseconds; device counter tracks sample
+    cumulative bytes read/written at every span boundary.
+    """
+    events: list[dict[str, Any]] = [
+        {
+            "ph": "M",
+            "pid": _PID,
+            "tid": _TID,
+            "name": "process_name",
+            "args": {"name": "ntadoc (simulated time)"},
+        },
+        {
+            "ph": "M",
+            "pid": _PID,
+            "tid": _TID,
+            "name": "thread_name",
+            "args": {"name": "engine"},
+        },
+    ]
+    spans = list(tracer.spans())
+    for span in spans:
+        events.append(_span_event(span))
+    for span in sorted(spans, key=lambda s: s.sim_end):
+        for device, cum in span.device_cum.items():
+            events.append(
+                {
+                    "ph": "C",
+                    "pid": _PID,
+                    "tid": _TID,
+                    "name": f"{device} traffic",
+                    "ts": span.sim_end / 1e3,
+                    "args": {
+                        "bytes_read": cum.get("bytes_read", 0),
+                        "bytes_written": cum.get("bytes_written", 0),
+                    },
+                }
+            )
+    other_data = {str(k): str(v) for k, v in tracer.meta.items()}
+    other_data["op_counters"] = str(len(tracer.ops))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": other_data,
+    }
+
+
+def write_chrome_trace(tracer: "Tracer", path: str | Path) -> int:
+    """Write the Chrome trace-event JSON to ``path``; returns byte size."""
+    text = json.dumps(chrome_trace(tracer), indent=1) + "\n"
+    Path(path).write_text(text, encoding="utf-8")
+    return len(text)

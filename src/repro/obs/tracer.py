@@ -1,0 +1,358 @@
+"""Deterministic, zero-sampling span tracer for the simulated stack.
+
+A :class:`Tracer` records a tree of :class:`Span` objects, each keyed to
+*both* clocks -- simulated nanoseconds from the shared
+:class:`~repro.nvm.memory.SimulatedClock` and host wall time -- and
+captures per-span deltas of every bound device's
+:class:`~repro.nvm.stats.MemoryStats` plus the
+:class:`~repro.metrics.ledger.MemoryLedger`'s resident bytes.  A span
+therefore carries exactly its subtree's bytes read/written, lines
+touched, cache hits/misses, and flush traffic.
+
+Design rules (what keeps the tracer safe to thread everywhere):
+
+* The tracer NEVER advances the simulated clock -- it only reads it.
+  Tracing on or off cannot change a single charged nanosecond; the
+  tier-1 suite pins traced and untraced runs to bit-identical totals.
+* Instrumentation sites call the module-level :func:`span` / :func:`op`
+  helpers, which are no-ops unless a tracer is *attached* (via
+  :func:`attached`, which the engine enters when
+  ``EngineConfig.tracer`` is set).  Off-path overhead is one module
+  global read and a ``None`` check.
+* Spans close in ``finally`` blocks, so an exception unwinding through
+  the engine (e.g. a :class:`~repro.nvm.faults.CrashPoint` from the
+  crash-sweep harness) still leaves a well-formed trace.
+* Wall time is read through :func:`repro.metrics.timer.wall_now_s`, the
+  repo's single sanctioned wall-clock helper; it is reported next to
+  simulated time, never mixed into it.
+
+Op-level counters (:class:`OpStats`) are the cheap sibling of spans:
+bulk persistent-structure operations (``PVector.extend``,
+``PHashTable.add_many``, ...) are far too frequent to record
+individually, so they aggregate into counts plus power-of-two simulated
+ns histograms via :func:`traced_op` / :meth:`Tracer.op`.
+"""
+
+from __future__ import annotations
+
+import functools
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterator
+
+from repro.metrics.timer import wall_now_s
+
+if TYPE_CHECKING:
+    from repro.metrics.ledger import MemoryLedger
+    from repro.nvm.memory import SimulatedClock, SimulatedMemory
+
+#: Stats counters copied into each span's per-device delta.
+_STAT_KEYS = (
+    "read_ops",
+    "write_ops",
+    "bytes_read",
+    "bytes_written",
+    "lines_read",
+    "lines_written",
+    "cache_hits",
+    "cache_misses",
+    "writebacks",
+    "flush_ops",
+    "flushed_lines",
+    "device_ns",
+)
+
+
+@dataclass
+class Span:
+    """One timed region of a run, with device attribution for its subtree."""
+
+    name: str
+    category: str = "span"
+    depth: int = 0
+    sim_start: float = 0.0
+    sim_end: float = 0.0
+    wall_start_s: float = 0.0
+    wall_end_s: float = 0.0
+    attrs: dict[str, Any] = field(default_factory=dict)
+    children: list["Span"] = field(default_factory=list)
+    #: Per-device MemoryStats accumulated inside this span (subtree).
+    device: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: Per-device cumulative MemoryStats at span end (counter tracks).
+    device_cum: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: Ledger resident-byte delta per device over this span (signed).
+    resident: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def sim_ns(self) -> float:
+        """Simulated nanoseconds spent in this span (subtree-inclusive)."""
+        return self.sim_end - self.sim_start
+
+    @property
+    def wall_ns(self) -> float:
+        """Host wall nanoseconds spent in this span (diagnostics only)."""
+        return (self.wall_end_s - self.wall_start_s) * 1e9
+
+    @property
+    def self_sim_ns(self) -> float:
+        """Simulated nanoseconds not covered by any child span."""
+        return self.sim_ns - sum(child.sim_ns for child in self.children)
+
+    def cache_hit_rate(self, device: str) -> float:
+        """Fraction of this span's line touches served by ``device``'s cache."""
+        stats = self.device.get(device, {})
+        total = stats.get("cache_hits", 0) + stats.get("cache_misses", 0)
+        if not total:
+            return 0.0
+        return stats.get("cache_hits", 0) / total
+
+    def walk(self) -> Iterator["Span"]:
+        """This span, then every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+@dataclass
+class OpStats:
+    """Aggregated counters for one op-level instrumentation point.
+
+    ``buckets`` is a power-of-two histogram of per-call simulated ns:
+    bucket *k* counts calls whose charge fell in ``[2^(k-1), 2^k)``
+    (bucket 0 collects sub-nanosecond calls).
+    """
+
+    name: str
+    count: int = 0
+    sim_ns: float = 0.0
+    min_ns: float = 0.0
+    max_ns: float = 0.0
+    buckets: dict[int, int] = field(default_factory=dict)
+
+    def observe(self, ns: float) -> None:
+        """Fold one call's simulated ns into the aggregate."""
+        if self.count == 0 or ns < self.min_ns:
+            self.min_ns = ns
+        if ns > self.max_ns:
+            self.max_ns = ns
+        self.count += 1
+        self.sim_ns += ns
+        bucket = int(ns).bit_length() if ns >= 1.0 else 0
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    @property
+    def mean_ns(self) -> float:
+        return self.sim_ns / self.count if self.count else 0.0
+
+
+class Tracer:
+    """Records spans and op counters for one (or more) engine runs.
+
+    Args:
+        max_depth: Deepest span nesting level to record; spans opened
+            below the limit are skipped (their time folds into the
+            nearest recorded ancestor's self time).  ``None`` records
+            everything.
+
+    The tracer must be *bound* to a run's machinery (clock, device
+    memories, ledger) before spans carry device attribution; the engine
+    does this when a run starts.  Unbound spans still record wall time
+    (simulated readings default to zero), which keeps unit tests and
+    ad-hoc use simple.
+    """
+
+    def __init__(self, max_depth: int | None = None) -> None:
+        self.max_depth = max_depth
+        self.roots: list[Span] = []
+        self.ops: dict[str, OpStats] = {}
+        self.meta: dict[str, Any] = {}
+        self._stack: list[Span] = []
+        self._clock: "SimulatedClock | None" = None
+        self._memories: dict[str, "SimulatedMemory"] = {}
+        self._ledger: "MemoryLedger | None" = None
+
+    # -- binding ---------------------------------------------------------
+
+    def bind(
+        self,
+        clock: "SimulatedClock",
+        memories: dict[str, "SimulatedMemory"] | None = None,
+        ledger: "MemoryLedger | None" = None,
+    ) -> None:
+        """Attach the simulated machinery whose state spans capture.
+
+        Rebinding (a second engine run reusing one tracer) replaces the
+        previous machinery; already-recorded spans are untouched.
+        """
+        self._clock = clock
+        self._memories = dict(memories or {})
+        self._ledger = ledger
+        for name, memory in self._memories.items():
+            self.meta.setdefault("devices", {})[name] = {
+                "profile": memory.profile.name,
+                "line_size": memory.profile.line_size,
+                "size": memory.size,
+            }
+
+    def reset(self) -> None:
+        """Drop recorded spans and op counters (bindings survive)."""
+        self.roots = []
+        self.ops = {}
+        self._stack = []
+
+    # -- recording -------------------------------------------------------
+
+    @contextmanager
+    def span(
+        self, name: str, category: str = "span", **attrs: Any
+    ) -> Iterator[Span | None]:
+        """Record one nested span around the ``with`` body.
+
+        Yields the open :class:`Span` (callers may add ``attrs``), or
+        ``None`` when the span falls below ``max_depth``.
+        """
+        if self.max_depth is not None and len(self._stack) >= self.max_depth:
+            yield None
+            return
+        span = Span(
+            name=name,
+            category=category,
+            depth=len(self._stack),
+            attrs=dict(attrs),
+        )
+        clock = self._clock
+        span.sim_start = clock.ns if clock is not None else 0.0
+        span.wall_start_s = wall_now_s()
+        starts = {
+            device: memory.stats.snapshot()
+            for device, memory in self._memories.items()
+        }
+        ledger = self._ledger
+        resident_start = ledger.currents() if ledger is not None else None
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            self._stack.pop()
+            span.sim_end = clock.ns if clock is not None else 0.0
+            span.wall_end_s = wall_now_s()
+            for device, memory in self._memories.items():
+                delta = memory.stats.delta(starts[device])
+                span.device[device] = {
+                    key: getattr(delta, key) for key in _STAT_KEYS
+                }
+                span.device_cum[device] = {
+                    key: getattr(memory.stats, key) for key in _STAT_KEYS
+                }
+            if resident_start is not None and ledger is not None:
+                resident_end = ledger.currents()
+                span.resident = {
+                    device: resident_end.get(device, 0)
+                    - resident_start.get(device, 0)
+                    for device in set(resident_start) | set(resident_end)
+                    if resident_end.get(device, 0)
+                    != resident_start.get(device, 0)
+                }
+
+    def op(self, name: str, sim_ns: float) -> None:
+        """Fold one op-level call into the named aggregate counter."""
+        stats = self.ops.get(name)
+        if stats is None:
+            stats = self.ops[name] = OpStats(name=name)
+        stats.observe(sim_ns)
+
+    # -- queries ---------------------------------------------------------
+
+    def total_sim_ns(self) -> float:
+        """Simulated nanoseconds covered by the root spans."""
+        return sum(root.sim_ns for root in self.roots)
+
+    def spans(self) -> Iterator[Span]:
+        """Every recorded span, depth-first across roots."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def find(self, name: str) -> list[Span]:
+        """All spans with this exact name, in recording order."""
+        return [span for span in self.spans() if span.name == name]
+
+
+# ---------------------------------------------------------------------------
+# Module-global active tracer + no-op instrumentation helpers
+# ---------------------------------------------------------------------------
+
+_ACTIVE: Tracer | None = None
+
+
+def current_tracer() -> Tracer | None:
+    """The tracer attached by the innermost :func:`attached`, if any."""
+    return _ACTIVE
+
+
+@contextmanager
+def attached(tracer: Tracer | None) -> Iterator[None]:
+    """Make ``tracer`` the active tracer for the ``with`` body.
+
+    ``None`` is accepted (and does nothing) so callers can pass an
+    optional config field straight through.  Nesting restores the
+    previous tracer on exit -- a resumed run re-entering the engine
+    keeps working.
+    """
+    global _ACTIVE
+    if tracer is None:
+        yield
+        return
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    try:
+        yield
+    finally:
+        _ACTIVE = previous
+
+
+@contextmanager
+def span(name: str, category: str = "span", **attrs: Any) -> Iterator[Span | None]:
+    """Record a span on the active tracer; no-op when none is attached."""
+    tracer = _ACTIVE
+    if tracer is None:
+        yield None
+        return
+    with tracer.span(name, category, **attrs) as open_span:
+        yield open_span
+
+
+def op(name: str, sim_ns: float) -> None:
+    """Record an op-level observation; no-op when no tracer is attached."""
+    tracer = _ACTIVE
+    if tracer is not None:
+        tracer.op(name, sim_ns)
+
+
+def traced_op(name: str) -> Callable:
+    """Decorator: aggregate a persistent-structure method as an op counter.
+
+    The wrapped method must live on an object exposing ``self._mem``
+    (a :class:`~repro.nvm.memory.SimulatedMemory`); the call's simulated
+    ns is measured as a clock delta around the call.  With no tracer
+    attached the method is called straight through.
+    """
+
+    def decorate(method: Callable) -> Callable:
+        @functools.wraps(method)
+        def wrapper(self, *args, **kwargs):
+            tracer = _ACTIVE
+            if tracer is None:
+                return method(self, *args, **kwargs)
+            clock = self._mem.clock
+            start = clock.ns
+            result = method(self, *args, **kwargs)
+            tracer.op(name, clock.ns - start)
+            return result
+
+        return wrapper
+
+    return decorate

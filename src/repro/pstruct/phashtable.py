@@ -31,6 +31,7 @@ from typing import Iterator
 
 from repro.errors import CapacityError
 from repro.nvm.allocator import PoolAllocator
+from repro.obs.tracer import traced_op
 from repro.pstruct import layout
 from repro.pstruct.layout import next_power_of_two
 
@@ -196,6 +197,7 @@ class PHashTable:
     # Bulk operations
     # ------------------------------------------------------------------
 
+    @traced_op("phashtable:insert_many")
     def insert_many(self, pairs) -> int:
         """Bulk ``put`` of ``(key, value)`` pairs; returns keys inserted.
 
@@ -219,6 +221,7 @@ class PHashTable:
             self._store_header()
         return inserted
 
+    @traced_op("phashtable:add_many")
     def add_many(self, pairs) -> None:
         """Bulk ``add``: accumulate many ``(key, delta)`` pairs.
 
@@ -240,6 +243,7 @@ class PHashTable:
         if inserted:
             self._store_header()
 
+    @traced_op("phashtable:get_many")
     def get_many(self, keys, default: int | None = None) -> list[int | None]:
         """Bulk ``get``: values for ``keys``, in the order given.
 

@@ -19,6 +19,7 @@ import struct
 
 from repro.errors import CapacityError
 from repro.nvm.allocator import PoolAllocator
+from repro.obs.tracer import traced_op
 from repro.pstruct import layout
 
 _HEADER = struct.Struct("<III")
@@ -90,6 +91,7 @@ class PQueue:
         self._store_header()
         return value
 
+    @traced_op("pqueue:push_many")
     def push_many(self, values) -> None:
         """Enqueue many values with at most two slab writes and one
         header store (the ring buffer wraps at most once).
@@ -116,6 +118,7 @@ class PQueue:
         self._tail = (tail + count) % cap
         self._store_header()
 
+    @traced_op("pqueue:pop_many")
     def pop_many(self, max_count: int) -> list[int]:
         """Dequeue up to ``max_count`` values (empty list when drained).
 

@@ -25,6 +25,7 @@ from typing import Iterator
 
 from repro.errors import CapacityError
 from repro.nvm.allocator import PoolAllocator
+from repro.obs.tracer import traced_op
 from repro.pstruct import layout
 
 _HEADER = struct.Struct("<IIIIQ")
@@ -124,6 +125,7 @@ class PVector:
         off = self._data_offset + index * self.elem_size
         return self._mem.rmw_add(off, self.elem_size, delta)
 
+    @traced_op("pvector:add_each")
     def add_each(self, indices, delta: int = 1) -> None:
         """Apply ``add_at(i, delta)`` for every index in ``indices``.
 
@@ -149,6 +151,7 @@ class PVector:
             [(base + index * elem_size, delta) for index in indices], elem_size
         )
 
+    @traced_op("pvector:add_at_each")
     def add_at_each(self, pairs) -> None:
         """Apply :meth:`add_at` for many ``(index, delta)`` pairs.
 
@@ -171,6 +174,7 @@ class PVector:
 
         self._mem.rmw_add_each(sites(), elem_size)
 
+    @traced_op("pvector:read_range")
     def read_range(self, index: int, count: int) -> list[int]:
         """Read ``count`` consecutive elements in one device access."""
         if count == 0:
@@ -204,6 +208,7 @@ class PVector:
         self._length += 1
         self._store_length()
 
+    @traced_op("pvector:extend")
     def extend(self, values: list[int]) -> None:
         """Bulk append; packs all values into a single device write."""
         if not values:

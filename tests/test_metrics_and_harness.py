@@ -45,6 +45,46 @@ class TestLedger:
         assert MemoryLedger.dram_saving(100, 30) == pytest.approx(0.7)
         assert MemoryLedger.dram_saving(0, 30) == 0.0
 
+    def test_over_release_rejected(self):
+        ledger = MemoryLedger()
+        ledger.charge("dram", "buffer", 100)
+        with pytest.raises(ValueError, match="'dram'.*'buffer'"):
+            ledger.release("dram", "buffer", 101)
+        # The failed release must not have moved the counters.
+        assert ledger.current("dram") == 100
+        assert ledger.breakdown("dram") == {"buffer": 100}
+
+    def test_release_of_unknown_label_rejected(self):
+        ledger = MemoryLedger()
+        ledger.charge("dram", "held", 50)
+        with pytest.raises(ValueError, match="'never_charged'"):
+            ledger.release("dram", "never_charged", 1)
+
+    def test_negative_release_rejected(self):
+        ledger = MemoryLedger()
+        ledger.charge("dram", "x", 10)
+        with pytest.raises(ValueError):
+            ledger.release("dram", "x", -1)
+
+    def test_exact_release_allowed(self):
+        ledger = MemoryLedger()
+        ledger.charge("pool", "tables", 64)
+        ledger.release("pool", "tables", 64)
+        assert ledger.current("pool") == 0
+
+    def test_currents_snapshot(self):
+        ledger = MemoryLedger()
+        assert ledger.currents() == {}
+        ledger.charge("dram", "a", 30)
+        ledger.charge("pool", "b", 70)
+        assert ledger.currents() == {"dram": 30, "pool": 70}
+        ledger.release("pool", "b", 70)
+        # Zero entries are omitted, and the snapshot is independent.
+        snap = ledger.currents()
+        assert snap == {"dram": 30}
+        ledger.charge("dram", "a", 5)
+        assert snap == {"dram": 30}
+
 
 class TestTimeline:
     def test_phase_records_sim_time(self):
@@ -66,6 +106,63 @@ class TestTimeline:
             with timeline.phase("step"):
                 clock.advance(10)
         assert timeline.sim_ns("step") == 30
+
+    def test_nested_phases_both_record_full_interval(self):
+        clock = SimulatedClock()
+        timeline = PhaseTimeline(clock)
+        with timeline.phase("outer"):
+            clock.advance(100)
+            with timeline.phase("inner"):
+                clock.advance(40)
+            clock.advance(10)
+        # Records land innermost-first; the outer interval includes the
+        # inner one (nesting does not subtract).
+        assert [r.name for r in timeline.records] == ["inner", "outer"]
+        assert timeline.sim_ns("inner") == 40
+        assert timeline.sim_ns("outer") == 150
+
+    def test_reentrant_same_name_phases(self):
+        clock = SimulatedClock()
+        timeline = PhaseTimeline(clock)
+        with timeline.phase("work"):
+            clock.advance(5)
+            with timeline.phase("work"):
+                clock.advance(3)
+        # Same-name re-entry sums both records under one key, and the
+        # outer record includes the inner interval (5 + 3 outer, 3
+        # inner): nested phases overlap rather than partition, which is
+        # why the engine only ever nests *distinct* phase names.
+        assert [r.sim_ns for r in timeline.records] == [3.0, 8.0]
+        assert timeline.sim_ns("work") == 11
+        assert timeline.as_dict() == {"work": 11.0}
+
+    def test_phase_record_dropped_on_exception(self):
+        clock = SimulatedClock()
+        timeline = PhaseTimeline(clock)
+        with pytest.raises(RuntimeError):
+            with timeline.phase("doomed"):
+                clock.advance(9)
+                raise RuntimeError("crash mid-phase")
+        assert timeline.records == []
+
+    def test_traced_timeline_shares_clock_readings(self):
+        from repro.obs.tracer import Tracer
+
+        clock = SimulatedClock()
+        tracer = Tracer()
+        tracer.bind(clock=clock)
+        timeline = PhaseTimeline(clock, tracer=tracer)
+        with timeline.phase("initialization"):
+            clock.advance(123.456)
+        with timeline.phase("traversal"):
+            clock.advance(77.5)
+        # Bit-exact (no approx): phase spans reuse the timeline's clock.
+        assert tracer.total_sim_ns() == timeline.total_sim_ns()
+        assert [s.name for s in tracer.roots] == [
+            "phase:initialization",
+            "phase:traversal",
+        ]
+        assert tracer.roots[0].sim_ns == timeline.records[0].sim_ns
 
 
 class TestComparisons:
@@ -191,6 +288,32 @@ class TestMemoryStats:
 
         stats = MemoryStats(read_ops=1)
         assert stats.as_dict()["read_ops"] == 1
+
+    def test_delta_merge_roundtrip(self):
+        """snapshot + delta and merge are inverses: for any split point,
+        earlier.merge(later.delta(earlier)) == later, on every counter."""
+        from repro.nvm.device import DeviceProfile
+        from repro.nvm.memory import SimulatedMemory
+
+        mem = SimulatedMemory(DeviceProfile.nvm(), 1 << 14)
+        mem.write(0, b"a" * 300)
+        earlier = mem.stats.snapshot()
+        mem.read(0, 300)
+        mem.write(512, b"b" * 64)
+        mem.flush()
+        later = mem.stats.snapshot()
+        delta = later.delta(earlier)
+        assert earlier.merge(delta) == later
+        # delta of a stats object against itself is all-zero.
+        assert later.delta(later) == type(later)()
+
+    def test_merge_commutes_and_zero_is_identity(self):
+        from repro.nvm.stats import MemoryStats
+
+        a = MemoryStats(read_ops=2, bytes_read=10, device_ns=1.5)
+        b = MemoryStats(write_ops=4, bytes_written=9, device_ns=0.25)
+        assert a.merge(b) == b.merge(a)
+        assert a.merge(MemoryStats()) == a
 
 
 class TestDeviceInvariance:

@@ -252,6 +252,52 @@ class TestFusedCrashResume:
         ]
 
 
+class TestTracedEquivalence:
+    """Attaching a span tracer must not move a single charged nanosecond."""
+
+    @pytest.mark.parametrize("config_name", sorted(CONFIGS))
+    def test_traced_plan_is_bit_identical(self, corpus, config_name):
+        from dataclasses import replace
+
+        from repro.obs.tracer import Tracer
+
+        base_config = CONFIGS[config_name]
+        plain_engine = NTadocEngine(corpus, base_config)
+        plain = plain_engine.run_many(make_tasks(plain_engine))
+
+        tracer = Tracer()
+        traced_engine = NTadocEngine(
+            corpus, replace(base_config, tracer=tracer)
+        )
+        traced = traced_engine.run_many(make_tasks(traced_engine))
+
+        assert traced.total_ns == plain.total_ns  # bit-identical, no approx
+        assert traced.phase_ns == plain.phase_ns
+        for solo, other in zip(plain.results, traced.results):
+            assert canonical_result(other.result) == canonical_result(
+                solo.result
+            )
+            assert other.total_ns == solo.total_ns
+            assert other.exclusive_ns == solo.exclusive_ns
+        # And the trace itself partitions the plan's single charge.
+        assert tracer.total_sim_ns() == traced.total_ns
+
+    def test_traced_solo_is_bit_identical(self, corpus):
+        from dataclasses import replace
+
+        from repro.obs.tracer import Tracer
+
+        plain = NTadocEngine(corpus, CONFIGS["auto"]).run(WordCount())
+        tracer = Tracer()
+        traced = NTadocEngine(
+            corpus, replace(CONFIGS["auto"], tracer=tracer)
+        ).run(WordCount())
+        assert traced.total_ns == plain.total_ns
+        assert canonical_result(traced.result) == canonical_result(
+            plain.result
+        )
+
+
 def test_all_tasks_registry_untouched():
     # The planner must not have narrowed the benchmark suite.
     assert len(ALL_TASKS) == 6

@@ -38,6 +38,34 @@ class TestFormatters:
     def test_format_bytes(self, n, expected):
         assert format_bytes(n) == expected
 
+    @pytest.mark.parametrize(
+        "ns,expected",
+        [
+            (-500, "-500 ns"),
+            (-1_500, "-1.5 us"),
+            (-2_500_000, "-2.500 ms"),
+            (-3_200_000_000, "-3.200 s"),
+            (0, "0 ns"),
+        ],
+    )
+    def test_format_ns_signed(self, ns, expected):
+        # Snapshot diffs render signed deltas; -1500 is -1.5 us, never
+        # "-1500 ns" falling through the magnitude thresholds.
+        assert format_ns(ns) == expected
+
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (-512, "-512 B"),
+            (-2048, "-2.0 KiB"),
+            (-(3 << 20), "-3.00 MiB"),
+            (-(2 << 30), "-2.00 GiB"),
+            (0, "0 B"),
+        ],
+    )
+    def test_format_bytes_signed(self, n, expected):
+        assert format_bytes(n) == expected
+
 
 class TestReports:
     @pytest.fixture(scope="class")

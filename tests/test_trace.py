@@ -49,6 +49,106 @@ class TestRecording:
         assert recorded.clock.ns == plain.clock.ns
 
 
+class TestFillRecording:
+    def test_fill_recorded_as_write(self):
+        mem = SimulatedMemory(DeviceProfile.nvm(), 1 << 16)
+        with record_trace(mem) as trace:
+            mem.fill(128, 4096)
+        assert trace.events == [("w", 128, 4096)]
+        assert trace.bytes_written == 4096
+
+    def test_zero_size_fill_records_one_event(self):
+        mem = SimulatedMemory(DeviceProfile.nvm(), 1 << 16)
+        with record_trace(mem) as trace:
+            mem.fill(64, 0)
+        assert trace.events == [("w", 64, 0)]
+
+    def test_fill_cost_matches_replay(self):
+        mem = SimulatedMemory(DeviceProfile.nvm(), 1 << 16)
+        with record_trace(mem) as trace:
+            mem.fill(0, 8192, value=7)
+            mem.flush()
+        replayed = replay_trace(trace, DeviceProfile.nvm(), cache_bytes=1 << 20)
+        assert replayed.ns == pytest.approx(trace.charged_ns)
+
+    def test_fill_restored_after_recording(self):
+        mem = SimulatedMemory(DeviceProfile.nvm(), 1 << 16)
+        with record_trace(mem) as trace:
+            mem.fill(0, 64)
+        mem.fill(64, 64)  # after the context: not recorded
+        assert len(trace) == 1
+
+
+class TestChargedNs:
+    def test_charged_ns_accumulates_device_cost(self):
+        mem = SimulatedMemory(DeviceProfile.nvm(), 1 << 16)
+        with record_trace(mem) as trace:
+            start = mem.clock.ns
+            run_workload(mem)
+            elapsed = mem.clock.ns - start
+        assert trace.charged_ns == pytest.approx(elapsed)
+
+    def test_charged_ns_excludes_untraced_charges(self):
+        mem = SimulatedMemory(DeviceProfile.nvm(), 1 << 16)
+        with record_trace(mem) as trace:
+            mem.write(0, b"x" * 64)
+            mem.clock.cpu(1000)  # CPU work is not device traffic
+        assert trace.charged_ns < mem.clock.ns
+
+    def test_charged_ns_not_persisted(self, tmp_path):
+        mem = SimulatedMemory(DeviceProfile.nvm(), 1 << 16)
+        with record_trace(mem) as trace:
+            run_workload(mem)
+        path = tmp_path / "t.trace"
+        trace.save(path)
+        assert AccessTrace.load(path).charged_ns == 0.0
+
+
+class TestEngineRunManyTrace:
+    def test_fused_plan_trace_replays_to_charged_cost(self):
+        """Recording a fused run_many's pool and replaying on the same
+        profile reproduces exactly the simulated ns the pool charged."""
+        from repro.analytics import InvertedIndex, TermVector, WordCount
+        from repro.core.engine import EngineConfig, NTadocEngine
+        from repro.datasets.generator import CorpusSpec, generate_corpus_files
+        from repro.sequitur.compressor import compress_files
+
+        spec = CorpusSpec(
+            n_files=12, tokens_per_file=150, vocab_size=60, seed=417
+        )
+        corpus = compress_files(generate_corpus_files(spec))
+        config = EngineConfig(traversal="bottomup")
+        engine = NTadocEngine(corpus, config)
+
+        captured = {}
+        original_fresh_state = engine._fresh_state
+
+        def recording_fresh_state(*args, **kwargs):
+            state = original_fresh_state(*args, **kwargs)
+            recorder = record_trace(state.pool_mem)
+            captured["trace"] = recorder.__enter__()
+            captured["recorder"] = recorder
+            return state
+
+        engine._fresh_state = recording_fresh_state
+        try:
+            plan = engine.run_many([WordCount(), InvertedIndex(), TermVector()])
+        finally:
+            captured["recorder"].__exit__(None, None, None)
+
+        trace = captured["trace"]
+        assert len(trace) > 100
+        assert plan.total_ns > 0
+        # Same profile + same cache capacity as the engine's pool device.
+        replayed = replay_trace(
+            trace, DeviceProfile.nvm(), cache_bytes=config.cache_bytes
+        )
+        assert replayed.ns == pytest.approx(trace.charged_ns)
+        # The pool's device traffic is a strict subset of the plan total
+        # (which also includes CPU, DRAM scratch, and disk charges).
+        assert 0 < trace.charged_ns < plan.total_ns
+
+
 class TestPersistence:
     def test_save_load_roundtrip(self, tmp_path):
         mem = SimulatedMemory(DeviceProfile.nvm(), 1 << 16)
