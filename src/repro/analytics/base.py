@@ -323,11 +323,25 @@ class AnalyticsTask(ABC):
 
 
 def _estimate_size(value: Any) -> int:
-    """Conservative byte estimate of a plain-data result object."""
+    """Conservative byte estimate of a plain-data result object.
+
+    Numbers (and any other scalar) count 8 bytes; the int case is
+    inlined below because analytics results are overwhelmingly
+    ``{int: int}`` dicts and ``[int]`` lists, and a recursive call per
+    element dominated profile time on large results.
+    """
     if isinstance(value, dict):
-        return sum(_estimate_size(k) + _estimate_size(v) for k, v in value.items())
+        total = 0
+        for k, v in value.items():
+            total += (8 if type(k) is int else _estimate_size(k)) + (
+                8 if type(v) is int else _estimate_size(v)
+            )
+        return total
     if isinstance(value, (list, tuple)):
-        return sum(_estimate_size(v) for v in value) + 8
+        total = 8
+        for v in value:
+            total += 8 if type(v) is int else _estimate_size(v)
+        return total
     if isinstance(value, str):
         return len(value) + 4
     return 8

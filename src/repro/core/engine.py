@@ -35,6 +35,7 @@ from repro.core.grammar import CompressedCorpus
 from repro.core.pruning import PrunedDag
 from repro.core.summation import head_tail_lists, summate_all
 from repro.errors import ReproError
+from repro.kernels import KERNEL_MODES
 from repro.metrics.ledger import MemoryLedger
 from repro.metrics.timer import PhaseTimeline
 from repro.nvm.device import DeviceProfile
@@ -104,6 +105,11 @@ class EngineConfig:
     op_batch: int = 8
     scattered_layout: bool = False
     growable_structures: bool = False
+    #: Bulk-kernel backend for the simulated memories: "auto" (numpy when
+    #: available, else pure python), "numpy", "python", or "off" (scalar
+    #: reference loops).  Simulated time/stats are bit-identical across
+    #: all modes; only wall-clock changes.  See docs/kernels.md.
+    kernels: str = "auto"
     tracer: Any = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
@@ -111,6 +117,10 @@ class EngineConfig:
             raise ValueError(f"unknown persistence {self.persistence!r}")
         if self.traversal not in ("auto", "topdown", "bottomup"):
             raise ValueError(f"unknown traversal {self.traversal!r}")
+        if self.kernels not in KERNEL_MODES:
+            raise ValueError(
+                f"unknown kernels mode {self.kernels!r}; expected one of {KERNEL_MODES}"
+            )
 
     @property
     def use_scattered_layout(self) -> bool:
@@ -329,12 +339,17 @@ class NTadocEngine:
             # the memory budget at 20% of the dataset.
             cache_bytes = max(cache_bytes, pool_bytes // 5)
         pool_mem = SimulatedMemory(
-            profile, pool_bytes, clock, cache_bytes=cache_bytes, name="pool"
+            profile,
+            pool_bytes,
+            clock,
+            cache_bytes=cache_bytes,
+            name="pool",
+            kernels=config.kernels,
         )
         if fault_plan is not None:
             pool_mem.arm_faults(fault_plan)
         dram_mem = SimulatedMemory(
-            DeviceProfile.dram(), 1 << 24, clock, name="dram-scratch"
+            DeviceProfile.dram(), 1 << 24, clock, name="dram-scratch", kernels=config.kernels
         )
         dram_alloc = PoolAllocator(dram_mem, base=0, capacity=dram_mem.size)
         pool = NvmPool(pool_mem, scatter=config.use_scattered_layout)
@@ -367,7 +382,7 @@ class NTadocEngine:
         pool_mem.disarm_faults()
         clock = pool_mem.clock
         dram_mem = SimulatedMemory(
-            DeviceProfile.dram(), 1 << 24, clock, name="dram-scratch"
+            DeviceProfile.dram(), 1 << 24, clock, name="dram-scratch", kernels=config.kernels
         )
         dram_alloc = PoolAllocator(dram_mem, base=0, capacity=dram_mem.size)
         ledger = MemoryLedger()

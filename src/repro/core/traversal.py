@@ -220,13 +220,9 @@ def _compute_wordlists_bottomup(
             if words:
                 table.add_many(words)
             for subrule, freq in subs:
-                subtable = tables[subrule]
-                if freq == 1:
-                    table.add_many(subtable.items())
-                else:
-                    table.add_many(
-                        (word, count * freq) for word, count in subtable.items()
-                    )
+                # Charge-identical to add_many over subtable.items(); the
+                # kernel path fuses the scan and the home-ordered probes.
+                table.merge_from(tables[subrule], scale=freq)
         tables[rule] = table
         for visit in visitors:
             visit(rule, words, subs)
@@ -274,9 +270,8 @@ def merge_segment_counts(
         if is_separator(symbol):
             continue
         if is_rule_ref(symbol):
-            for word, count in wordlists[rule_index(symbol)].items():
-                counts[word] = counts.get(word, 0) + count
-                clock.cpu(1)
+            # One cpu op per merged pair, chunked bulk reads underneath.
+            wordlists[rule_index(symbol)].accumulate_into(counts, clock)
         else:
             counts[symbol] = counts.get(symbol, 0) + 1
     return counts

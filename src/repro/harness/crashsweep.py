@@ -74,6 +74,11 @@ class SweepConfig:
             scenario.
         integrity_rules: DAG rules spot-checked against the source
             grammar after each engine recovery.
+        kernels: Bulk-kernel mode for the engine scenario (one of
+            ``repro.kernels.KERNEL_MODES``).  Reports are bit-identical
+            across modes; sweeping with kernels active exercises their
+            stand-down when a fault plan arms and the resume paths over
+            kernel-written pools.
     """
 
     seed: int = 20240817
@@ -84,6 +89,7 @@ class SweepConfig:
     tx_write_points: int | None = 48
     tx_torn_points: int = 24
     integrity_rules: int = 3
+    kernels: str = "auto"
 
     @staticmethod
     def smoke(seed: int = 20240817) -> "SweepConfig":
@@ -201,7 +207,7 @@ class _Sweep:
     def run_engine_scenario(self) -> str:
         cfg = self.config
         corpus = self._corpus = _smoke_corpus()
-        engine = NTadocEngine(corpus, EngineConfig())
+        engine = NTadocEngine(corpus, EngineConfig(kernels=cfg.kernels))
         counter = FaultPlan()
         reference = engine.run(self._task(), fault_plan=counter)
         self.reference_json = canonical_result(reference.result)

@@ -46,6 +46,7 @@ from repro.lint.rules import (  # noqa: E402  (registry must exist first)
     nd004_struct_width,
     nd005_phase_order,
     nd006_marker_order,
+    nd007_kernel_contract,
 )
 
 __all__ = [
@@ -59,4 +60,5 @@ __all__ = [
     "nd004_struct_width",
     "nd005_phase_order",
     "nd006_marker_order",
+    "nd007_kernel_contract",
 ]

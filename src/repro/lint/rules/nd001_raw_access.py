@@ -9,8 +9,9 @@ mutate device state at zero cost, which skews every figure built on the
 run.
 
 Whitelisted: the accounting layer itself (``nvm/memory.py``), the trace
-replayer (``nvm/trace.py``), and test code, where uncharged inspection
-is the point.
+replayer (``nvm/trace.py``), the bulk-kernel package (``repro/kernels/``,
+whose charge-from-plan contract is checked by ND007 instead), and test
+code, where uncharged inspection is the point.
 """
 
 from __future__ import annotations
@@ -24,7 +25,14 @@ from repro.lint.rules import register
 #: Modules allowed to touch the device buffer directly.
 ALLOWED_SUFFIXES = ("repro/nvm/memory.py", "repro/nvm/trace.py")
 
+#: Packages allowed to touch the device buffer directly (any file).
+ALLOWED_PACKAGES = ("repro/kernels/",)
+
 _RAW_METHODS = ("peek", "poke")
+
+
+def in_allowed_package(module: ModuleFile) -> bool:
+    return any(package in module.rel for package in ALLOWED_PACKAGES)
 
 
 @register
@@ -35,7 +43,11 @@ class RawDeviceAccess:
     )
 
     def check(self, module: ModuleFile) -> Iterator[Finding]:
-        if module.is_test_file or module.rel_endswith(*ALLOWED_SUFFIXES):
+        if (
+            module.is_test_file
+            or module.rel_endswith(*ALLOWED_SUFFIXES)
+            or in_allowed_package(module)
+        ):
             return
         for node in ast.walk(module.tree):
             if isinstance(node, ast.Attribute) and node.attr == "_buf":

@@ -130,6 +130,11 @@ def hot_spans_report(tracer: "Tracer", top: int = 15) -> str:
 
     Spans are aggregated by path (identical call sites collapse into one
     row with a count), so repeated per-task spans rank by their total.
+    ``moved`` is the span's total device traffic (read + written) and
+    ``MB/s`` relates it to the span's simulated time -- the effective
+    device throughput the span sustained, which makes transfer-bound
+    spans (low MB/s: scattered lines, probe-heavy) stand apart from
+    bulk-sequential ones at a glance.
     """
     from repro.obs.export import aggregate_spans
 
@@ -140,6 +145,12 @@ def hot_spans_report(tracer: "Tracer", top: int = 15) -> str:
     )
     rows = []
     for path, agg in ranked[:top]:
+        moved = agg["bytes_read"] + agg["bytes_written"]
+        if moved and agg["sim_ns"]:
+            # bytes per simulated ns == GB per simulated second.
+            throughput = f"{moved / agg['sim_ns'] * 1e3:,.1f}"
+        else:
+            throughput = "-"
         rows.append(
             [
                 path,
@@ -149,10 +160,12 @@ def hot_spans_report(tracer: "Tracer", top: int = 15) -> str:
                 format_ns(agg["sim_ns"]),
                 format_bytes(agg["bytes_read"]),
                 format_bytes(agg["bytes_written"]),
+                format_bytes(moved),
+                throughput,
             ]
         )
     return format_table(
-        ["span", "n", "self", "self %", "total", "read", "written"],
+        ["span", "n", "self", "self %", "total", "read", "written", "moved", "MB/s"],
         rows,
         title=f"hot spans (top {min(top, len(ranked))} of {len(ranked)} by self time)",
     )

@@ -34,6 +34,9 @@ import mmap
 from pathlib import Path
 
 from repro.errors import InvalidAccessError
+from repro.kernels import make as _make_kernels
+from repro.kernels.core import pack_values as _pack_values
+from repro.kernels.core import typed_array as _typed_array
 from repro.nvm.cache import LineCache
 from repro.nvm.device import DeviceProfile
 from repro.nvm.stats import MemoryStats
@@ -112,6 +115,7 @@ class SimulatedMemory:
         name: str | None = None,
         track_wear: bool = False,
         batched: bool = True,
+        kernels: str | None = None,
     ) -> None:
         if size <= 0:
             raise ValueError("memory size must be positive")
@@ -148,6 +152,15 @@ class SimulatedMemory:
         #: Per-line media program counts (endurance accounting); only
         #: populated when ``track_wear`` is enabled.
         self.wear: dict[int, int] | None = {} if track_wear else None
+        #: True while a trace recorder has the accessors monkey-patched
+        #: (see repro.nvm.trace.record_trace); kernels would bypass the
+        #: patched methods, so they stand down for the duration.
+        self._recording = False
+        #: Bulk-kernel set for this device (see :mod:`repro.kernels`):
+        #: a :class:`~repro.kernels.core.Kernels` instance, or ``None``
+        #: when ``kernels="off"`` selects the scalar reference paths.
+        #: Simulated accounting is bit-identical in every mode.
+        self.kernels = _make_kernels(self, kernels)
 
     # ------------------------------------------------------------------
     # Load/store interface
@@ -299,6 +312,39 @@ class SimulatedMemory:
     def write_batch(self, offset: int, data: bytes | bytearray | memoryview) -> None:
         """Bulk write alias of :meth:`write`; see :meth:`read_batch`."""
         self.write(offset, data)
+
+    @property
+    def kernel_ready(self) -> bool:
+        """Whether batch kernels may bypass the scalar access pipeline.
+
+        False while a fault plan is armed (kernels would skip the
+        per-write hooks and read-corruption sites), under the per-line
+        reference cost model, or while a trace recorder has the scalar
+        accessors patched; callers then take the scalar path, which
+        handles all three.
+        """
+        return (
+            self.kernels is not None
+            and self._batched
+            and self._fault_plan is None
+            and not self._recording
+        )
+
+    def read_array(self, offset: int, count: int, elem_size: int, signed: bool = False):
+        """Read ``count`` little-endian integer fields as a typed sequence.
+
+        Accounting identical to ``read(offset, count * elem_size)``; the
+        decode is one bulk C-level conversion (no per-element unpack).
+        """
+        raw = self.read(offset, count * elem_size)
+        return _typed_array(raw, elem_size, signed)
+
+    def write_array(self, offset: int, values, elem_size: int, signed: bool = False) -> None:
+        """Write integer fields from a sequence in one bulk transfer.
+
+        Accounting identical to ``write(offset, <packed bytes>)``.
+        """
+        self.write(offset, _pack_values(values, elem_size, signed))
 
     def read_uint(self, offset: int, size: int, signed: bool = False) -> int:
         """Read one little-endian integer field.
@@ -570,13 +616,19 @@ class SimulatedMemory:
         def sync() -> None:
             nonlocal total, device, hits, misses, writebacks, n_ops
             if pend:
-                for p_off, p_delta in pend.items():
-                    p_end = p_off + size
-                    p_value = (
-                        from_bytes(buf[p_off:p_end], "little", signed=signed)
-                        + p_delta
-                    )
-                    buf[p_off:p_end] = p_value.to_bytes(size, "little", signed=signed)
+                # Large site sets: one vectorized gather/scatter via the
+                # kernel layer (pure execute; every visit was charged
+                # above).  The kernel declines ranges where it cannot
+                # reproduce the codec loop's exact overflow behaviour.
+                kern = self.kernels
+                if kern is None or not kern.apply_pending_adds(pend, size, signed):
+                    for p_off, p_delta in pend.items():
+                        p_end = p_off + size
+                        p_value = (
+                            from_bytes(buf[p_off:p_end], "little", signed=signed)
+                            + p_delta
+                        )
+                        buf[p_off:p_end] = p_value.to_bytes(size, "little", signed=signed)
                 pend.clear()
             self._last_media_line = lml
             self.clock.ns += total

@@ -170,9 +170,14 @@ def record_trace(memory: SimulatedMemory) -> Iterator[AccessTrace]:
     memory.write_uint = write_uint  # type: ignore[method-assign]
     memory.rmw_add = rmw_add  # type: ignore[method-assign]
     memory.rmw_add_each = rmw_add_each  # type: ignore[method-assign]
+    # Bulk kernels bypass the patched accessors; kernel_ready goes False
+    # for the duration so every access flows through the trace.
+    was_recording = memory._recording
+    memory._recording = True
     try:
         yield trace
     finally:
+        memory._recording = was_recording
         memory.read = original_read  # type: ignore[method-assign]
         memory.write = original_write  # type: ignore[method-assign]
         memory.flush = original_flush  # type: ignore[method-assign]

@@ -27,9 +27,12 @@ Layout::
 from __future__ import annotations
 
 import struct
+import sys
 from typing import Iterator
 
 from repro.errors import CapacityError
+from repro.kernels import hashops
+from repro.kernels.core import select_occupied
 from repro.nvm.allocator import PoolAllocator
 from repro.obs.tracer import traced_op
 from repro.pstruct import layout
@@ -47,6 +50,11 @@ _MAX_LOAD = 0.7
 
 _SLOT_BYTES = 1 + 8 + 8
 
+#: The kernels' cast views over the table buffers are native-endian;
+#: the persisted layout is little-endian, so the fused paths stand down
+#: on big-endian hosts and the scalar reference paths serve instead.
+_NATIVE_LE = sys.byteorder == "little"
+
 
 def hash64(key: int) -> int:
     """SplitMix64 finalizer: deterministic, well-mixed 64-bit hash."""
@@ -54,6 +62,27 @@ def hash64(key: int) -> int:
     x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
     x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
     return x ^ (x >> 31)
+
+
+#: Memoized hash64: word ids recur across the thousands of per-rule
+#: word-list merges of one bottom-up sweep, so the pure finalizer is
+#: worth caching (host-side only; no simulated cost either way).
+_H64_CACHE: dict[int, int] = {}
+_H64_CACHE_MAX = 1 << 20
+
+
+def _hash64_cached(key: int) -> int:
+    h = _H64_CACHE.get(key)
+    if h is None:
+        if len(_H64_CACHE) >= _H64_CACHE_MAX:
+            _H64_CACHE.clear()
+        h = hash64(key)
+        _H64_CACHE[key] = h
+    return h
+
+
+def _home_of(entry: tuple) -> int:
+    return entry[0]
 
 
 class PHashTable:
@@ -212,6 +241,11 @@ class PHashTable:
             merged[key] = value
         if not merged:
             return 0
+        if self._kernel_ok():
+            inserted = self._batch(hashops.PUT, merged.items())
+            if inserted:
+                self._store_header()
+            return inserted
         mask = self._capacity - 1
         inserted = 0
         for key in sorted(merged, key=lambda k: hash64(k) & mask):
@@ -235,6 +269,10 @@ class PHashTable:
             totals[key] = get(key, 0) + delta
         if not totals:
             return
+        if self._kernel_ok():
+            if self._batch(hashops.ADD, totals.items()):
+                self._store_header()
+            return
         mask = self._capacity - 1
         inserted = False
         for key in sorted(totals, key=lambda k: hash64(k) & mask):
@@ -251,13 +289,70 @@ class PHashTable:
         traffic sequential; results are returned in input order.
         """
         keys = list(keys)
-        mask = self._capacity - 1
         out: list[int | None] = [default] * len(keys)
+        if self._kernel_ok():
+            self._batch(hashops.GET, ((key, pos) for pos, key in enumerate(keys)), out=out)
+            return out
+        mask = self._capacity - 1
         for pos in sorted(range(len(keys)), key=lambda i: hash64(keys[i]) & mask):
             slot, existing = self._locate(keys[pos])
             if existing:
                 out[pos] = self._read_value(slot)
         return out
+
+    @traced_op("phashtable:merge_from")
+    def merge_from(self, other: "PHashTable", scale: int = 1) -> None:
+        """Accumulate every ``(key, value * scale)`` pair of ``other``.
+
+        Charge-identical to ``add_many(other.items())`` with scaled
+        values: the same chunked status/key/value scan of ``other``
+        followed by the same home-ordered probe sequence into ``self``.
+        The kernel path skips the generator plumbing and the duplicate
+        pre-sum (a table's live keys are already distinct).
+        """
+        if not self._kernel_ok():
+            if scale == 1:
+                self.add_many(other.items())
+            else:
+                self.add_many((word, count * scale) for word, count in other.items())
+            return
+        keys, vals = other._scan_entries()
+        if not keys:
+            return
+        if scale == 1:
+            pairs = zip(keys, vals)
+        else:
+            pairs = ((key, value * scale) for key, value in zip(keys, vals))
+        if self._batch(hashops.ADD, pairs):
+            self._store_header()
+
+    def accumulate_into(self, counts: dict, clock) -> None:
+        """Fold every pair into ``counts``, charging ``clock.cpu(1)`` each.
+
+        Charge-identical to ``for w, c in items(): counts[w] = ...;
+        clock.cpu(1)`` -- the chunk reads interleave with the per-pair
+        CPU charges in the same order, and each pair adds exactly one
+        ``CPU_OP_NS`` to the clock.
+        """
+        if not self._scan_ok():
+            get = counts.get
+            for word, count in self.items():
+                counts[word] = get(word, 0) + count
+                clock.cpu(1)
+            return
+        cpu_ns = clock.CPU_OP_NS
+        get = counts.get
+        for keys, vals in hashops.scan_chunks(
+            self._mem.kernels,
+            data_offset=self._data_offset,
+            capacity=self._capacity,
+        ):
+            ns = clock.ns
+            for _ in keys:
+                ns += cpu_ns
+            clock.ns = ns
+            for word, count in zip(keys, vals):
+                counts[word] = get(word, 0) + count
 
     def delete(self, key: int) -> bool:
         """Remove ``key``; return whether it was present."""
@@ -282,7 +377,17 @@ class PHashTable:
         A chunk of statuses is read first; the key and value buffers are
         only touched for chunks that contain occupied slots.
         """
+        if self._scan_ok():
+            for keys, values in hashops.scan_chunks(
+                self._mem.kernels,
+                data_offset=self._data_offset,
+                capacity=self._capacity,
+            ):
+                yield from zip(keys, values)
+            return
         chunk = 512
+        kern = self._mem.kernels
+        np_mod = kern.np if kern is not None else None
         key_base = self._data_offset + self._capacity
         value_base = self._data_offset + self._capacity * 9
         for start in range(0, self._capacity, chunk):
@@ -290,15 +395,51 @@ class PHashTable:
             statuses = self._mem.read(self._data_offset + start, count)
             if _OCCUPIED not in statuses:
                 continue
-            keys = struct.unpack(
-                f"<{count}Q", self._mem.read(key_base + start * 8, count * 8)
+            keys, values = select_occupied(
+                statuses,
+                self._mem.read(key_base + start * 8, count * 8),
+                self._mem.read(value_base + start * 8, count * 8),
+                np_mod,
             )
-            values = struct.unpack(
-                f"<{count}q", self._mem.read(value_base + start * 8, count * 8)
+            yield from zip(keys, values)
+
+    def _scan_entries(self) -> tuple[list[int], list[int]]:
+        """Read all live ``(keys, values)`` with the same bulk sequential
+        reads (and therefore charges) as a full drain of :meth:`items`."""
+        keys_out: list[int] = []
+        vals_out: list[int] = []
+        if self._scan_ok():
+            for keys, vals in hashops.scan_chunks(
+                self._mem.kernels,
+                data_offset=self._data_offset,
+                capacity=self._capacity,
+            ):
+                keys_out.extend(keys)
+                vals_out.extend(vals)
+            return keys_out, vals_out
+        mem = self._mem
+        kern = mem.kernels
+        np_mod = kern.np if kern is not None else None
+        chunk = 512
+        capacity = self._capacity
+        data_offset = self._data_offset
+        key_base = data_offset + capacity
+        value_base = data_offset + capacity * 9
+        read = mem.read
+        for start in range(0, capacity, chunk):
+            count = min(chunk, capacity - start)
+            statuses = read(data_offset + start, count)
+            if _OCCUPIED not in statuses:
+                continue
+            keys, vals = select_occupied(
+                statuses,
+                read(key_base + start * 8, count * 8),
+                read(value_base + start * 8, count * 8),
+                np_mod,
             )
-            for i, status in enumerate(statuses):
-                if status == _OCCUPIED:
-                    yield keys[i], values[i]
+            keys_out.extend(keys)
+            vals_out.extend(vals)
+        return keys_out, vals_out
 
     def to_dict(self) -> dict[int, int]:
         """Materialize the table as a Python dict."""
@@ -307,6 +448,66 @@ class PHashTable:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+
+    def _kernel_ok(self) -> bool:
+        """Whether batch ops may run through the fused probe kernel.
+
+        Growable tables keep the faithful scalar rehash costs; fault
+        plans and unbatched cost models run the scalar reference path;
+        the alignment conditions guarantee every 8-byte field access
+        stays inside one device line and is never a whole-line write
+        (see ``repro.kernels.hashops``).
+        """
+        mem = self._mem
+        if self.growable or not _NATIVE_LE or not mem.kernel_ready:
+            return False
+        line_size = mem.profile.line_size
+        return (
+            line_size > 8
+            and line_size % 8 == 0
+            and self._data_offset % 8 == 0
+            and self._capacity % 8 == 0
+        )
+
+    def _scan_ok(self) -> bool:
+        """Whether bulk scans may run through the fused scan kernel.
+
+        Scans charge whole spans (no per-field single-line requirement),
+        so only the cost model, fault, and endianness conditions apply:
+        the kernel's cast views are native-endian while the scalar
+        layout is little-endian.
+        """
+        return _NATIVE_LE and self._mem.kernel_ready
+
+    def _batch(self, mode: int, pairs, out: list | None = None) -> int:
+        """Home-sort ``pairs`` and run the fused probe kernel.
+
+        ``pairs`` iterates ``(key, aux)`` in the scalar path's tie-break
+        order; the stable sort reproduces ``sorted(keys, key=home)``
+        exactly.  On :class:`CapacityError` the scalar paths' partial
+        state is mirrored: prior inserts (and their charges) stand and
+        the header store is skipped.
+        """
+        mask = self._capacity - 1
+        h64 = _hash64_cached
+        entries = [(h64(key) & mask, key, aux) for key, aux in pairs]
+        entries.sort(key=_home_of)
+        counter = [self._count]
+        try:
+            return hashops.probe_batch(
+                self._mem.kernels,
+                data_offset=self._data_offset,
+                capacity=self._capacity,
+                count=self._count,
+                tombstones=self._tombstones,
+                load_limit=self._capacity * _MAX_LOAD,
+                entries=entries,
+                mode=mode,
+                out=out,
+                counter=counter,
+            )
+        finally:
+            self._count = counter[0]
 
     def _status_off(self, slot: int) -> int:
         return self._data_offset + slot

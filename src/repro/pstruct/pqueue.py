@@ -108,13 +108,9 @@ class PQueue:
         cap = self._capacity
         tail = self._tail
         run = min(count, cap - tail)
-        self._mem.write_batch(
-            self._data_offset + tail * 4, struct.pack(f"<{run}I", *values[:run])
-        )
+        self._mem.write_array(self._data_offset + tail * 4, values[:run], 4)
         if run < count:
-            self._mem.write_batch(
-                self._data_offset, struct.pack(f"<{count - run}I", *values[run:])
-            )
+            self._mem.write_array(self._data_offset, values[run:], 4)
         self._tail = (tail + count) % cap
         self._store_header()
 
@@ -131,18 +127,9 @@ class PQueue:
         cap = self._capacity
         head = self._head
         run = min(count, cap - head)
-        values = list(
-            struct.unpack(
-                f"<{run}I", self._mem.read_batch(self._data_offset + head * 4, run * 4)
-            )
-        )
+        values = self._mem.read_array(self._data_offset + head * 4, run, 4).tolist()
         if run < count:
-            values.extend(
-                struct.unpack(
-                    f"<{count - run}I",
-                    self._mem.read_batch(self._data_offset, (count - run) * 4),
-                )
-            )
+            values.extend(self._mem.read_array(self._data_offset, count - run, 4))
         self._head = (head + count) % cap
         self._store_header()
         return values

@@ -24,6 +24,7 @@ import struct
 from typing import Iterator
 
 from repro.errors import CapacityError
+from repro.kernels import typed_array
 from repro.nvm.allocator import PoolAllocator
 from repro.obs.tracer import traced_op
 from repro.pstruct import layout
@@ -175,10 +176,16 @@ class PVector:
         self._mem.rmw_add_each(sites(), elem_size)
 
     @traced_op("pvector:read_range")
-    def read_range(self, index: int, count: int) -> list[int]:
-        """Read ``count`` consecutive elements in one device access."""
+    def read_range(self, index: int, count: int):
+        """Read ``count`` consecutive elements in one device access.
+
+        Returns a typed sequence (``array.array``) decoded from the bulk
+        read in one C-level conversion -- no per-element unpack.  It
+        indexes and iterates as plain Python ints; call :func:`list` on
+        it when a real list is needed.
+        """
         if count == 0:
-            return []
+            return typed_array(b"", self.elem_size)
         self._check_index(index)
         if count < 0 or index + count > self._length:
             raise IndexError(
@@ -187,8 +194,7 @@ class PVector:
         raw = self._mem.read_batch(
             self._data_offset + index * self.elem_size, count * self.elem_size
         )
-        fmt = "<%d%s" % (count, "I" if self.elem_size == 4 else "Q")
-        return list(struct.unpack(fmt, raw))
+        return typed_array(raw, self.elem_size)
 
     def append(self, value: int) -> None:
         """Append one element, growing (expensively) if permitted.
@@ -219,20 +225,27 @@ class PVector:
                     f"extend of {len(values)} overflows capacity {self._capacity}"
                 )
             self._grow()
-        fmt = "<%d%s" % (len(values), "I" if self.elem_size == 4 else "Q")
         off = self._data_offset + self._length * self.elem_size
-        self._mem.write(off, struct.pack(fmt, *values))
+        self._mem.write_array(off, values, self.elem_size)
         self._length += len(values)
         self._store_length()
 
     def __iter__(self) -> Iterator[int]:
-        """Yield elements in order, reading in line-friendly chunks."""
+        """Yield elements in order, reading in line-friendly chunks.
+
+        Routes through :meth:`read_range`, so each chunk is one bulk
+        read and one typed decode.
+        """
         for start in range(0, self._length, _CHUNK):
             yield from self.read_range(start, min(_CHUNK, self._length - start))
 
     def to_list(self) -> list[int]:
-        """Return all elements as a Python list."""
-        return list(self)
+        """Return all elements as a Python list (chunked bulk reads)."""
+        out: list[int] = []
+        for start in range(0, self._length, _CHUNK):
+            chunk = self.read_range(start, min(_CHUNK, self._length - start))
+            out.extend(chunk.tolist() if hasattr(chunk, "tolist") else chunk)
+        return out
 
     def clear(self) -> None:
         """Logically empty the vector (capacity retained)."""

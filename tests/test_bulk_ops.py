@@ -74,8 +74,9 @@ class TestPVectorBulk:
     def test_read_range_matches_gets(self):
         vec = PVector.create(make_allocator(), 64, elem_size=8)
         vec.extend([i * (1 << 33) for i in range(50)])
-        assert vec.read_range(10, 25) == [vec.get(i) for i in range(10, 35)]
-        assert vec.read_range(0, 0) == []
+        # read_range returns a typed sequence backed by one bulk read.
+        assert list(vec.read_range(10, 25)) == [vec.get(i) for i in range(10, 35)]
+        assert list(vec.read_range(0, 0)) == []
 
     def test_read_range_bounds_checked(self):
         vec = PVector.create(make_allocator(), 16)

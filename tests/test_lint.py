@@ -28,7 +28,7 @@ def rules_fired(result):
 class TestEngine:
     def test_all_rules_registered(self):
         assert all_rule_ids() == [
-            "ND001", "ND002", "ND003", "ND004", "ND005", "ND006",
+            "ND001", "ND002", "ND003", "ND004", "ND005", "ND006", "ND007",
         ]
         for rule_id, rule in REGISTRY.items():
             assert rule.id == rule_id
@@ -396,6 +396,67 @@ class TestCli:
         assert "ND003" in capsys.readouterr().out
         assert repro_main(["lint", "--list-rules"]) == 0
         capsys.readouterr()
+
+
+class TestND007KernelContract:
+    VIEW_FIRING = (
+        "import numpy as np\n"
+        "def sneak(mem):\n"
+        "    view = np.frombuffer(mem._buf, dtype='<u8')\n"
+        "    flat = memoryview(mem._buf)\n"
+        "    return view, flat\n"
+    )
+
+    PACK_LOOP_FIRING = (
+        "import struct\n"
+        "from repro.kernels import typed_array\n"
+        "def slow(mem, values):\n"
+        "    for off, v in enumerate(values):\n"
+        "        mem.write(off * 4, struct.pack('<I', v))\n"
+    )
+
+    def test_fires_on_views_over_buf(self, tmp_path):
+        result = lint_source(tmp_path, self.VIEW_FIRING)
+        # Each view build also trips ND001's _buf check; ND007 names the
+        # kernel-contract violation specifically.
+        assert "ND007" in rules_fired(result)
+        assert sum(f.rule == "ND007" for f in result.findings) == 2
+
+    def test_fires_on_pack_loop_in_kernel_adopter(self, tmp_path):
+        result = lint_source(tmp_path, self.PACK_LOOP_FIRING)
+        assert rules_fired(result) == ["ND007"]
+
+    def test_pack_loop_clean_without_kernel_import(self, tmp_path):
+        source = self.PACK_LOOP_FIRING.replace(
+            "from repro.kernels import typed_array\n", ""
+        )
+        assert lint_source(tmp_path, source).findings == []
+
+    def test_bulk_kernel_calls_clean(self, tmp_path):
+        source = (
+            "from repro.kernels import typed_array\n"
+            "def fast(mem, values):\n"
+            "    mem.write_array(0, values, 4)\n"
+            "    return mem.read_array(0, len(values), 4)\n"
+        )
+        assert lint_source(tmp_path, source).findings == []
+
+    def test_struct_object_pack_clean(self, tmp_path):
+        source = (
+            "import struct\n"
+            "from repro.kernels import typed_array\n"
+            "_H = struct.Struct('<II')\n"
+            "def headers(mem, items):\n"
+            "    for off, (a, b) in enumerate(items):\n"
+            "        mem.write(off * 8, _H.pack(a, b))\n"
+        )
+        assert lint_source(tmp_path, source).findings == []
+
+    def test_kernel_package_exempt(self, tmp_path):
+        pkg = tmp_path / "repro" / "kernels"
+        pkg.mkdir(parents=True)
+        (pkg / "core.py").write_text(self.VIEW_FIRING, encoding="utf-8")
+        assert lint_paths([pkg / "core.py"]).findings == []
 
 
 class TestShippedTree:

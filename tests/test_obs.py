@@ -245,6 +245,19 @@ class TestReports:
         hottest = max(aggregated, key=lambda p: aggregated[p]["self_sim_ns"])
         assert hottest in text
 
+    def test_hot_spans_report_throughput_columns(self, corpus):
+        tracer, _ = traced_plan(corpus)
+        text = hot_spans_report(tracer)
+        assert "moved" in text
+        assert "MB/s" in text
+        # At least one span moved pool bytes, so a throughput figure
+        # (not the "-" placeholder) must appear somewhere in the table.
+        aggregated = aggregate_spans(tracer)
+        assert any(
+            agg["bytes_read"] + agg["bytes_written"] > 0
+            for agg in aggregated.values()
+        )
+
     def test_ops_report_renders(self, corpus):
         tracer, _ = traced_plan(corpus, traversal="bottomup")
         text = ops_report(tracer)
