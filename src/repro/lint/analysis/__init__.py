@@ -1,0 +1,103 @@
+"""Whole-program analysis layer for nvmlint.
+
+Build order (each layer consumes the previous one):
+
+1. :class:`~.symbols.SymbolTable` -- every function/method in the linted
+   file set, by qualified dotted name;
+2. :class:`~.callgraph.CallGraph` -- conservatively resolved call sites
+   plus reverse (caller) edges;
+3. :class:`~.summaries.EffectEngine` -- per-function flush/marker/write
+   effect summaries, memoized over the call graph;
+4. :func:`~.summaries.compute_taint` -- a forward dataflow/taint engine
+   (:mod:`~.dataflow`) iterated to a global fixpoint.
+
+:class:`Project` is the facade the lint engine builds once per run and
+hands to every rule via ``ModuleFile.project``.  Taint results are
+computed lazily so rule subsets that never consult them (``--select
+ND001``) pay nothing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.lint.analysis.callgraph import CallGraph, CallSite
+from repro.lint.analysis.summaries import (
+    EffectEngine,
+    EffectSummary,
+    Obligation,
+    TaintResults,
+    compute_taint,
+)
+from repro.lint.analysis.symbols import FunctionInfo, SymbolTable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.lint.core import ModuleFile
+
+
+class Project:
+    """Shared whole-program context for one lint run."""
+
+    def __init__(self, modules: list["ModuleFile"]) -> None:
+        self.modules = sorted(modules, key=lambda m: m.rel)
+        self.symbols = SymbolTable.build(self.modules)
+        self.callgraph = CallGraph.build(self.symbols)
+        self._effects: EffectEngine | None = None
+        self._taint: TaintResults | None = None
+
+    @classmethod
+    def build(cls, modules: list["ModuleFile"]) -> "Project":
+        project = cls(modules)
+        for module in project.modules:
+            module.project = project
+        return project
+
+    # -- lazy layers ---------------------------------------------------
+
+    @property
+    def effects(self) -> EffectEngine:
+        if self._effects is None:
+            self._effects = EffectEngine(self.symbols, self.callgraph)
+        return self._effects
+
+    @property
+    def taint(self) -> TaintResults:
+        if self._taint is None:
+            self._taint = compute_taint(self.symbols, self.callgraph)
+        return self._taint
+
+    # -- convenience queries -------------------------------------------
+
+    def functions_in(self, module: "ModuleFile") -> list[FunctionInfo]:
+        """All functions defined in ``module``, in qname order."""
+        return [
+            self.symbols.functions[qname]
+            for qname in sorted(self.symbols.functions)
+            if self.symbols.functions[qname].module is module
+        ]
+
+    def effect_summary(self, qname: str) -> EffectSummary:
+        return self.effects.summary(qname)
+
+    def sites_by_call_node(self, module: "ModuleFile") -> dict[int, CallSite]:
+        """``id(ast.Call)`` -> resolved call site, for one module."""
+        sites: dict[int, CallSite] = {}
+        for info in self.functions_in(module):
+            for site in self.callgraph.callees_of(info.qname):
+                sites[id(site.node)] = site
+        return sites
+
+    def has_known_callers(self, qname: str) -> bool:
+        return bool(self.callgraph.callers_of(qname))
+
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "EffectSummary",
+    "FunctionInfo",
+    "Obligation",
+    "Project",
+    "SymbolTable",
+    "TaintResults",
+]

@@ -1,0 +1,126 @@
+"""Call graph over the project symbol table.
+
+Resolution is deliberately conservative -- a call site resolves to a
+project function only when the binding is provable from syntax and the
+import table:
+
+* ``helper(...)``           -> same-module top-level or enclosing nested
+  function, else an ``from m import helper`` target;
+* ``self.method(...)``      -> a method of the enclosing class;
+* ``mod.func(...)``         -> via the import table (``import repro.x``
+  / ``from repro import x``);
+* ``obj.method(...)``       -> *unique-name* resolution: accepted only
+  when exactly one project function bears that name and the name is not
+  on the generic blocklist (:data:`~.symbols.GENERIC_NAMES`).
+
+Everything else stays unresolved: the summary layer still sees the bare
+attribute name (``flush``, ``complete_phase``), which is how intrinsic
+effects are matched without type inference.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.analysis.symbols import FunctionInfo, SymbolTable
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call executed by a function's own body."""
+
+    node: ast.Call
+    line: int
+    col: int
+    #: Bare callee name (attribute or function identifier), if plain.
+    name: str | None
+    #: Qualified name of the resolved project callee, if provable.
+    callee: str | None
+
+
+@dataclass
+class CallGraph:
+    """Resolved call sites per function, plus reverse (caller) edges."""
+
+    sites: dict[str, list[CallSite]] = field(default_factory=dict)
+    #: callee qname -> sorted list of (caller qname, call line)
+    callers: dict[str, list[tuple[str, int]]] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, symbols: SymbolTable) -> "CallGraph":
+        graph = cls()
+        for qname in sorted(symbols.functions):
+            info = symbols.functions[qname]
+            sites = [
+                _resolve_call(call, info, symbols)
+                for call in info.own_calls()
+            ]
+            graph.sites[qname] = sites
+            for site in sites:
+                if site.callee is not None:
+                    graph.callers.setdefault(site.callee, []).append(
+                        (qname, site.line)
+                    )
+        for edges in graph.callers.values():
+            edges.sort()
+        return graph
+
+    def callees_of(self, qname: str) -> list[CallSite]:
+        return self.sites.get(qname, [])
+
+    def callers_of(self, qname: str) -> list[tuple[str, int]]:
+        return self.callers.get(qname, [])
+
+
+def _enclosing_scopes(qname: str) -> list[str]:
+    """Prefixes of ``qname`` from innermost to outermost, excluding it."""
+    parts = qname.split(".")
+    return [".".join(parts[:i]) for i in range(len(parts) - 1, 0, -1)]
+
+
+def _resolve_call(
+    call: ast.Call, info: FunctionInfo, symbols: SymbolTable
+) -> CallSite:
+    func = call.func
+    name: str | None = None
+    callee: str | None = None
+    mod_name = symbols.module_names.get(info.module.rel, "")
+    if isinstance(func, ast.Name):
+        name = func.id
+        # Nested function of this (or an enclosing) function.
+        for scope in _enclosing_scopes(info.qname) + [info.qname]:
+            candidate = f"{scope}.{name}"
+            if candidate in symbols.functions:
+                callee = candidate
+                break
+        if callee is None:
+            callee = symbols.module_funcs.get(mod_name, {}).get(name)
+        if callee is None:
+            imported = info.module.import_table.get(name)
+            if imported is not None and imported in symbols.functions:
+                callee = imported
+    elif isinstance(func, ast.Attribute):
+        name = func.attr
+        base = func.value
+        if isinstance(base, ast.Name) and base.id == "self" and info.cls:
+            callee = symbols.methods.get((mod_name, info.cls), {}).get(name)
+        if callee is None:
+            dotted = _dotted(func, info.module.import_table)
+            if dotted is not None and dotted in symbols.functions:
+                callee = dotted
+        if callee is None:
+            callee = symbols.unique_by_name(name)
+    return CallSite(
+        node=call,
+        line=call.lineno,
+        col=call.col_offset + 1,
+        name=name,
+        callee=callee,
+    )
+
+
+def _dotted(node: ast.Attribute, imports: dict[str, str]) -> str | None:
+    from repro.lint.rules.common import dotted_name
+
+    return dotted_name(node, imports)

@@ -1,0 +1,309 @@
+"""Per-function summaries: flush/marker/write effects and taint.
+
+Two summary families are computed over the call graph:
+
+**Effect summaries** (:class:`EffectSummary`) capture the crash-ordering
+facts the persistence rules reason about:
+
+* ``flushes`` -- the function issues a flush barrier, directly or via a
+  resolved callee;
+* ``obligations`` -- marker events (``complete_phase`` calls,
+  marker-named writes, or calls into functions carrying such events)
+  *not* dominated by a flush event earlier in the function.  An
+  obligation propagates to callers until some frame discharges it with a
+  flush -- or nobody does, which is what ND005/ND006/ND008 report, each
+  at a different altitude;
+* ``device_writes`` -- device mutations the function performs outside
+  its own transaction handles (ND002's interprocedural input).
+
+Computation is a memoized traversal of the call graph with cycles cut to
+the empty summary (the silent direction -- a linter must not guess).
+
+**Taint summaries** (:class:`~.dataflow.TaintSummary`) capture, per
+function, which parameters flow into charging sinks and what provenance
+its return value carries.  They are iterated to a global fixpoint, then
+one final pass collects every function's sink hits for ND010/ND011.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.analysis import spec
+from repro.lint.analysis.callgraph import CallGraph, CallSite
+from repro.lint.analysis.dataflow import (
+    SinkHit,
+    TaintAnalysis,
+    TaintSummary,
+    param_seeds,
+)
+from repro.lint.analysis.symbols import FunctionInfo, SymbolTable
+from repro.lint.rules.common import leftmost_name
+
+#: Bound on stored obligations/writes per function: a pathological
+#: function stops accumulating evidence, not the analysis.
+MAX_EVENTS = 8
+
+#: Global taint fixpoint bound (summaries converge in 2-3 passes on
+#: realistic call graphs; the bound guards cyclic ones).
+MAX_TAINT_PASSES = 5
+
+
+@dataclass(frozen=True)
+class Obligation:
+    """A marker event not dominated by a flush in its function."""
+
+    line: int
+    col: int
+    kind: str  # "complete_phase" | "marker_write" | "call"
+    desc: str  # e.g. "complete_phase()" / "write_u64(<marker>)"
+    origin: str  # "path:line" of the underlying marker event
+    #: Call hops from this frame down to the origin marker event.
+    chain: tuple[str, ...] = ()
+    #: For kind=="call": the immediate callee holds the marker directly.
+    via_direct: bool = True
+
+
+@dataclass(frozen=True)
+class DeviceWrite:
+    """A device mutation outside any local transaction handle."""
+
+    line: int
+    col: int
+    method: str
+    origin: str  # "path:line" of the actual write
+    chain: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class EffectSummary:
+    flushes: bool = False
+    obligations: tuple[Obligation, ...] = ()
+    device_writes: tuple[DeviceWrite, ...] = ()
+
+
+EMPTY_EFFECT = EffectSummary()
+
+
+def _mentions_marker(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and "marker" in sub.id.lower():
+            return True
+        if isinstance(sub, ast.Attribute) and "marker" in sub.attr.lower():
+            return True
+    return False
+
+
+def transaction_handles(info: FunctionInfo) -> set[str]:
+    """Names bound by ``with <log>.transaction() as tx`` in the body."""
+    handles: set[str] = set()
+    for node in info.own_nodes():
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        for item in node.items:
+            expr = item.context_expr
+            if (
+                isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Attribute)
+                and expr.func.attr == "transaction"
+                and isinstance(item.optional_vars, ast.Name)
+            ):
+                handles.add(item.optional_vars.id)
+    return handles
+
+
+class EffectEngine:
+    """Memoized effect-summary computation over the call graph."""
+
+    def __init__(self, symbols: SymbolTable, callgraph: CallGraph) -> None:
+        self.symbols = symbols
+        self.callgraph = callgraph
+        self._memo: dict[str, EffectSummary] = {}
+        self._in_progress: set[str] = set()
+
+    def summary(self, qname: str) -> EffectSummary:
+        cached = self._memo.get(qname)
+        if cached is not None:
+            return cached
+        if qname in self._in_progress or qname not in self.symbols.functions:
+            return EMPTY_EFFECT  # cycle cut / unknown: stay silent
+        self._in_progress.add(qname)
+        try:
+            result = self._compute(qname)
+        finally:
+            self._in_progress.discard(qname)
+        self._memo[qname] = result
+        return result
+
+    def compute_all(self) -> dict[str, EffectSummary]:
+        for qname in sorted(self.symbols.functions):
+            self.summary(qname)
+        return self._memo
+
+    # ------------------------------------------------------------------
+
+    def _compute(self, qname: str) -> EffectSummary:
+        info = self.symbols.functions[qname]
+        rel = info.module.rel
+        handles = transaction_handles(info)
+
+        flush_lines: list[int] = []
+        obligations: list[Obligation] = []
+        writes: list[DeviceWrite] = []
+        for site in self.callgraph.callees_of(qname):
+            callee = (
+                self.summary(site.callee) if site.callee is not None else None
+            )
+            if site.name in spec.MARKER_CALL_NAMES:
+                # A marker author is never a barrier, even though e.g.
+                # complete_phase() flushes internally: that flush comes
+                # *after* its marker write -- the exact hazard.
+                obligations.append(
+                    Obligation(
+                        line=site.line,
+                        col=site.col,
+                        kind="complete_phase",
+                        desc=f"{site.name}()",
+                        origin=f"{rel}:{site.line}",
+                    )
+                )
+                continue
+            if site.name in spec.FLUSH_NAMES:
+                flush_lines.append(site.line)
+                continue
+            if site.name is not None and spec.is_write_method(site.name):
+                receiver = leftmost_name(site.node.func)
+                if receiver is not None and receiver in handles:
+                    continue  # logged write through a local tx handle
+                if any(_mentions_marker(arg) for arg in site.node.args):
+                    obligations.append(
+                        Obligation(
+                            line=site.line,
+                            col=site.col,
+                            kind="marker_write",
+                            desc=f"{site.name}(<marker>)",
+                            origin=f"{rel}:{site.line}",
+                        )
+                    )
+                if len(writes) < MAX_EVENTS:
+                    writes.append(
+                        DeviceWrite(
+                            line=site.line,
+                            col=site.col,
+                            method=site.name,
+                            origin=f"{rel}:{site.line}",
+                        )
+                    )
+            if callee is not None:
+                callee_info = self.symbols.functions.get(site.callee)
+                callee_loc = (
+                    callee_info.location if callee_info else site.callee
+                )
+                hop = f"{site.name or site.callee}() [{callee_loc}]"
+                if callee.obligations:
+                    # An obligated callee is never a barrier: its own
+                    # flush (if any) may sit after its marker write.
+                    if len(obligations) < MAX_EVENTS:
+                        first = callee.obligations[0]
+                        obligations.append(
+                            Obligation(
+                                line=site.line,
+                                col=site.col,
+                                kind="call",
+                                desc=first.desc,
+                                origin=first.origin,
+                                chain=(hop,) + first.chain[:3],
+                                via_direct=first.kind != "call",
+                            )
+                        )
+                elif callee.flushes:
+                    flush_lines.append(site.line)
+                if callee.device_writes and len(writes) < MAX_EVENTS:
+                    first_write = callee.device_writes[0]
+                    writes.append(
+                        DeviceWrite(
+                            line=site.line,
+                            col=site.col,
+                            method=first_write.method,
+                            origin=first_write.origin,
+                            chain=(hop,) + first_write.chain[:3],
+                        )
+                    )
+
+        first_flush = min(flush_lines) if flush_lines else None
+        undischarged = tuple(
+            ob
+            for ob in obligations
+            if first_flush is None or ob.line <= first_flush
+        )
+        return EffectSummary(
+            flushes=bool(flush_lines),
+            obligations=undischarged[:MAX_EVENTS],
+            device_writes=tuple(writes),
+        )
+
+
+@dataclass
+class TaintResults:
+    """Converged taint summaries plus per-function sink evidence."""
+
+    summaries: dict[str, TaintSummary] = field(default_factory=dict)
+    #: qname -> sink hits whose label is an entropy/order source (ND010
+    #: findings live here; param-labelled hits became param_sinks).
+    source_hits: dict[str, list[SinkHit]] = field(default_factory=dict)
+
+
+def compute_taint(symbols: SymbolTable, callgraph: CallGraph) -> TaintResults:
+    """Iterate taint summaries to a fixpoint, then collect evidence."""
+    results = TaintResults(
+        summaries={q: TaintSummary() for q in symbols.functions}
+    )
+
+    def run_one(qname: str) -> TaintAnalysis:
+        info = symbols.functions[qname]
+        return TaintAnalysis(
+            info,
+            callgraph.callees_of(qname),
+            results.summaries.get,
+            param_seeds(info),
+            lookup_info=symbols.functions.get,
+        ).run()
+
+    ordered = sorted(symbols.functions)
+    for _ in range(MAX_TAINT_PASSES):
+        changed = False
+        for qname in ordered:
+            analysis = run_one(qname)
+            new = _summarize(analysis)
+            if new != results.summaries[qname]:
+                results.summaries[qname] = new
+                changed = True
+        if not changed:
+            break
+
+    for qname in ordered:
+        analysis = run_one(qname)
+        hits = [
+            hit
+            for hit in analysis.sink_hits
+            if hit.label.kind in ("entropy", "order")
+        ]
+        if hits:
+            results.source_hits[qname] = hits
+    return results
+
+
+def _summarize(analysis: TaintAnalysis) -> TaintSummary:
+    param_sinks: dict[int, SinkHit] = {}
+    for hit in analysis.sink_hits:
+        if hit.label.kind != "param":
+            continue
+        try:
+            index = int(hit.label.origin)
+        except ValueError:
+            continue
+        param_sinks.setdefault(index, hit)
+    return TaintSummary(
+        returns=analysis.return_labels, param_sinks=param_sinks
+    )

@@ -1,12 +1,14 @@
 """nvmlint command line: ``python -m repro.lint`` / ``ntadoc lint``.
 
-Exit codes: 0 clean, 1 findings, 2 usage or internal error.
+Exit codes: 0 clean, 1 findings (or ratchet violation), 2 usage or
+internal error.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
 
@@ -23,8 +25,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="nvmlint",
         description=(
-            "AST-based NVM access-discipline and persistence-correctness "
-            "linter (rules ND001-ND005; see docs/lint.md)"
+            "whole-program NVM access-discipline and persistence "
+            "linter (rules ND001-ND011; see docs/lint.md)"
         ),
     )
     parser.add_argument(
@@ -44,9 +46,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to run (default: all)",
     )
     parser.add_argument(
+        "--rule",
+        metavar="ND0xx",
+        action="append",
+        help="run only this rule (repeatable; combines with --select)",
+    )
+    parser.add_argument(
         "--ignore",
         metavar="RULES",
         help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help=(
+            "lint only python files changed per git (working tree vs "
+            "HEAD, plus untracked); exits 2 outside a git checkout"
+        ),
     )
     parser.add_argument(
         "--baseline",
@@ -58,6 +74,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--write-baseline",
         action="store_true",
         help="write current findings to --baseline and exit 0",
+    )
+    parser.add_argument(
+        "--ratchet",
+        action="store_true",
+        help=(
+            "with --baseline: also fail when a baseline entry no longer "
+            "occurs (accepted-debt counts must only ever decrease)"
+        ),
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        type=Path,
+        help="also write the JSON findings report to FILE (CI artifact)",
     )
     parser.add_argument(
         "--list-rules",
@@ -83,6 +113,45 @@ def _default_paths() -> list[str]:
     return ["src"] if Path("src").is_dir() else ["."]
 
 
+def _changed_files(scope: list[str]) -> list[str] | None:
+    """Python files changed per git (tracked modifications vs HEAD plus
+    untracked), restricted to ``scope``.  ``None`` when git is absent or
+    this is not a checkout."""
+    try:
+        tracked = subprocess.run(
+            ["git", "diff", "--name-only", "HEAD", "--"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        untracked = subprocess.run(
+            ["git", "ls-files", "--others", "--exclude-standard"],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    scope_paths = [Path(s).resolve() for s in scope]
+    changed: list[str] = []
+    seen: set[str] = set()
+    for line in tracked.stdout.splitlines() + untracked.stdout.splitlines():
+        name = line.strip()
+        if not name or not name.endswith(".py") or name in seen:
+            continue
+        seen.add(name)
+        path = Path(name)
+        if not path.exists():
+            continue  # deleted files have nothing to lint
+        resolved = path.resolve()
+        in_scope = any(
+            resolved == sp or sp in resolved.parents for sp in scope_paths
+        )
+        if in_scope:
+            changed.append(name)
+    return sorted(changed)
+
+
 def _render_text(result: LintResult, quiet: bool) -> None:
     for finding in result.findings:
         print(finding.render())
@@ -103,17 +172,21 @@ def _render_text(result: LintResult, quiet: bool) -> None:
         print(f"nvmlint: {result.files_checked} file(s) clean{suffix}")
 
 
-def _render_json(result: LintResult) -> None:
-    payload = {
+def _json_payload(result: LintResult) -> dict:
+    return {
         "findings": [f.as_dict() for f in result.findings],
         "summary": {
             "files_checked": result.files_checked,
             "findings": len(result.findings),
             "suppressed": result.suppressed,
             "baselined": result.baselined,
+            "stale_baseline": result.stale_baseline,
         },
     }
-    print(json.dumps(payload, indent=2))
+
+
+def _render_json(result: LintResult) -> None:
+    print(json.dumps(_json_payload(result), indent=2))
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -136,10 +209,29 @@ def main(argv: list[str] | None = None) -> int:
             print(f"nvmlint: bad baseline file: {exc}", file=sys.stderr)
             return 2
 
+    select = _split_rules(args.select)
+    if args.rule:
+        select = (select or []) + [r.strip() for r in args.rule if r.strip()]
+
+    paths = args.paths or _default_paths()
+    if args.changed:
+        changed = _changed_files(paths)
+        if changed is None:
+            print(
+                "nvmlint: --changed requires a git checkout",
+                file=sys.stderr,
+            )
+            return 2
+        if not changed:
+            if not args.quiet and args.format == "text":
+                print("nvmlint: no changed python files")
+            return 0
+        paths = changed
+
     try:
         result = lint_paths(
-            args.paths or _default_paths(),
-            select=_split_rules(args.select),
+            paths,
+            select=select,
             ignore=_split_rules(args.ignore),
             baseline=baseline,
         )
@@ -155,11 +247,28 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 0
 
+    if args.out is not None:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(
+            json.dumps(_json_payload(result), indent=2) + "\n",
+            encoding="utf-8",
+        )
+
     if args.format == "json":
         _render_json(result)
     else:
         _render_text(result, args.quiet)
-    return result.exit_code
+
+    exit_code = result.exit_code
+    if args.ratchet and result.stale_baseline:
+        for fp in result.stale_baseline:
+            print(
+                f"nvmlint: stale baseline entry (no longer occurs, "
+                f"remove it from the baseline): {fp}",
+                file=sys.stderr,
+            )
+        exit_code = max(exit_code, 1)
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -66,6 +66,9 @@ class ModuleFile:
         self.source = source
         self.lines = source.splitlines()
         self.tree = ast.parse(source, filename=str(path))
+        #: Whole-program context, set by the engine before rules run
+        #: (see :class:`repro.lint.analysis.Project`).
+        self.project = None
 
     # -- location-based whitelisting ----------------------------------
 
@@ -140,6 +143,14 @@ class ModuleFile:
             message=message,
         )
 
+    def finding_at(
+        self, rule: str, line: int, col: int, message: str
+    ) -> Finding:
+        """A finding at an explicit location (summary-layer evidence)."""
+        return Finding(
+            rule=rule, path=self.rel, line=line, col=col, message=message
+        )
+
 
 @dataclass
 class LintResult:
@@ -149,6 +160,14 @@ class LintResult:
     suppressed: int = 0
     baselined: int = 0
     files_checked: int = 0
+    #: Baseline fingerprints that matched nothing in this run -- the
+    #: ratchet: an entry that stopped occurring must be removed from the
+    #: committed baseline, so accepted-debt counts only ever decrease.
+    stale_baseline: list[str] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.stale_baseline is None:
+            self.stale_baseline = []
 
     @property
     def exit_code(self) -> int:
@@ -221,13 +240,21 @@ def lint_paths(
         raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
     rules = [REGISTRY[rule_id] for rule_id in sorted(selected)]
 
+    from repro.lint.analysis import Project
+
     result = LintResult(findings=[])
     remaining = dict(baseline) if baseline else {}
+
+    # Phase 1: parse everything, so the whole-program analyses (symbol
+    # table, call graph, summaries) see every module before any rule runs.
+    modules: list[ModuleFile] = []
     for path in discover_files(paths):
         result.files_checked += 1
         rel = _relativize(path)
         try:
-            module = ModuleFile(path, rel, path.read_text(encoding="utf-8"))
+            modules.append(
+                ModuleFile(path, rel, path.read_text(encoding="utf-8"))
+            )
         except SyntaxError as exc:
             result.findings.append(
                 Finding(
@@ -238,7 +265,10 @@ def lint_paths(
                     message=f"syntax error: {exc.msg}",
                 )
             )
-            continue
+    Project.build(modules)
+
+    # Phase 2: dispatch rules per module, with the project in scope.
+    for module in modules:
         for rule in rules:
             for finding in rule.check(module):
                 if module.is_suppressed(finding):
@@ -250,6 +280,9 @@ def lint_paths(
                     result.baselined += 1
                     continue
                 result.findings.append(finding)
+    result.stale_baseline = sorted(
+        fp for fp, count in remaining.items() if count > 0
+    )
     result.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return result
 

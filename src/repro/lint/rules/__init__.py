@@ -47,6 +47,10 @@ from repro.lint.rules import (  # noqa: E402  (registry must exist first)
     nd005_phase_order,
     nd006_marker_order,
     nd007_kernel_contract,
+    nd008_crosscall_order,
+    nd009_tx_escape,
+    nd010_charging_taint,
+    nd011_partition_race,
 )
 
 __all__ = [
@@ -61,4 +65,8 @@ __all__ = [
     "nd005_phase_order",
     "nd006_marker_order",
     "nd007_kernel_contract",
+    "nd008_crosscall_order",
+    "nd009_tx_escape",
+    "nd010_charging_taint",
+    "nd011_partition_race",
 ]

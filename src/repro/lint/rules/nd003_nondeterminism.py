@@ -3,20 +3,21 @@
 Every figure in the reproduction is a ratio of simulated nanoseconds, and
 the differential-equivalence suite holds the batched and per-line cost
 models bit-identical.  Both guarantees die the moment a cost-charging
-path consults wall-clock time, an unseeded RNG, or the iteration order
-of a ``set`` (which is salted per process for strings and layout-
-dependent in general).  Three patterns are flagged:
+path consults an unseeded RNG or the iteration order of a ``set`` (which
+is salted per process for strings and layout-dependent in general).  Two
+patterns are flagged:
 
-* wall-clock and entropy reads (``time.time``, ``perf_counter``,
-  ``datetime.now``, ``uuid.uuid4``, ``os.urandom``, ``secrets.*``);
-* module-level ``random.*`` calls -- seed an explicit
-  ``random.Random(seed)`` instance instead;
+* module-level ``random.*`` calls and unseeded ``random.Random()`` --
+  seed an explicit ``random.Random(seed)`` instance instead;
 * ``for``/comprehension iteration over values that are provably sets --
   iterate ``sorted(...)`` or an ordered container instead.
 
-Wall-clock measurement *around* the simulator (wall time reported next
-to, never mixed into, simulated time) is legitimate: suppress it with
-``# nvmlint: disable=ND003`` and a comment saying why.
+Wall-clock and entropy *reads* (``time.perf_counter``, ``os.urandom``,
+``uuid.uuid4``, ...) are no longer flagged at the call site: reading
+wall time is legitimate (it is reported next to simulated time
+throughout the harness).  The violation is the *flow* of such a value
+into a charging sink, which the interprocedural taint engine tracks as
+ND010.
 """
 
 from __future__ import annotations
@@ -36,25 +37,6 @@ from repro.lint.rules.common import (
     set_typed_self_attrs,
 )
 
-#: Fully qualified callables that read wall-clock time or entropy.
-BANNED_CALLS = {
-    "time.time",
-    "time.time_ns",
-    "time.perf_counter",
-    "time.perf_counter_ns",
-    "time.monotonic",
-    "time.monotonic_ns",
-    "time.process_time",
-    "time.process_time_ns",
-    "datetime.datetime.now",
-    "datetime.datetime.utcnow",
-    "datetime.datetime.today",
-    "datetime.date.today",
-    "os.urandom",
-    "uuid.uuid1",
-    "uuid.uuid4",
-}
-
 #: random-module constructors that are fine *when given a seed*.
 _SEEDABLE = {"random.Random", "random.SystemRandom"}
 
@@ -62,7 +44,7 @@ _SEEDABLE = {"random.Random", "random.SystemRandom"}
 @register
 class Nondeterminism:
     id = "ND003"
-    summary = "nondeterministic input (wall clock, unseeded random, set order)"
+    summary = "nondeterministic input (unseeded random, set iteration order)"
 
     def check(self, module: ModuleFile) -> Iterator[Finding]:
         if module.is_test_file:
@@ -80,14 +62,7 @@ class Nondeterminism:
             name = dotted_name(node.func, imports)
             if name is None:
                 continue
-            if name in BANNED_CALLS or name.startswith("secrets."):
-                yield module.finding(
-                    self.id,
-                    node,
-                    f"'{name}()' reads wall-clock time/entropy; simulated "
-                    "cost must come from the SimulatedClock only",
-                )
-            elif name in _SEEDABLE:
+            if name in _SEEDABLE:
                 if not node.args and not node.keywords:
                     yield module.finding(
                         self.id,

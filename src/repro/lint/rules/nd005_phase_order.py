@@ -9,18 +9,23 @@ reached media.  The discipline is mechanical -- flush first, then mark::
     pool.flush()                        # phase data reaches media
     phase_persist.complete_phase(name)  # marker may now claim it
 
-The rule flags any function that calls ``complete_phase(...)`` without a
-``flush()`` call earlier in the same function.  The persistence layer
+The rule consumes the interprocedural effect summaries
+(:mod:`repro.lint.analysis.summaries`): a ``complete_phase(...)`` call
+not dominated by a flush event -- where a flush issued by a *resolved
+callee* counts as a barrier -- is an undischarged obligation.  ND005
+reports the obligation at the function where it originates, but only for
+functions with no known callers: when callers exist, the obligation
+propagates upward and is either discharged by a caller's flush or
+reported at the violating call site by ND008.  The persistence layer
 itself (``nvm/persist.py``), whose wrappers sit *between* the caller's
 flush and the marker write, is whitelisted.
 """
 
 from __future__ import annotations
 
-import ast
 from typing import Iterator
 
-from repro.lint.core import Finding, ModuleFile, iter_calls
+from repro.lint.core import Finding, ModuleFile
 from repro.lint.rules import register
 
 ALLOWED_SUFFIXES = ("repro/nvm/persist.py",)
@@ -34,29 +39,29 @@ class PhaseOrder:
     def check(self, module: ModuleFile) -> Iterator[Finding]:
         if module.is_test_file or module.rel_endswith(*ALLOWED_SUFFIXES):
             return
-        for node in ast.walk(module.tree):
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                yield from self._check_function(module, node)
-
-    def _check_function(
-        self, module: ModuleFile, func: ast.FunctionDef | ast.AsyncFunctionDef
-    ) -> Iterator[Finding]:
-        first_flush: int | None = None
-        completions: list[ast.Call] = []
-        for call in iter_calls(func):
-            if not isinstance(call.func, ast.Attribute):
+        project = module.project
+        if project is None:
+            return
+        for info in project.functions_in(module):
+            summary = project.effect_summary(info.qname)
+            direct = [
+                ob for ob in summary.obligations
+                if ob.kind == "complete_phase"
+            ]
+            if not direct:
                 continue
-            if call.func.attr == "flush":
-                if first_flush is None or call.lineno < first_flush:
-                    first_flush = call.lineno
-            elif call.func.attr == "complete_phase":
-                completions.append(call)
-        for call in completions:
-            if first_flush is None or call.lineno <= first_flush:
-                yield module.finding(
+            if project.has_known_callers(info.qname):
+                # Callers see the obligation through the summary; a
+                # caller that fails to flush first is ND008's finding.
+                continue
+            for ob in direct:
+                yield module.finding_at(
                     self.id,
-                    call,
-                    "complete_phase() without a preceding flush() in this "
-                    "function persists a checkpoint whose phase data may "
-                    "still be dirty; flush the pool first",
+                    ob.line,
+                    ob.col,
+                    "complete_phase() without a dominating flush() (none "
+                    "in this function or its resolved callees, and no "
+                    "known caller provides one) persists a checkpoint "
+                    "whose phase data may still be dirty; flush the pool "
+                    "first",
                 )

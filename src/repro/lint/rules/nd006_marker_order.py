@@ -11,33 +11,24 @@ must be ordered after a flush barrier::
     layout.write_u64(mem, marker_off, n) # the marker may now advance
     mem.flush()
 
-The rule flags write-style calls (``write``/``write_uint``/
-``write_u32``/``write_u64``/``poke``) whose arguments reference a name
-containing ``marker``, when no ``flush()`` call appears earlier in the
-same function.  The persistence layer (``nvm/persist.py``), which
+The rule consumes the interprocedural effect summaries: a write-style
+call (``write``/``write_uint``/``write_u64``/``poke``/...) whose
+arguments reference a name containing ``marker`` is an obligation unless
+dominated by a flush event -- where a flush issued by a resolved callee
+counts.  Like ND005, the obligation is reported here only for functions
+with no known callers; otherwise it propagates to the call site and is
+ND008's finding.  The persistence layer (``nvm/persist.py``), which
 implements the barrier itself, is whitelisted.
 """
 
 from __future__ import annotations
 
-import ast
 from typing import Iterator
 
-from repro.lint.core import Finding, ModuleFile, iter_calls
+from repro.lint.core import Finding, ModuleFile
 from repro.lint.rules import register
 
 ALLOWED_SUFFIXES = ("repro/nvm/persist.py",)
-
-_WRITE_NAMES = ("write", "write_uint", "write_u32", "write_u64", "poke")
-
-
-def _mentions_marker(node: ast.AST) -> bool:
-    for sub in ast.walk(node):
-        if isinstance(sub, ast.Name) and "marker" in sub.id.lower():
-            return True
-        if isinstance(sub, ast.Attribute) and "marker" in sub.attr.lower():
-            return True
-    return False
 
 
 @register
@@ -48,34 +39,27 @@ class MarkerOrder:
     def check(self, module: ModuleFile) -> Iterator[Finding]:
         if module.is_test_file or module.rel_endswith(*ALLOWED_SUFFIXES):
             return
-        for node in ast.walk(module.tree):
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                yield from self._check_function(module, node)
-
-    def _check_function(
-        self, module: ModuleFile, func: ast.FunctionDef | ast.AsyncFunctionDef
-    ) -> Iterator[Finding]:
-        first_flush: int | None = None
-        marker_writes: list[ast.Call] = []
-        for call in iter_calls(func):
-            name = None
-            if isinstance(call.func, ast.Attribute):
-                name = call.func.attr
-            elif isinstance(call.func, ast.Name):
-                name = call.func.id
-            if name == "flush":
-                if first_flush is None or call.lineno < first_flush:
-                    first_flush = call.lineno
-            elif name in _WRITE_NAMES and any(
-                _mentions_marker(arg) for arg in call.args
-            ):
-                marker_writes.append(call)
-        for call in marker_writes:
-            if first_flush is None or call.lineno <= first_flush:
-                yield module.finding(
+        project = module.project
+        if project is None:
+            return
+        for info in project.functions_in(module):
+            summary = project.effect_summary(info.qname)
+            direct = [
+                ob for ob in summary.obligations
+                if ob.kind == "marker_write"
+            ]
+            if not direct:
+                continue
+            if project.has_known_callers(info.qname):
+                continue  # reported at the violating call site by ND008
+            for ob in direct:
+                yield module.finding_at(
                     self.id,
-                    call,
-                    "marker write without a preceding flush() in this "
-                    "function can persist ahead of the data it claims "
-                    "(flushes tear); issue a data flush barrier first",
+                    ob.line,
+                    ob.col,
+                    "marker write without a dominating flush() (none in "
+                    "this function or its resolved callees, and no known "
+                    "caller provides one) can persist ahead of the data "
+                    "it claims (flushes tear); issue a data flush "
+                    "barrier first",
                 )

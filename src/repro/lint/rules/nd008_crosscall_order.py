@@ -1,0 +1,69 @@
+"""ND008: marker persisted through a call chain with no dominating flush.
+
+ND005/ND006 report flush-before-marker violations where the marker event
+is *local* to the reported function.  ND008 is the interprocedural
+altitude: a function calls into a chain that ends in a marker event
+(``complete_phase(...)`` or a marker-named write), no frame between the
+entry point and the marker issues a flush barrier first, and no caller
+exists that could discharge the obligation.  Example::
+
+    def persist_marker(mem, off):
+        mem.write_uint(off, 1)          # marker event (origin)
+
+    def finish(mem, off):
+        persist_marker(mem, off)        # obligation propagates up
+
+    def run(mem, off):                  # no callers: reported here
+        finish(mem, off)                # ND008 with the full call chain
+
+The finding is anchored at the violating call site in the outermost
+frame (the one with no known callers -- every inner frame's obligation
+is, conservatively, dischargeable by *its* callers) and carries the
+callee chain down to the origin marker event, e.g.::
+
+    write_uint(<marker>) at a.py:4 via finish() [a.py:7] -> persist_marker() [a.py:3]
+
+Functions whose chain contains a flush *before* the marker call are
+clean: a resolved callee that flushes (and carries no obligation of its
+own) counts as a barrier in the summary layer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.core import Finding, ModuleFile
+from repro.lint.rules import register
+
+
+@register
+class CrossCallOrder:
+    id = "ND008"
+    summary = "call chain persists a marker with no dominating flush()"
+
+    def check(self, module: ModuleFile) -> Iterator[Finding]:
+        if module.is_test_file:
+            return
+        project = module.project
+        if project is None:
+            return
+        for info in project.functions_in(module):
+            summary = project.effect_summary(info.qname)
+            chained = [
+                ob for ob in summary.obligations if ob.kind == "call"
+            ]
+            if not chained:
+                continue
+            if project.has_known_callers(info.qname):
+                continue  # a caller may discharge it; checked there
+            for ob in chained:
+                chain = " -> ".join(ob.chain)
+                yield module.finding_at(
+                    self.id,
+                    ob.line,
+                    ob.col,
+                    f"this call persists a marker ({ob.desc} at "
+                    f"{ob.origin} via {chain}) and no flush() dominates "
+                    "it anywhere on the chain; issue a data flush "
+                    "barrier before this call",
+                )

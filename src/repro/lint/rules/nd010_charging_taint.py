@@ -1,0 +1,85 @@
+"""ND010: wall-clock/entropy/iteration-order value flowing into charging.
+
+Reading the wall clock is legitimate everywhere in the harness -- wall
+time is *reported next to* simulated time.  What must never happen is a
+nondeterministic value -- wall-clock or entropy read
+(``time.perf_counter()``, ``os.urandom()``, ``uuid.uuid4()``, ``id()``)
+or a set-iteration-order dependent value -- flowing *into* the charging
+paths: ``clock.advance(...)``, any ``charge*`` helper, or a store into a
+``*_ns`` attribute.  One such flow and every simulated-nanosecond figure
+stops being bit-reproducible.
+
+This is the flow-based upgrade of what ND003 used to match at the call
+site: the interprocedural taint engine
+(:mod:`repro.lint.analysis.dataflow`) tracks provenance labels through
+assignments, containers, control flow, and *calls* (a resolved callee's
+summary maps argument taint to return taint and records parameters that
+reach sinks inside it), so both of these are caught::
+
+    t = time.perf_counter()
+    clock.advance(int(t * 1e9))        # direct flow
+
+    def charge_io(clock, amount):
+        clock.advance(amount)          # sink inside callee
+
+    start = time.time()
+    charge_io(clock, start)            # ND010, chain: via charge_io()
+
+while ``wall = time.perf_counter(); report(wall_s=wall)`` stays silent
+-- the value never reaches a charging sink.
+
+Findings are reported in the function where the tainted value meets the
+sink, with the provenance chain naming the cross-function hops.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.core import Finding, ModuleFile
+from repro.lint.rules import register
+
+
+@register
+class ChargingTaint:
+    id = "ND010"
+    summary = "nondeterministic value flows into a charging sink"
+
+    def check(self, module: ModuleFile) -> Iterator[Finding]:
+        if module.is_test_file:
+            return
+        project = module.project
+        if project is None:
+            return
+        local = {
+            info.qname for info in project.functions_in(module)
+        }
+        taint = project.taint
+        for qname in sorted(taint.source_hits):
+            if qname not in local:
+                continue
+            seen: set[tuple[int, int]] = set()
+            for hit in taint.source_hits[qname]:
+                # A call that is both a bare-name sink and a resolved
+                # summary sink produces two hits at one location; keep
+                # the first (sorted) one.
+                key = (hit.line, hit.col)
+                if key in seen:
+                    continue
+                seen.add(key)
+                label = hit.label
+                source = {
+                    "entropy": "wall-clock/entropy read",
+                    "order": "set-iteration-order dependent value",
+                }.get(label.kind, label.kind)
+                detail = f"{label.desc} at {label.origin}"
+                if label.chain:
+                    detail += f", {' -> '.join(label.chain)}"
+                yield module.finding_at(
+                    self.id,
+                    hit.line,
+                    hit.col,
+                    f"value derived from a {source} ({detail}) reaches "
+                    f"charging sink {hit.sink}; simulated cost must be "
+                    "computed from deterministic inputs only",
+                )

@@ -1,0 +1,182 @@
+"""ND011: partition-ownership races in parallel worker functions.
+
+The parallel traversal (G-TADOC style, level-synchronous) is only
+correct because workers own *disjoint* partitions: every write a worker
+performs must land at an address derived from its partition argument,
+and cross-worker results must be combined by an explicit post-join
+merge, never by concurrent mutation of shared state.  Both properties
+are statically checkable before the scheduler even exists, so the rule
+arms the repo against the upcoming parallel-traversal work.
+
+A function is a *worker* when its name matches ``*_worker``/``worker_*``
+or it takes a parameter named ``partition``/``shard``/``share``.  Inside
+a worker, the dataflow engine seeds the partition argument with an
+``owned`` label and propagates it; the rule then flags:
+
+* raw device writes (``mem.write_uint(off, v)``) and key-addressed
+  mutators (``table.insert(key, v)``) on shared receivers whose
+  address/key argument carries no ``owned`` label -- the write is not
+  provably inside this worker's partition::
+
+      def count_worker(mem, partition, results):
+          for rule_id in partition:
+              mem.write_uint(rule_id * 8, 1)      # ok: owned address
+          mem.write_uint(TOTAL_OFF, n)            # ND011: shared address
+
+* un-addressed aggregation (``results.append(...)``, ``totals.update(...)``)
+  into shared mutable state -- give each worker a private accumulator
+  and merge after the join;
+
+* subscript stores into shared containers with a non-owned key
+  (``results[name] = n`` races; ``results[partition_id] = n`` is the
+  disjoint-slot pattern and stays silent).
+
+Receivers local to the worker (created in its own body) are private and
+exempt; the partition argument itself is owned and exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.lint.analysis import spec
+from repro.lint.analysis.dataflow import Label, TaintAnalysis
+from repro.lint.core import Finding, ModuleFile
+from repro.lint.rules import register
+from repro.lint.rules.common import leftmost_name
+
+_WORKER_NAME = re.compile(r"(^|_)workers?($|_)")
+
+
+def _is_worker(info) -> bool:
+    return bool(_WORKER_NAME.search(info.name)) or bool(
+        set(info.params) & spec.PARTITION_PARAM_NAMES
+    )
+
+
+def _assigned_locals(info) -> set[str]:
+    """Names bound in the worker's own body (private state)."""
+    bound: set[str] = set()
+    for node in info.own_nodes():
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                for sub in ast.walk(target):
+                    if isinstance(sub, ast.Name):
+                        bound.add(sub.id)
+        elif isinstance(node, (ast.AnnAssign, ast.NamedExpr)):
+            if isinstance(node.target, ast.Name):
+                bound.add(node.target.id)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if isinstance(item.optional_vars, ast.Name):
+                    bound.add(item.optional_vars.id)
+    return bound
+
+
+@register
+class PartitionRace:
+    id = "ND011"
+    summary = "worker writes outside its partition / shared aggregation"
+
+    def check(self, module: ModuleFile) -> Iterator[Finding]:
+        if module.is_test_file:
+            return
+        project = module.project
+        if project is None:
+            return
+        for info in project.functions_in(module):
+            if info.name == "<module>" or not _is_worker(info):
+                continue
+            yield from self._check_worker(module, project, info)
+
+    def _check_worker(
+        self, module: ModuleFile, project, info
+    ) -> Iterator[Finding]:
+        partition_params = sorted(
+            set(info.params) & spec.PARTITION_PARAM_NAMES
+        )
+        seeds = {
+            name: frozenset(
+                {Label("owned", f"partition argument '{name}'", name)}
+            )
+            for name in partition_params
+        }
+        analysis = TaintAnalysis(
+            info,
+            project.callgraph.callees_of(info.qname),
+            project.taint.summaries.get,
+            seeds,
+            lookup_info=project.symbols.functions.get,
+        ).run()
+        private = _assigned_locals(info) - set(info.params)
+        owned_names = set(partition_params)
+
+        def is_shared(receiver: str | None) -> bool:
+            return (
+                receiver is not None
+                and receiver not in private
+                and receiver not in owned_names
+            )
+
+        def owns(node: ast.expr) -> bool:
+            return any(
+                lb.kind == "owned" for lb in analysis.labels_of(node)
+            )
+
+        for site in project.callgraph.callees_of(info.qname):
+            name = site.name
+            if name is None or not isinstance(site.node.func, ast.Attribute):
+                continue
+            receiver = leftmost_name(site.node.func)
+            if not is_shared(receiver):
+                continue
+            addressed = spec.is_write_method(name) or (
+                name in spec.ADDRESSED_MUTATORS
+            )
+            if addressed and site.node.args:
+                if partition_params and not owns(site.node.args[0]):
+                    yield module.finding(
+                        self.id,
+                        site.node,
+                        f"'{receiver}.{name}(...)' writes shared state "
+                        "at an address not derived from this worker's "
+                        f"partition argument "
+                        f"({', '.join(repr(p) for p in partition_params)}); "
+                        "parallel workers must write only within their "
+                        "own partition",
+                    )
+            elif name in spec.SHARED_AGGREGATION:
+                yield module.finding(
+                    self.id,
+                    site.node,
+                    f"'{receiver}.{name}(...)' aggregates into shared "
+                    "mutable state from a parallel worker; give each "
+                    "worker a private accumulator and merge after the "
+                    "join",
+                )
+
+        if not partition_params:
+            return
+        for node in info.own_nodes():
+            target: ast.expr | None = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+            elif isinstance(node, ast.AugAssign):
+                target = node.target
+            if not isinstance(target, ast.Subscript):
+                continue
+            receiver = leftmost_name(target)
+            if not is_shared(receiver):
+                continue
+            if owns(target.slice):
+                continue  # disjoint-slot pattern: results[partition_id]
+            yield module.finding(
+                self.id,
+                target,
+                f"store into shared '{receiver}[...]' with a key not "
+                "derived from this worker's partition argument races "
+                "with sibling workers; use an owned key or a private "
+                "accumulator merged after the join",
+            )

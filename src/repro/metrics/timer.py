@@ -28,8 +28,11 @@ def wall_now_s() -> float:
 
     Reading the host clock here cannot skew any simulated figure: the
     value is reported alongside simulated time for diagnostics only.
+    The taint engine (ND010) verifies that claim on every lint run --
+    this value never flows into a charging sink -- so no suppression is
+    needed.
     """
-    return time.perf_counter()  # nvmlint: disable=ND003
+    return time.perf_counter()
 
 
 @dataclass

@@ -1,0 +1,8 @@
+def seal_header(mem, off, value):
+    mem.write_uint(off, value)
+
+
+def apply_update(log, mem):
+    with log.transaction() as tx:
+        tx.write(0, b"logged")
+        seal_header(mem, 8, 7)

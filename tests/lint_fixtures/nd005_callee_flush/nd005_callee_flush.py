@@ -1,0 +1,7 @@
+def barrier(pool):
+    pool.flush()
+
+
+def checkpoint(pool, phases):
+    barrier(pool)
+    phases.complete_phase("build")

@@ -1,0 +1,2 @@
+def persist_marker(mem, marker_off):
+    mem.write_uint(marker_off, 1)

@@ -1,0 +1,5 @@
+from a_mod import persist_marker
+
+
+def entry(mem, marker_off):
+    persist_marker(mem, marker_off)

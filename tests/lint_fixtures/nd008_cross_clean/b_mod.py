@@ -1,0 +1,6 @@
+from a_mod import persist_marker
+
+
+def entry(mem, pool, marker_off):
+    pool.flush()
+    persist_marker(mem, marker_off)

@@ -1,0 +1,9 @@
+from repro.pstruct import PVector
+
+
+def build(log, pool):
+    with log.transaction() as tx:
+        vec = PVector(pool, 8)
+        tx.write(0, b"meta")
+        vec.append(7)
+    return None

@@ -1,0 +1,10 @@
+from repro.pstruct import PVector
+
+
+def build(log, pool, out):
+    with log.transaction() as tx:
+        vec = PVector(pool, 8)
+        tx.write(0, b"meta")
+        out.append(vec)
+    vec.append(7)
+    tx.write(8, b"late")

@@ -1,0 +1,12 @@
+import time
+
+
+def report(clock, emit):
+    wall = time.perf_counter()
+    sim = clock.now_ns()
+    emit(wall, sim)
+
+
+def deterministic_charge(clock, keys):
+    for key in sorted(set(keys)):
+        clock.advance(key * 10)

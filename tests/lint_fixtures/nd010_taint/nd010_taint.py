@@ -1,0 +1,27 @@
+import time
+
+
+def charge_io(clock, amount):
+    clock.advance(amount)
+
+
+def direct(clock):
+    t = time.perf_counter()
+    clock.advance(int(t * 1e9))
+
+
+def indirect(clock):
+    start = time.time()
+    charge_io(clock, start)
+
+
+def layout_dep(clock, obj):
+    h = id(obj)
+    clock.advance(h)
+
+
+def order_dep(clock, keys):
+    total = 0
+    for key in set(keys):
+        total += key
+    clock.advance(total)

@@ -1,0 +1,10 @@
+def merge_results(totals, counts):
+    totals.update(counts)
+
+
+def count_worker(mem, partition, results):
+    local_counts = {}
+    for rule_id in partition:
+        mem.write_uint(rule_id * 8, 1)
+        local_counts[rule_id] = 1
+    results[partition[0]] = local_counts

@@ -1,0 +1,368 @@
+"""Tests for the whole-program analysis layer behind nvmlint.
+
+Covers the symbol table (qualified names, module naming), the
+conservative call-graph resolution ladder, effect summaries
+(flush/marker obligations, discharge, cycles), the taint engine
+(sources, sinks, interprocedural parameter flows, sanitizers), engine
+determinism (two runs, byte-identical), the full-tree wall-clock bound,
+and the new CLI surface (``--rule``, ``--changed``, ``--ratchet``,
+``--out``).
+"""
+
+import json
+import subprocess
+import textwrap
+import time
+from pathlib import Path
+
+from repro.lint import lint_paths
+from repro.lint.analysis import Project
+from repro.lint.analysis.symbols import module_name_for
+from repro.lint.cli import main as lint_main
+from repro.lint.core import ModuleFile
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def project_from(tmp_path, **files):
+    """Build a Project over ``name -> source`` fixture modules."""
+    modules = []
+    for name, source in sorted(files.items()):
+        path = tmp_path / f"{name}.py"
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+        modules.append(ModuleFile(path, path.name, path.read_text()))
+    return Project.build(modules)
+
+
+class TestModuleNaming:
+    def test_src_anchored(self):
+        assert module_name_for("src/repro/nvm/persist.py") == (
+            "repro.nvm.persist"
+        )
+
+    def test_repro_anchored(self):
+        assert module_name_for("repro/core/engine.py") == "repro.core.engine"
+
+    def test_bare_stem(self):
+        assert module_name_for("mod.py") == "mod"
+
+    def test_package_init_strips(self):
+        assert module_name_for("src/repro/lint/__init__.py") == "repro.lint"
+
+
+class TestSymbolTable:
+    def test_functions_methods_and_module_pseudo(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            alpha="""
+            def top(x):
+                def inner(y):
+                    return y
+                return inner(x)
+
+            class Store:
+                def save(self, v):
+                    return v
+            """,
+        )
+        functions = project.symbols.functions
+        assert "alpha.top" in functions
+        assert "alpha.top.inner" in functions
+        assert "alpha.Store.save" in functions
+        assert "alpha.<module>" in functions
+        assert functions["alpha.Store.save"].cls == "Store"
+        assert functions["alpha.Store.save"].params == ("self", "v")
+        assert project.symbols.methods[("alpha", "Store")]["save"] == (
+            "alpha.Store.save"
+        )
+
+    def test_unique_by_name_rejects_generic_and_ambiguous(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            one="def distinctive_helper(x):\n    return x\n",
+            two=(
+                "def write(x):\n    return x\n"
+                "def twice_defined(x):\n    return x\n"
+            ),
+            three="def twice_defined(x):\n    return x\n",
+        )
+        symbols = project.symbols
+        assert symbols.unique_by_name("distinctive_helper") == (
+            "one.distinctive_helper"
+        )
+        assert symbols.unique_by_name("write") is None  # generic blocklist
+        assert symbols.unique_by_name("twice_defined") is None  # ambiguous
+        assert symbols.unique_by_name("__init__") is None  # dunder
+
+
+class TestCallGraph:
+    def test_resolution_ladder(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            lib="""
+            def exported(x):
+                return x
+            """,
+            app="""
+            from lib import exported
+
+            def local(x):
+                return x
+
+            def caller(x):
+                local(x)
+                exported(x)
+                obj.distinctive_method(x)
+                obj.write(x)
+
+            class Engine:
+                def step(self):
+                    return self.advance_state()
+
+                def advance_state(self):
+                    return 1
+            """,
+            other="""
+            def distinctive_method(x):
+                return x
+            """,
+        )
+        sites = {
+            s.name: s.callee
+            for s in project.callgraph.callees_of("app.caller")
+        }
+        assert sites["local"] == "app.local"
+        assert sites["exported"] == "lib.exported"
+        assert sites["distinctive_method"] == "other.distinctive_method"
+        assert sites["write"] is None  # generic: never unique-name resolved
+        method_sites = {
+            s.name: s.callee
+            for s in project.callgraph.callees_of("app.Engine.step")
+        }
+        assert method_sites["advance_state"] == "app.Engine.advance_state"
+
+    def test_reverse_edges(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            mod="""
+            def helper(x):
+                return x
+
+            def a(x):
+                return helper(x)
+
+            def b(x):
+                return helper(x)
+            """,
+        )
+        callers = [c for c, _ in project.callgraph.callers_of("mod.helper")]
+        assert callers == ["mod.a", "mod.b"]
+        assert project.has_known_callers("mod.helper")
+        assert not project.has_known_callers("mod.a")
+
+
+class TestEffectSummaries:
+    def test_discharged_marker_is_silent(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            mod="""
+            def good(pool, pp):
+                pool.flush()
+                pp.complete_phase("x")
+            """,
+        )
+        summary = project.effect_summary("mod.good")
+        assert summary.flushes
+        assert summary.obligations == ()
+
+    def test_undischarged_marker_propagates_with_chain(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            mod="""
+            def inner(mem, marker_off):
+                mem.write_uint(marker_off, 1)
+
+            def outer(mem, marker_off):
+                inner(mem, marker_off)
+            """,
+        )
+        (ob,) = project.effect_summary("mod.inner").obligations
+        assert ob.kind == "marker_write"
+        (chained,) = project.effect_summary("mod.outer").obligations
+        assert chained.kind == "call"
+        assert chained.origin == ob.origin
+        assert "inner()" in chained.chain[0]
+
+    def test_callee_flush_counts_as_barrier(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            mod="""
+            def barrier(pool):
+                pool.flush()
+
+            def good(pool, pp):
+                barrier(pool)
+                pp.complete_phase("x")
+            """,
+        )
+        assert project.effect_summary("mod.good").obligations == ()
+
+    def test_cycle_cut_to_empty(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            mod="""
+            def ping(x):
+                return pong(x)
+
+            def pong(x):
+                return ping(x)
+            """,
+        )
+        # No crash, no spurious effects.
+        assert project.effect_summary("mod.ping").obligations == ()
+        assert project.effect_summary("mod.pong").obligations == ()
+
+
+class TestTaint:
+    def test_param_to_sink_summary(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            mod="""
+            def charge_io(clock, amount):
+                clock.advance(amount)
+            """,
+        )
+        summary = project.taint.summaries["mod.charge_io"]
+        assert 1 in summary.param_sinks  # amount reaches advance()
+
+    def test_entropy_flows_through_return(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            mod="""
+            import time
+
+            def now():
+                return time.perf_counter()
+
+            def bad(clock):
+                clock.advance(now())
+            """,
+        )
+        returns = project.taint.summaries["mod.now"].returns
+        assert any(lb.kind == "entropy" for lb in returns)
+        hits = project.taint.source_hits["mod.bad"]
+        assert any(h.label.kind == "entropy" for h in hits)
+
+    def test_sorted_sanitizes_order_taint(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            mod="""
+            def clean(clock, keys):
+                for key in sorted(set(keys)):
+                    clock.advance(key)
+            """,
+        )
+        assert "mod.clean" not in project.taint.source_hits
+
+    def test_module_level_code_is_analyzed(self, tmp_path):
+        project = project_from(
+            tmp_path,
+            mod="""
+            import time
+
+            t = time.perf_counter()
+            clock.advance(t)
+            """,
+        )
+        hits = project.taint.source_hits["mod.<module>"]
+        assert any(h.label.kind == "entropy" for h in hits)
+
+
+class TestDeterminismAndSpeed:
+    def test_two_runs_byte_identical_and_fast(self):
+        def run():
+            start = time.perf_counter()
+            result = lint_paths([REPO_ROOT / "src"])
+            elapsed = time.perf_counter() - start
+            payload = json.dumps(
+                [f.as_dict() for f in result.findings], sort_keys=True
+            )
+            return payload, result, elapsed
+
+        first, result_a, elapsed_a = run()
+        second, result_b, elapsed_b = run()
+        assert first == second
+        assert result_a.files_checked == result_b.files_checked
+        # The acceptance bound for a full-tree run is 15s in CI; keep
+        # headroom locally so drift is caught before the gate.
+        assert elapsed_a < 15 and elapsed_b < 15
+
+
+class TestCliFlags:
+    DIRTY = "import random\nx = random.random()\n"
+
+    def test_rule_flag_selects(self, tmp_path, capsys):
+        target = tmp_path / "mod.py"
+        target.write_text("import random\nx = random.random()\nmem.poke(0, 1)\n")
+        assert lint_main([str(target), "--rule", "ND001"]) == 1
+        out = capsys.readouterr().out
+        assert "ND001" in out and "ND003" not in out
+        assert (
+            lint_main([str(target), "--rule", "ND001", "--rule", "ND003"])
+            == 1
+        )
+        out = capsys.readouterr().out
+        assert "ND001" in out and "ND003" in out
+
+    def test_out_writes_artifact(self, tmp_path, capsys):
+        target = tmp_path / "mod.py"
+        target.write_text(self.DIRTY)
+        artifact = tmp_path / "report" / "lint.json"
+        assert lint_main([str(target), "--out", str(artifact)]) == 1
+        capsys.readouterr()
+        payload = json.loads(artifact.read_text())
+        assert payload["summary"]["findings"] == 1
+        assert payload["findings"][0]["rule"] == "ND003"
+
+    def test_ratchet_fails_on_stale_entry(self, tmp_path, capsys):
+        target = tmp_path / "mod.py"
+        target.write_text("x = 1\n")
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(
+            json.dumps(
+                {"version": 1, "findings": ["mod.py::ND003::gone"]}
+            )
+        )
+        args = [str(target), "--baseline", str(baseline)]
+        assert lint_main(args) == 0  # stale entries tolerated without it
+        assert lint_main(args + ["--ratchet"]) == 1
+        err = capsys.readouterr().err
+        assert "stale baseline entry" in err
+
+    def test_changed_requires_git(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        (tmp_path / "mod.py").write_text("x = 1\n")
+        assert lint_main(["--changed", "."]) == 2
+        assert "git checkout" in capsys.readouterr().err
+
+    def test_changed_scopes_to_git_diff(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        git = lambda *a: subprocess.run(  # noqa: E731
+            ["git", *a], cwd=tmp_path, check=True, capture_output=True
+        )
+        git("init", "-q")
+        git("config", "user.email", "lint@test")
+        git("config", "user.name", "lint")
+        clean = tmp_path / "clean.py"
+        clean.write_text(self.DIRTY)  # committed: not "changed"
+        git("add", "clean.py")
+        git("commit", "-qm", "seed")
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("x = 1\n")  # untracked but clean source
+        assert lint_main(["--changed", "."]) == 0
+        out = capsys.readouterr().out
+        assert "1 file(s) clean" in out  # only dirty.py was linted
+        dirty.write_text(self.DIRTY)
+        assert lint_main(["--changed", "."]) == 1
+        out = capsys.readouterr().out
+        assert "dirty.py" in out and "clean.py" not in out
