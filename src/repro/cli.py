@@ -12,6 +12,8 @@ Commands::
     query       boolean document query ("error AND NOT retry")
     reproduce   regenerate a paper figure/table (wraps the benchmarks)
     profile     trace one run: span tree, hot spans, exporters, snapshots
+    faultsweep  enumerate media-fault points and verify the resilience triad
+    wear        run task(s) with wear tracking, print the endurance report
     lint        run nvmlint, the NVM access-discipline checker
 """
 
@@ -144,6 +146,54 @@ def _build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=None,
         help="write the JSON report here (default: stdout summary only)",
+    )
+
+    p = sub.add_parser(
+        "faultsweep",
+        help="enumerate media-fault points, verify resilience "
+        "(docs/recovery.md)",
+    )
+    p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="bounded sweep (>= 200 points; the CI configuration)",
+    )
+    p.add_argument(
+        "--seed",
+        type=int,
+        default=20240817,
+        help="sweep seed; a fixed seed makes the JSON report byte-stable",
+    )
+    p.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write the JSON report here (default: stdout summary only)",
+    )
+
+    p = sub.add_parser(
+        "wear",
+        help="run task(s) with wear tracking, print the endurance report",
+    )
+    p.add_argument(
+        "task",
+        metavar="task[,task...]",
+        help=f"task name from {{{','.join(_TASK_NAMES)}}}; a "
+        "comma-separated list runs one fused plan",
+    )
+    p.add_argument("corpus", type=Path)
+    p.add_argument(
+        "--traversal", choices=("auto", "topdown", "bottomup"), default="auto"
+    )
+    p.add_argument("--ngram", type=int, default=2, help="sequence length")
+    p.add_argument(
+        "--top", type=int, default=10, help="rows in the hottest-lines table"
+    )
+    p.add_argument(
+        "--endurance",
+        type=int,
+        default=10**7,
+        help="per-line endurance budget for the lifetime estimate",
     )
 
     p = sub.add_parser(
@@ -443,6 +493,89 @@ def _cmd_crashsweep(args) -> int:
     return 1 if violations else 0
 
 
+def _cmd_faultsweep(args) -> int:
+    from repro.harness.faultsweep import (
+        FaultSweepConfig,
+        render_report,
+        run_sweep,
+    )
+
+    config = (
+        FaultSweepConfig.smoke(seed=args.seed)
+        if args.smoke
+        else FaultSweepConfig.full(seed=args.seed)
+    )
+    report = run_sweep(config)
+    rendered = render_report(report)
+    if args.out is not None:
+        args.out.write_text(rendered, encoding="utf-8")
+        print(f"wrote {args.out}")
+    violations = report["violations"]
+    outcomes = ", ".join(
+        f"{name}={count}" for name, count in sorted(report["outcomes"].items())
+    )
+    print(
+        f"swept {report['points_swept']} media-fault points ({outcomes}; "
+        f"mean recovery +{report['mean_recovery_extra_ns']:.0f} simulated "
+        f"ns): {report['silent_wrong_answers']} silent wrong answer(s), "
+        f"{len(violations)} violation(s)"
+    )
+    for violation in violations:
+        print(
+            f"  [{violation['scenario']}/{violation['kind']} "
+            f"@{violation['index']}] {violation['problem']}"
+        )
+    return 1 if violations else 0
+
+
+def _cmd_wear(args) -> int:
+    from repro.core.engine import NTadocEngine
+    from repro.nvm.wear import hottest_lines, wear_report
+
+    names = [name.strip() for name in args.task.split(",") if name.strip()]
+    unknown = [name for name in names if name not in _TASK_NAMES]
+    if not names or unknown:
+        bad = ", ".join(unknown) or "(empty)"
+        print(
+            f"unknown task(s): {bad}; choose from {', '.join(_TASK_NAMES)}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    corpus = serialization.load(args.corpus)
+    config = EngineConfig(
+        traversal=args.traversal, ngram_n=args.ngram, track_wear=True
+    )
+    engine = NTadocEngine(corpus, config)
+    tasks = [task_by_name(name) for name in names]
+    if len(tasks) == 1:
+        run = engine.run_resilient(tasks[0])
+        total_ns = run.total_ns
+    else:
+        plan = engine.run_many_resilient(tasks)
+        total_ns = plan.total_ns
+    memory = engine.last_state.pool_mem
+    report = wear_report(memory)
+    line_size = memory.profile.line_size
+    print(f"wear report for {','.join(names)} ({format_ns(total_ns)} simulated)")
+    print(f"  line programs   : {report.total_programs}")
+    print(f"  lines touched   : {report.lines_touched}")
+    print(f"  hottest line    : {report.max_line_programs} programs")
+    print(f"  mean per line   : {report.mean_line_programs:.2f} programs")
+    print(f"  imbalance       : {report.imbalance:.2f}x the mean")
+    print(
+        f"  lifetime used   : "
+        f"{report.lifetime_fraction_used(args.endurance) * 100:.6f}% of "
+        f"{args.endurance} cycles (hottest line)"
+    )
+    ranked = hottest_lines(memory, args.top)
+    if ranked:
+        print(f"  top {len(ranked)} hottest lines:")
+        print("    line     offset  programs")
+        for line, programs in ranked:
+            print(f"    {line:>6d} {line * line_size:>8d} {programs:>9d}")
+    return 0
+
+
 def _cmd_profile(args) -> int:
     from repro.core.engine import NTadocEngine
     from repro.metrics.report import hot_spans_report, ops_report, trace_report
@@ -526,6 +659,8 @@ _COMMANDS = {
     "query": _cmd_query,
     "reproduce": _cmd_reproduce,
     "crashsweep": _cmd_crashsweep,
+    "faultsweep": _cmd_faultsweep,
+    "wear": _cmd_wear,
     "profile": _cmd_profile,
 }
 

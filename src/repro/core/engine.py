@@ -34,7 +34,7 @@ from repro.core.dag import Dag
 from repro.core.grammar import CompressedCorpus
 from repro.core.pruning import PrunedDag
 from repro.core.summation import head_tail_lists, summate_all
-from repro.errors import ReproError
+from repro.errors import MediaError, OutOfMemoryError, ReproError
 from repro.kernels import KERNEL_MODES
 from repro.metrics.ledger import MemoryLedger
 from repro.metrics.timer import PhaseTimeline
@@ -111,6 +111,17 @@ class EngineConfig:
     #: all modes; only wall-clock changes.  See docs/kernels.md.
     kernels: str = "auto"
     tracer: Any = field(default=None, compare=False, repr=False)
+    #: Arm end-to-end media protection: the pool saves as layout v3, a
+    #: :class:`~repro.nvm.scrub.MediaGuard` CRC-seals every persisted
+    #: chunk, and every read is verified (corruption surfaces as a typed
+    #: :class:`~repro.errors.MediaError` instead of garbage).  Off by
+    #: default -- an unprotected run is bit-identical to pre-guard
+    #: behavior in simulated time, pool image, and wear counters.
+    media_protect: bool = False
+    #: Count per-line media program events on the pool device
+    #: (:func:`~repro.nvm.wear.wear_report`, wear-triggered fault arming
+    #: via ``FaultPlan(wear_death=True)``).
+    track_wear: bool = False
 
     def __post_init__(self) -> None:
         if self.persistence not in ("phase", "operation", "none"):
@@ -162,12 +173,51 @@ class RunResult:
     exclusive_ns: float = 0.0
 
     @property
+    def failed(self) -> bool:
+        """False -- symmetry with :class:`TaskFailure` for the harness."""
+        return False
+
+    @property
     def init_ns(self) -> float:
         return self.phase_ns.get("initialization", 0.0)
 
     @property
     def traversal_ns(self) -> float:
         return self.phase_ns.get("traversal", 0.0)
+
+
+@dataclass
+class TaskFailure:
+    """Structured report of one task the engine could not complete.
+
+    Produced by :meth:`NTadocEngine.run_resilient` (and the per-task
+    degraded mode of :meth:`NTadocEngine.run_many_resilient`) when media
+    damage survives every recovery attempt.  It is never raised: graceful
+    degradation returns it in place of a :class:`RunResult` so sibling
+    tasks keep running and the harness gets a typed, inspectable outcome
+    instead of a silent wrong answer.
+    """
+
+    task: str
+    #: Human-readable message of the terminal error.
+    error: str
+    #: MediaError kind ("checksum"/"stuck"/"lost"), or "oom" when the
+    #: pool ran out of room for a rebuild, or "unprotected" when media
+    #: faults fired without a guard to recover with.
+    kind: str | None = None
+    offset: int | None = None
+    line: int | None = None
+    #: The last :class:`~repro.nvm.scrub.ScrubReport`, if a scrub ran.
+    scrub: Any = None
+    #: Regions renamed out of the way during recovery attempts.
+    quarantined_regions: list[str] = field(default_factory=list)
+    #: Simulated ns elapsed on the run's clock when the task was failed
+    #: (includes the recovery attempts -- they are real, charged work).
+    total_ns: float = 0.0
+
+    @property
+    def failed(self) -> bool:
+        return True
 
 
 def serialized_size(corpus: CompressedCorpus) -> int:
@@ -263,6 +313,8 @@ class _RunState:
     phase_persist: PhasePersistence | None
     op_commit: Any
     pruned: PrunedDag | None = None
+    #: The attached MediaGuard when ``media_protect`` is on, else None.
+    guard: Any = None
 
 
 class NTadocEngine:
@@ -291,6 +343,9 @@ class NTadocEngine:
         self._heads = analysis.heads
         self._tails = analysis.tails
         self._headtail_k = k
+        #: Machinery of the most recent *resilient* run (faultsweep pokes
+        #: at the pool/guard after the run to verify scrub idempotence).
+        self.last_state: _RunState | None = None
 
     # ------------------------------------------------------------------
     # Sizing
@@ -345,6 +400,7 @@ class NTadocEngine:
             cache_bytes=cache_bytes,
             name="pool",
             kernels=config.kernels,
+            track_wear=config.track_wear,
         )
         if fault_plan is not None:
             pool_mem.arm_faults(fault_plan)
@@ -352,7 +408,16 @@ class NTadocEngine:
             DeviceProfile.dram(), 1 << 24, clock, name="dram-scratch", kernels=config.kernels
         )
         dram_alloc = PoolAllocator(dram_mem, base=0, capacity=dram_mem.size)
-        pool = NvmPool(pool_mem, scatter=config.use_scattered_layout)
+        pool = NvmPool(
+            pool_mem,
+            scatter=config.use_scattered_layout,
+            media_protect=config.media_protect,
+        )
+        guard = None
+        if config.media_protect:
+            from repro.nvm.scrub import MediaGuard
+
+            guard = MediaGuard(pool)
         ledger = MemoryLedger()
         self._bind_tracer(clock, pool_mem, dram_mem, ledger)
         return _RunState(
@@ -368,6 +433,7 @@ class NTadocEngine:
                 PhasePersistence(pool) if config.persistence == "phase" else None
             ),
             op_commit=self._make_op_commit(pool),
+            guard=guard,
         )
 
     def _resumed_state(self, report: "RecoveryReport") -> _RunState:
@@ -507,12 +573,21 @@ class NTadocEngine:
         if resume_from is not None:
             return self._run_resumed(task, resume_from)
         state = self._fresh_state(fault_plan)
+        return self._execute_solo(task, state)
+
+    def _execute_solo(self, task: "AnalyticsTask", state: _RunState) -> RunResult:
+        """Both phases of one solo task against prepared machinery.
+
+        Reuses ``state.pruned`` when it already exists (degraded-mode
+        siblings after a media recovery); a fresh state always builds.
+        """
         with obs.attached(self.config.tracer):
             with state.timeline.phase("initialization"):
                 with obs.span("init:stream", category="engine"):
                     self._charge_init_stream(state)
-                with obs.span("init:pool_build", category="engine"):
-                    state.pruned = self._build_pruned(state)
+                if state.pruned is None:
+                    with obs.span("init:pool_build", category="engine"):
+                        state.pruned = self._build_pruned(state)
 
             ctx = self._make_context(state)
 
@@ -647,9 +722,13 @@ class NTadocEngine:
             raise ValueError("run_many needs at least one task")
         if resume_from is not None:
             return self._run_many_resumed(tasks, resume_from)
+        state = self._fresh_state(fault_plan, n_tasks=len(tasks))
+        return self._execute_fused(tasks, state)
+
+    def _execute_fused(self, tasks: "list[AnalyticsTask]", state: _RunState):
+        """One fused plan against prepared machinery (see run_many)."""
         from repro.core.plan import execute_fused
 
-        state = self._fresh_state(fault_plan, n_tasks=len(tasks))
         with obs.attached(self.config.tracer):
             with state.timeline.phase("initialization"):
                 with obs.span("init:stream", category="engine"):
@@ -776,6 +855,263 @@ class NTadocEngine:
         )
         return PlanResult(
             results=results, stats=stats, phase_ns=phase_ns, total_ns=total_ns
+        )
+
+    # ------------------------------------------------------------------
+    # Resilient execution (media-fault graceful degradation)
+    # ------------------------------------------------------------------
+
+    def run_resilient(
+        self,
+        task: "AnalyticsTask",
+        *,
+        fault_plan: "FaultPlan | None" = None,
+        max_recoveries: int = 2,
+    ) -> "RunResult | TaskFailure":
+        """Like :meth:`run`, but media damage degrades gracefully.
+
+        A :class:`~repro.errors.MediaError` surfacing anywhere in the run
+        triggers recovery instead of propagating: scrub the pool (heal
+        transients, remap stuck lines, quarantine unrecoverable chunks),
+        rename the damaged build's regions out of the way (never freed --
+        the exact-size free list would recycle damaged extents into
+        fresh structures), and rebuild the pruned DAG from the source
+        corpus.  After ``max_recoveries`` failed rebuilds the task is
+        failed with a structured :class:`TaskFailure` -- never a silent
+        wrong answer.
+
+        Recovery needs ``EngineConfig(media_protect=True)``; without a
+        guard the first media error fails the task (kind="unprotected").
+        When recovery succeeds the analytics output is bit-identical to
+        a fault-free run's; only simulated time differs (the recovery
+        work is real, charged time).
+        """
+        state = self._fresh_state(fault_plan)
+        self.last_state = state
+        return self._attempt_resilient(task, state, max_recoveries)
+
+    def run_many_resilient(
+        self,
+        tasks: "list[AnalyticsTask]",
+        *,
+        fault_plan: "FaultPlan | None" = None,
+        max_recoveries: int = 2,
+    ):
+        """Like :meth:`run_many`, with per-task graceful degradation.
+
+        The fused plan is attempted once; if a media error surfaces, the
+        pool is scrubbed, the damaged build quarantined, and every task
+        re-run solo against the recovered pool so sibling tasks complete
+        even when one task's data is gone for good.  Tasks that still
+        cannot finish appear as :class:`TaskFailure` entries in
+        ``PlanResult.failures``; ``results`` holds the finishers.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            raise ValueError("run_many_resilient needs at least one task")
+        state = self._fresh_state(fault_plan, n_tasks=len(tasks))
+        self.last_state = state
+        try:
+            return self._execute_fused(tasks, state)
+        except MediaError as exc:
+            if state.guard is None:
+                failures = [
+                    self._fail_task(task, state, exc, kind="unprotected")
+                    for task in tasks
+                ]
+                return self._degraded_plan(state, [], failures)
+            try:
+                self._recover_media(state, [])
+            except MediaError as scrub_exc:
+                # Device failing during its own recovery: every task of
+                # the plan degrades to a typed failure.
+                failures = [
+                    self._fail_task(task, state, scrub_exc) for task in tasks
+                ]
+                return self._degraded_plan(state, [], failures)
+        # Degraded mode: siblings complete solo against the scrubbed
+        # pool; a task whose damage persists fails alone.
+        results: list[RunResult] = []
+        failures: list[TaskFailure] = []
+        for task in tasks:
+            out = self._attempt_resilient(task, state, max_recoveries)
+            if isinstance(out, TaskFailure):
+                failures.append(out)
+            else:
+                results.append(out)
+        return self._degraded_plan(state, results, failures)
+
+    def scrub_and_quarantine(self):
+        """Scrub the last resilient run's pool and quarantine its build.
+
+        The faultsweep harness's post-run leg: a full scrub pass catches
+        *latent* damage the run never read, and the quarantine-rename
+        forces the next :meth:`rerun_resilient` to rebuild from source
+        instead of trusting chunks the scrub's write test touched.
+        Returns the :class:`~repro.nvm.scrub.ScrubReport`.
+
+        Raises:
+            ReproError: without a preceding media-protected resilient run.
+            MediaError: when the device fails faster than the scrub can
+                walk it (damage landing on the scrub's own bookkeeping
+                reads) -- still a typed, detected outcome.
+        """
+        state = self.last_state
+        if state is None or state.guard is None:
+            raise ReproError(
+                "no media-protected resilient run to scrub; call "
+                "run_resilient with EngineConfig(media_protect=True) first"
+            )
+        return self._recover_media(state, [])
+
+    def rerun_resilient(
+        self, task: "AnalyticsTask", *, max_recoveries: int = 2
+    ) -> "RunResult | TaskFailure":
+        """Re-run ``task`` on the last resilient run's machinery.
+
+        The faultsweep harness's re-analyze leg: after
+        :meth:`scrub_and_quarantine` the pool holds only healed (or
+        quarantined) chunks, and a successful re-run must be bit-identical
+        to a fault-free run's analytics output.
+
+        Raises:
+            ReproError: without a preceding resilient run.
+        """
+        if self.last_state is None:
+            raise ReproError("no resilient run to re-analyze")
+        return self._attempt_resilient(task, self.last_state, max_recoveries)
+
+    def _attempt_resilient(
+        self, task: "AnalyticsTask", state: _RunState, max_recoveries: int
+    ) -> "RunResult | TaskFailure":
+        quarantined: list[str] = []
+        last_scrub = None
+        for attempt in range(max_recoveries + 1):
+            try:
+                return self._execute_solo(task, state)
+            except MediaError as exc:
+                if state.guard is None:
+                    return self._fail_task(
+                        task,
+                        state,
+                        exc,
+                        kind="unprotected",
+                        scrub=last_scrub,
+                        quarantined=quarantined,
+                    )
+                if attempt >= max_recoveries:
+                    return self._fail_task(
+                        task, state, exc, scrub=last_scrub, quarantined=quarantined
+                    )
+                try:
+                    last_scrub = self._recover_media(state, quarantined)
+                except MediaError as scrub_exc:
+                    # The device is failing faster than the scrub can
+                    # walk it (e.g. wear death on the recovery's own
+                    # bookkeeping lines).  Still a typed outcome.
+                    return self._fail_task(
+                        task,
+                        state,
+                        scrub_exc,
+                        scrub=last_scrub,
+                        quarantined=quarantined,
+                    )
+            except OutOfMemoryError as exc:
+                # Only rebuilds crowded out by quarantined extents are a
+                # resilience outcome; a fresh-pool OOM is a sizing bug.
+                if not any(
+                    name.startswith("__quarantined")
+                    for name in state.pool.region_names()
+                ):
+                    raise
+                return self._fail_task(
+                    task,
+                    state,
+                    exc,
+                    kind="oom",
+                    scrub=last_scrub,
+                    quarantined=quarantined,
+                )
+        raise AssertionError("unreachable")
+
+    def _recover_media(self, state: _RunState, quarantined: list[str]):
+        """Scrub the pool and quarantine the damaged build (force rebuild).
+
+        Returns the :class:`~repro.nvm.scrub.ScrubReport`.  Every
+        non-infrastructure region of the failed build is renamed to a
+        ``__quarantined{n}__`` name: the rebuild must not collide with
+        surviving names, and the damaged extents must never re-enter the
+        allocator's free list.  Remap-table updates ride a transaction
+        log so a crash mid-recovery stays recoverable by the PR-3 triad.
+        """
+        from repro.nvm.persist import TransactionLog
+
+        pool = state.pool
+        with obs.attached(self.config.tracer):
+            with state.timeline.phase("recovery"):
+                with obs.span("recover:media", category="recovery") as span:
+                    txlog = TransactionLog(
+                        pool, capacity=1 << 14, auto_capacity=True
+                    )
+                    report = state.guard.scrub(txlog=txlog)
+                    seq = sum(
+                        1
+                        for name in pool.region_names()
+                        if name.startswith("__quarantined")
+                    )
+                    for name in list(pool.region_names()):
+                        if name.startswith("__") or name.startswith("results_"):
+                            continue
+                        qname = f"__quarantined{seq}__{name}"
+                        pool.rename_region(name, qname)
+                        quarantined.append(qname)
+                        seq += 1
+                    state.pruned = None
+                    if span is not None:
+                        span.attrs["mismatches"] = report.mismatches
+                        span.attrs["quarantined_regions"] = len(quarantined)
+        return report
+
+    def _fail_task(
+        self,
+        task: "AnalyticsTask",
+        state: _RunState,
+        exc: Exception,
+        *,
+        kind: str | None = None,
+        scrub: Any = None,
+        quarantined: "list[str] | None" = None,
+    ) -> TaskFailure:
+        return TaskFailure(
+            task=task.name,
+            error=str(exc),
+            kind=kind if kind is not None else getattr(exc, "kind", None),
+            offset=getattr(exc, "offset", None),
+            line=getattr(exc, "line", None),
+            scrub=scrub,
+            quarantined_regions=list(quarantined or ()),
+            total_ns=state.clock.ns,
+        )
+
+    def _degraded_plan(
+        self,
+        state: _RunState,
+        results: "list[RunResult]",
+        failures: "list[TaskFailure]",
+    ):
+        from repro.core.plan import PlanResult, PlanStats
+
+        stats = PlanStats(
+            n_tasks=len(results) + len(failures),
+            pool_builds=1,
+            fused=False,
+        )
+        return PlanResult(
+            results=results,
+            stats=stats,
+            phase_ns=state.timeline.as_dict(),
+            total_ns=state.timeline.total_sim_ns(),
+            failures=failures,
         )
 
     # ------------------------------------------------------------------

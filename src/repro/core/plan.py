@@ -82,6 +82,10 @@ class PlanResult:
     stats: PlanStats
     phase_ns: dict[str, float]
     total_ns: float
+    #: ``TaskFailure`` reports for tasks a *resilient* plan could not
+    #: complete after media recovery (always empty for normal plans);
+    #: ``results`` then holds only the tasks that did finish.
+    failures: list[Any] = field(default_factory=list)
 
     def __iter__(self) -> Iterator[Any]:
         return iter(self.results)

@@ -69,6 +69,38 @@ class CrashPoint(ReproError):
     """
 
 
+class MediaError(ReproError):
+    """A read surfaced corrupted media instead of the stored bytes.
+
+    Raised by the integrity layer (checksum-sealed pool chunks, see
+    :mod:`repro.nvm.scrub`) the moment a verified read observes data
+    whose CRC no longer matches its seal -- the typed alternative to
+    silently returning garbage.
+
+    Attributes:
+        offset: Byte offset of the read that detected the damage
+            (``None`` when unknown).
+        line: Media line index of the damaged chunk (``None`` when
+            unknown).
+        kind: Short damage classification -- ``"checksum"`` for a seal
+            mismatch on read, ``"stuck"`` for a write-test failure during
+            scrub, ``"lost"`` for unrecoverable content.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        offset: int | None = None,
+        line: int | None = None,
+        kind: str | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.offset = offset
+        self.line = line
+        self.kind = kind
+
+
 class RecoveryError(ReproError):
     """Recovery could not restore a consistent state."""
 

@@ -51,6 +51,7 @@ from repro.lint.rules import (  # noqa: E402  (registry must exist first)
     nd009_tx_escape,
     nd010_charging_taint,
     nd011_partition_race,
+    nd012_unverified_read,
 )
 
 __all__ = [
@@ -69,4 +70,5 @@ __all__ = [
     "nd009_tx_escape",
     "nd010_charging_taint",
     "nd011_partition_race",
+    "nd012_unverified_read",
 ]

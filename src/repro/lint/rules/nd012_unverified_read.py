@@ -1,0 +1,63 @@
+"""ND012: unverified reads of sealed pool regions outside the guard layer.
+
+With ``media_protect`` on, every pool byte is covered by a per-chunk CRC
+seal, and the verified read path (:meth:`SimulatedMemory.read` and the
+typed accessors above it) is what turns silent media decay into a typed
+:class:`~repro.errors.MediaError`.  ``read_unverified`` /
+``NvmPool.unverified_read`` deliberately skip that check -- the escape
+hatch the :class:`~repro.nvm.scrub.MediaGuard` itself needs to read its
+own seal table (whose lines are unsealed by construction) and to scan
+damaged chunks without recursing into verification.
+
+Anywhere else, an unverified read is a resilience hole: the caller
+consumes whatever the media returns, flipped bits and all, and the
+faultsweep's "never a silent wrong answer" guarantee quietly dies.  Use
+the verified accessors; if a new subsystem genuinely needs raw scans,
+it belongs in ``repro/nvm/`` next to the guard.
+
+Whitelisted: the ``repro/nvm/`` package (the accounting + guard layer
+that defines the escape hatch) and test code.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import Finding, ModuleFile
+from repro.lint.rules import register
+
+#: Packages allowed to bypass seal verification (any file).
+ALLOWED_PACKAGES = ("repro/nvm/",)
+
+_UNVERIFIED_METHODS = ("read_unverified", "unverified_read")
+
+
+def in_allowed_package(module: ModuleFile) -> bool:
+    return any(package in module.rel for package in ALLOWED_PACKAGES)
+
+
+@register
+class UnverifiedRead:
+    id = "ND012"
+    summary = (
+        "unverified device/pool reads outside the NVM guard layer"
+    )
+
+    def check(self, module: ModuleFile) -> Iterator[Finding]:
+        if module.is_test_file or in_allowed_package(module):
+            return
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _UNVERIFIED_METHODS
+            ):
+                yield module.finding(
+                    self.id,
+                    node,
+                    f"'{node.func.attr}()' skips CRC seal verification "
+                    "outside repro/nvm/; corrupted media would be "
+                    "consumed silently -- use the verified read "
+                    "accessors (or move the scan into the guard layer)",
+                )

@@ -49,6 +49,12 @@ class DeviceProfile:
             flush (see :mod:`repro.nvm.faults`) can cut a line mid-way,
             but only at multiples of this unit -- 8 bytes on x86 NVM
             (an aligned store either persists wholly or not at all).
+        endurance_limit: Program/erase cycles a line endures before
+            wear-out makes it unreliable, or ``None`` for media whose
+            endurance is not modelled.  Only consulted when both
+            ``track_wear`` counters and a wear-death
+            :class:`~repro.nvm.faults.FaultPlan` are armed -- the cost
+            model itself never changes.
     """
 
     name: str
@@ -62,6 +68,7 @@ class DeviceProfile:
     byte_addressable: bool
     syscall_ns: float = 0.0
     atomic_unit: int = 8
+    endurance_limit: int | None = None
 
     def line_of(self, offset: int) -> int:
         """Return the line index containing byte ``offset``."""
@@ -103,6 +110,7 @@ class DeviceProfile:
             flush_ns=110.0,
             persistent=True,
             byte_addressable=True,
+            endurance_limit=100_000_000,
         )
 
     @staticmethod

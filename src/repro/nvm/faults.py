@@ -17,7 +17,13 @@ makes those failures first-class and enumerable:
   at :attr:`DeviceProfile.atomic_unit` granularity,
 * crash at the k-th **line-persist** event (the per-line progress of a
   flush), which tears that flush mid-way in write-back order,
-* inject one-shot, detectable **read corruption** at chosen offsets.
+* inject one-shot, detectable **read corruption** at chosen offsets,
+* inject a deterministic **media-error schedule** (:class:`MediaFault`):
+  persistent bit flips armed at a chosen read ordinal, stuck-at lines
+  that re-impose their damage after every rewrite, transient read faults
+  that heal after a bounded number of retries, and wear-triggered line
+  death armed off ``track_wear`` counters crossing
+  :attr:`DeviceProfile.endurance_limit`.
 
 A plan with no crash configured is a pure *counting* plan: it observes
 the event stream (totals, per-flush profiles) so a sweep harness can
@@ -84,6 +90,72 @@ class ReadCorruption:
     consumed: bool = field(default=False, compare=False)
 
 
+#: The media-fault kinds a :class:`MediaFault` can model.
+MEDIA_FAULT_KINDS = ("bitflip", "stuck_line", "transient")
+
+
+@dataclass
+class MediaFault:
+    """One deterministic media error in a :class:`FaultPlan` schedule.
+
+    Unlike one-shot :class:`ReadCorruption`, a media fault has UBER-style
+    semantics chosen by ``kind``:
+
+    * ``"bitflip"`` -- a persistent uncorrectable error: on the first
+      overlapping read at or after the arming ordinal, ``mask`` is XORed
+      into the stored bytes *and the device image*, so every later read
+      sees the same flipped bits until the region is rewritten.
+    * ``"stuck_line"`` -- worn-out cells: each damaged byte latches the
+      value it first surfaces (``stored ^ mask``) and re-imposes it on
+      every overlapping read, even after rewrites.  This is the failure
+      mode wear-triggered line death arms.
+    * ``"transient"`` -- a correctable read glitch: the first ``fails``
+      overlapping reads return ``stored ^ mask`` without touching the
+      image; retry number ``fails + 1`` succeeds.
+
+    Attributes:
+        kind: One of :data:`MEDIA_FAULT_KINDS`.
+        offset: First damaged byte (absolute device offset).
+        mask: XOR damage pattern; its length is the damaged extent.
+        arm_read: Number of reads to let pass unharmed before the fault
+            can fire (0 = armed from the first read), making every fault
+            point enumerable from a counting run's read total.
+        fails: For ``"transient"``, how many overlapping reads fail
+            before the fault heals.
+    """
+
+    kind: str
+    offset: int
+    mask: bytes = b"\xff"
+    arm_read: int = 0
+    fails: int = 1
+    applied: bool = field(default=False, compare=False)
+    healed: bool = field(default=False, compare=False)
+    stuck: dict[int, int] = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in MEDIA_FAULT_KINDS:
+            raise ValueError(f"unknown media fault kind {self.kind!r}")
+        if not self.mask:
+            raise ValueError("media fault mask must be non-empty")
+
+
+def _poke_runs(window, offset, lo, hi, on_media):
+    """Contiguous on-media runs of ``[lo, hi)`` as image patches."""
+    runs = []
+    run_start = None
+    for b in range(lo, hi + 1):
+        if b < hi and on_media(b):
+            if run_start is None:
+                run_start = b
+        elif run_start is not None:
+            runs.append(
+                (run_start, bytes(window[run_start - offset : b - offset]))
+            )
+            run_start = None
+    return runs
+
+
 class FaultPlan:
     """A deterministic schedule of injected failures for one memory.
 
@@ -96,6 +168,14 @@ class FaultPlan:
             the flush persists) when omitted.  ``"line_persist"`` crashes
             derive their tear from the ordinal instead.
         corruptions: :class:`ReadCorruption` sites to surface on reads.
+        media_faults: :class:`MediaFault` schedule applied to reads.
+        wear_death: Arm wear-triggered line death: at each flush, any
+            line whose ``track_wear`` program count has reached the
+            endurance limit becomes a seeded ``"stuck_line"`` media
+            fault (recorded in :attr:`dead_lines`).
+        wear_limit: Endurance override for ``wear_death``; falls back to
+            the device profile's ``endurance_limit``.
+        wear_seed: Seed for the stuck-value patterns of dead lines.
 
     After the plan fires, :attr:`memory` points at the wrecked device and
     :attr:`crash_serial` records the event serial of the failure; callers
@@ -109,6 +189,10 @@ class FaultPlan:
         crash_index: int = 0,
         torn: TornFlush | None = None,
         corruptions: list[ReadCorruption] | tuple[ReadCorruption, ...] = (),
+        media_faults: list[MediaFault] | tuple[MediaFault, ...] = (),
+        wear_death: bool = False,
+        wear_limit: int | None = None,
+        wear_seed: int = 0,
     ) -> None:
         if crash_kind is not None and crash_kind not in EVENT_KINDS:
             raise ValueError(f"unknown crash event kind {crash_kind!r}")
@@ -118,6 +202,21 @@ class FaultPlan:
         self.crash_index = crash_index
         self.torn = torn
         self.corruptions = list(corruptions)
+        self.media_faults = list(media_faults)
+        self.wear_death = wear_death
+        self.wear_limit = wear_limit
+        self.wear_seed = wear_seed
+        #: Lines killed by wear death, in arming order.
+        self.dead_lines: list[int] = []
+        #: Count of charged reads observed (separate from :attr:`events` /
+        #: :attr:`serial`, which keep their PR-3 definitions).
+        self.reads = 0
+        #: Optional observer called as ``on_read(mem, offset, size)`` at
+        #: every counted read.  The faultsweep harness uses it on a
+        #: counting run to learn which offsets each read ordinal touches
+        #: (and whether the spanned lines are dirty), so injected media
+        #: faults land on bytes the workload actually consumes.
+        self.on_read = None
         #: Event counters by kind.
         self.events: dict[str, int] = {kind: 0 for kind in EVENT_KINDS}
         #: Monotonic serial over all events (writes + flushes + line persists).
@@ -156,6 +255,8 @@ class FaultPlan:
         ``None`` means the flush proceeds normally (and its per-line
         persists have been counted here).
         """
+        if self.wear_death:
+            self._check_wear_death(mem)
         self.events["flush"] += 1
         self.serial += 1
         ordinal = self.events["flush"]
@@ -215,6 +316,129 @@ class FaultPlan:
         exc.memory = mem  # type: ignore[attr-defined]
         raise exc
 
+    def _check_wear_death(self, mem: "SimulatedMemory") -> None:
+        """Turn worn-out lines into armed ``stuck_line`` media faults.
+
+        Consulted at each flush (the point where program counts advance):
+        every tracked line whose wear has reached the endurance limit
+        dies with a seeded, line-sized stuck pattern.  Deterministic --
+        lines are scanned in index order and each dies exactly once.
+        """
+        wear = getattr(mem, "wear", None)
+        if not wear:
+            return
+        limit = self.wear_limit
+        if limit is None:
+            limit = mem.profile.endurance_limit
+        if limit is None:
+            return
+        line_size = mem.profile.line_size
+        for line in sorted(wear):
+            if wear[line] < limit or line in self.dead_lines:
+                continue
+            rng = random.Random((self.wear_seed << 20) ^ line)
+            mask = bytes(rng.randrange(1, 256) for _ in range(line_size))
+            self.media_faults.append(
+                MediaFault("stuck_line", line * line_size, mask)
+            )
+            self.dead_lines.append(line)
+
+    # -- media faults ----------------------------------------------------
+
+    def media_hits(
+        self,
+        offset: int,
+        data: bytes,
+        dirty_lines=frozenset(),
+        line_size: int | None = None,
+    ) -> tuple[bytes, list[tuple[int, bytes]]]:
+        """Apply the media-fault schedule to one read window.
+
+        Damage lives in the NVM cells, so bytes whose line is *dirty*
+        (their freshest copy sits in the volatile cache / write-pending
+        queue, not on media) are exempt until the line has been flushed
+        -- which is also what keeps every fault detectable: a chunk is
+        CRC-sealed at the flush that persists it, before any read can
+        surface its damage.
+
+        Args:
+            offset: Absolute device offset of the read.
+            data: The stored bytes the read would have returned.
+            dirty_lines: Lines currently dirty on the issuing memory.
+            line_size: The memory's line size (``None`` disables the
+                dirty exemption; raw unit tests use this).
+
+        Returns:
+            ``(returned, pokes)``: the bytes the read must surface, plus
+            ``(absolute_offset, bytes)`` image patches the memory must
+            store back into the device buffer (persistent damage).  The
+            plan itself never touches the buffer -- that stays the
+            memory's job (ND001 discipline).
+        """
+        end = offset + len(data)
+        window = None
+        pokes: list[tuple[int, bytes]] = []
+
+        def on_media(b: int) -> bool:
+            return line_size is None or (b // line_size) not in dirty_lines
+
+        for fault in self.media_faults:
+            fault_end = fault.offset + len(fault.mask)
+            lo = max(offset, fault.offset)
+            hi = min(end, fault_end)
+            if lo >= hi:
+                continue
+            if self.reads <= fault.arm_read:
+                continue
+            if fault.kind == "bitflip":
+                if fault.applied:
+                    continue  # damage already in the image
+                fired = False
+                for b in range(lo, hi):
+                    if not on_media(b):
+                        continue
+                    if window is None:
+                        window = bytearray(data)
+                    window[b - offset] ^= fault.mask[b - fault.offset]
+                    fired = True
+                if fired:
+                    fault.applied = True
+                    pokes.extend(_poke_runs(window, offset, lo, hi, on_media))
+            elif fault.kind == "stuck_line":
+                fired = False
+                for b in range(lo, hi):
+                    if not on_media(b):
+                        continue
+                    if window is None:
+                        window = bytearray(data)
+                    if b not in fault.stuck:
+                        # Latch the value the cell first fails at.
+                        fault.stuck[b] = (
+                            window[b - offset] ^ fault.mask[b - fault.offset]
+                        )
+                    window[b - offset] = fault.stuck[b]
+                    fired = True
+                if fired:
+                    fault.applied = True
+                    pokes.extend(_poke_runs(window, offset, lo, hi, on_media))
+            elif fault.kind == "transient":
+                if fault.healed or fault.fails <= 0:
+                    continue
+                fired = False
+                for b in range(lo, hi):
+                    if not on_media(b):
+                        continue
+                    if window is None:
+                        window = bytearray(data)
+                    window[b - offset] ^= fault.mask[b - fault.offset]
+                    fired = True
+                if fired:
+                    fault.applied = True
+                    fault.fails -= 1
+                    if fault.fails == 0:
+                        fault.healed = True
+        return (bytes(window) if window is not None else data, pokes)
+
     # -- read corruption ------------------------------------------------
 
     @property
@@ -227,9 +451,14 @@ class FaultPlan:
         """Consume corruption sites overlapping ``[offset, offset+size)``.
 
         Returns ``(relative_offset, mask, sticky)`` triples clipped to the
-        read window; each site fires at most once.
+        read window.  Only the *overlapped* part of a site is consumed: a
+        corruption range spanning cache-line or atomic-unit boundaries
+        that is read piecewise (line by line, or word by word) re-arms its
+        unread prefix/suffix as fresh sites, so every damaged byte
+        eventually surfaces no matter how the reads are windowed.
         """
         hits: list[tuple[int, bytes, bool]] = []
+        new_sites: list[ReadCorruption] = []
         end = offset + size
         for site in self.corruptions:
             if site.consumed or not site.mask:
@@ -240,6 +469,17 @@ class FaultPlan:
             site.consumed = True
             lo = max(site.offset, offset)
             hi = min(site_end, end)
+            if site.offset < lo:
+                new_sites.append(
+                    ReadCorruption(
+                        site.offset, site.mask[: lo - site.offset], site.sticky
+                    )
+                )
+            if site_end > hi:
+                new_sites.append(
+                    ReadCorruption(hi, site.mask[hi - site.offset :], site.sticky)
+                )
             mask = site.mask[lo - site.offset : hi - site.offset]
             hits.append((lo - offset, mask, site.sticky))
+        self.corruptions.extend(new_sites)
         return hits

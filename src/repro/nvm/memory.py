@@ -31,9 +31,10 @@ layer's checksums and ping-pong slots are hardened against.
 from __future__ import annotations
 
 import mmap
+import zlib
 from pathlib import Path
 
-from repro.errors import InvalidAccessError
+from repro.errors import InvalidAccessError, MediaError
 from repro.kernels import make as _make_kernels
 from repro.kernels.core import pack_values as _pack_values
 from repro.kernels.core import typed_array as _typed_array
@@ -156,6 +157,16 @@ class SimulatedMemory:
         #: (see repro.nvm.trace.record_trace); kernels would bypass the
         #: patched methods, so they stand down for the duration.
         self._recording = False
+        #: Integrity mirror (line -> CRC32 of the line's bytes) attached
+        #: by a :class:`~repro.nvm.scrub.MediaGuard`; ``None`` almost
+        #: always, so unprotected reads pay one attribute load.
+        self._integrity_seals: dict[int, int] | None = None
+        #: Lines exempt from program-time resealing (the guard's own
+        #: on-media tables).
+        self._integrity_exclude: frozenset[int] | set[int] = frozenset()
+        #: Depth of :meth:`read_unverified` nesting; > 0 suspends seal
+        #: verification (scrub reads damaged lines on purpose).
+        self._verify_suspended = 0
         #: Bulk-kernel set for this device (see :mod:`repro.kernels`):
         #: a :class:`~repro.kernels.core.Kernels` instance, or ``None``
         #: when ``kernels="off"`` selects the scalar reference paths.
@@ -216,8 +227,16 @@ class SimulatedMemory:
             stats.bytes_read += size
             data = bytes(self._buf[offset:end])
             plan = self._fault_plan
-            if plan is not None and plan.has_pending_corruption:
-                data = self._corrupt_read(offset, data)
+            if plan is not None:
+                plan.reads += 1
+                if plan.on_read is not None:
+                    plan.on_read(self, offset, size)
+                if plan.has_pending_corruption:
+                    data = self._corrupt_read(offset, data)
+                if plan.media_faults:
+                    data = self._media_read(offset, data)
+            if self._integrity_seals is not None and size:
+                self._verify_window(offset, data)
             return data
         self._check_range(offset, size)
         self._touch_impl(offset, size, False)
@@ -225,8 +244,16 @@ class SimulatedMemory:
         stats.bytes_read += size
         data = bytes(self._buf[offset : offset + size])
         plan = self._fault_plan
-        if plan is not None and plan.has_pending_corruption:
-            data = self._corrupt_read(offset, data)
+        if plan is not None:
+            plan.reads += 1
+            if plan.on_read is not None:
+                plan.on_read(self, offset, size)
+            if plan.has_pending_corruption:
+                data = self._corrupt_read(offset, data)
+            if plan.media_faults:
+                data = self._media_read(offset, data)
+        if self._integrity_seals is not None and size:
+            self._verify_window(offset, data)
         return data
 
     def write(self, offset: int, data: bytes | bytearray | memoryview) -> None:
@@ -319,15 +346,17 @@ class SimulatedMemory:
 
         False while a fault plan is armed (kernels would skip the
         per-write hooks and read-corruption sites), under the per-line
-        reference cost model, or while a trace recorder has the scalar
-        accessors patched; callers then take the scalar path, which
-        handles all three.
+        reference cost model, while a trace recorder has the scalar
+        accessors patched, or while an integrity mirror is attached
+        (kernels would skip seal verification); callers then take the
+        scalar path, which handles all four.
         """
         return (
             self.kernels is not None
             and self._batched
             and self._fault_plan is None
             and not self._recording
+            and self._integrity_seals is None
         )
 
     def read_array(self, offset: int, count: int, elem_size: int, signed: bool = False):
@@ -363,11 +392,20 @@ class SimulatedMemory:
         if (
             not self._batched
             or (end - 1) // line_size != first
-            or (plan is not None and plan.has_pending_corruption)
+            or (
+                plan is not None
+                and (plan.has_pending_corruption or plan.media_faults)
+            )
+            or self._integrity_seals is not None
         ):
-            # Injected read corruption is applied by read(); route scalar
-            # loads through it while any site is pending.
+            # Injected corruption/media faults and seal verification are
+            # applied by read(); route scalar loads through it while any
+            # is armed.
             return int.from_bytes(self.read(offset, size), "little", signed=signed)
+        if plan is not None:
+            plan.reads += 1
+            if plan.on_read is not None:
+                plan.on_read(self, offset, size)
         if offset < 0 or end > self.size:
             self._check_range(offset, size)
         stats = self.stats
@@ -486,15 +524,28 @@ class SimulatedMemory:
         line_size = profile.line_size
         first = offset // line_size
         end = offset + size
-        if not self._batched or (end - 1) // line_size != first:
+        plan = self._fault_plan
+        if (
+            not self._batched
+            or (end - 1) // line_size != first
+            or (plan is not None and plan.media_faults)
+            or self._integrity_seals is not None
+        ):
+            # Media faults / seal checks live in read(); the literal
+            # read+write sequence keeps the read half on that path (one
+            # counted read either way, so fault ordinals line up with a
+            # counting run's).
             value = (
                 int.from_bytes(self.read(offset, size), "little", signed=signed)
                 + delta
             )
             self.write(offset, value.to_bytes(size, "little", signed=signed))
             return value
-        if self._fault_plan is not None:
-            self._fault_plan.on_write(self)
+        if plan is not None:
+            plan.reads += 1
+            if plan.on_read is not None:
+                plan.on_read(self, offset, size)
+            plan.on_write(self)
         if offset < 0 or end > self.size:
             self._check_range(offset, size)
         stats = self.stats
@@ -563,12 +614,17 @@ class SimulatedMemory:
         order (the traversal engine consumes in-degree decrements this
         way); the default skips the list entirely.
         """
-        if not self._batched or (
-            isinstance(pairs, (list, tuple)) and len(pairs) < 12
+        plan = self._fault_plan
+        if (
+            not self._batched
+            or (isinstance(pairs, (list, tuple)) and len(pairs) < 12)
+            or (plan is not None and plan.media_faults)
+            or self._integrity_seals is not None
         ):
             # Short site lists: the scalar fused path is cheaper than
             # hoisting the batch loop's locals.  Accounting is identical
-            # either way.
+            # either way.  Media faults / seal checks also take this
+            # route -- rmw_add defers to read()+write() for them.
             values = [
                 self.rmw_add(offset, size, delta, signed=signed)
                 for offset, delta in pairs
@@ -663,6 +719,9 @@ class SimulatedMemory:
                         values.append(value)
                     continue
                 if fault_plan is not None:
+                    fault_plan.reads += 1
+                    if fault_plan.on_read is not None:
+                        fault_plan.on_read(self, offset, size)
                     fault_plan.on_write(self)
                 # Read half (reads always fetch on miss; no_fetch is
                 # write-only -- see _touch), with the LRU dict driven
@@ -880,6 +939,13 @@ class SimulatedMemory:
         """Number of lines dirtied since the last flush."""
         return len(self._dirty_lines)
 
+    def dirty_lines(self) -> list[int]:
+        """Line indices dirtied since the last flush, ascending.
+
+        The media guard reseals exactly this set on ``pool.flush``.
+        """
+        return sorted(self._dirty_lines)
+
     # ------------------------------------------------------------------
     # Fault injection (see repro.nvm.faults)
     # ------------------------------------------------------------------
@@ -920,6 +986,104 @@ class SimulatedMemory:
                 ]
         return bytes(out)
 
+    def _media_read(self, offset: int, data: bytes) -> bytes:
+        """Apply the plan's media-fault schedule to this read.
+
+        The plan computes what the damaged cells return and which patches
+        are persistent; storing those patches into the device image stays
+        this class's job (ND001: fault code never touches ``_buf``).
+        """
+        patched, pokes = self._fault_plan.media_hits(
+            offset, data, self._dirty_lines, self.profile.line_size
+        )
+        for abs_off, chunk in pokes:
+            self._buf[abs_off : abs_off + len(chunk)] = chunk
+        return patched
+
+    # ------------------------------------------------------------------
+    # Integrity verification (see repro.nvm.scrub)
+    # ------------------------------------------------------------------
+
+    def attach_integrity(
+        self, seals: dict[int, int], exclude: "frozenset[int] | set[int]" = frozenset()
+    ) -> None:
+        """Attach a CRC mirror: every verified read checks its seals.
+
+        Args:
+            seals: Live mapping of line index -> expected CRC32 of that
+                line's bytes.  Reads spanning a sealed, clean line verify
+                it against this mirror and raise
+                :class:`~repro.errors.MediaError` on mismatch.
+            exclude: Lines never auto-sealed at program time (the guard's
+                own on-media tables; sealing them from inside table
+                maintenance would never converge).
+
+        While attached, every media program event (flush write-back or
+        cache eviction) reseals the programmed line with the CRC of the
+        bytes it stores, so *all* persisted content is verifiable -- not
+        just lines that happened to be dirty at a pool flush.
+        Verification models the DIMM's always-on ECC check: it adds no
+        simulated charge, it only converts garbage into a typed error.
+        """
+        self._integrity_seals = seals
+        self._integrity_exclude = exclude
+
+    def detach_integrity(self) -> None:
+        """Detach the CRC mirror; subsequent reads skip verification."""
+        self._integrity_seals = None
+        self._integrity_exclude = frozenset()
+
+    def read_unverified(self, offset: int, size: int) -> bytes:
+        """Charged read with seal verification suspended.
+
+        The scrub pass uses this to inspect suspect lines without
+        tripping the very :class:`~repro.errors.MediaError` it exists to
+        repair.  Charging is identical to :meth:`read`.  Fenced outside
+        ``repro/nvm/`` by lint rule ND012.
+        """
+        self._verify_suspended += 1
+        try:
+            return self.read(offset, size)
+        finally:
+            self._verify_suspended -= 1
+
+    def _verify_window(self, offset: int, data: bytes) -> None:
+        """Check every sealed, clean line spanned by a completed read.
+
+        The returned window is overlaid on the line's stored bytes before
+        hashing so purely-transient faults (which never touch the image)
+        are caught too.  Dirty lines are skipped: their seals are either
+        refreshed or invalidated at the next flush.
+        """
+        if self._verify_suspended:
+            return
+        seals = self._integrity_seals
+        line_size = self.profile.line_size
+        end = offset + len(data)
+        dirty = self._dirty_lines
+        for line in range(offset // line_size, (end - 1) // line_size + 1):
+            expected = seals.get(line)
+            if expected is None or line in dirty:
+                continue
+            start = line * line_size
+            stop = min(start + line_size, self.size)
+            chunk = bytearray(self._buf[start:stop])
+            lo = max(offset, start)
+            hi = min(end, stop)
+            chunk[lo - start : hi - start] = data[lo - offset : hi - offset]
+            # Seals store crc32-or-1 (0 means unsealed); mirror the
+            # mapping here so a true CRC of zero still verifies.
+            if (zlib.crc32(bytes(chunk)) or 1) != expected:
+                exc = MediaError(
+                    f"{self.name}: CRC seal mismatch on line {line} "
+                    f"(read [{offset}, {end}))",
+                    offset=lo,
+                    line=line,
+                    kind="checksum",
+                )
+                exc.memory = self  # type: ignore[attr-defined]
+                raise exc
+
     # ------------------------------------------------------------------
     # Raw access (no cost) -- verification and test support only
     # ------------------------------------------------------------------
@@ -946,10 +1110,22 @@ class SimulatedMemory:
             )
 
     def _program_line(self, line: int) -> None:
-        """Count one media program of ``line`` (endurance accounting)."""
+        """Count one media program of ``line`` (endurance accounting).
+
+        With an integrity mirror attached the program also reseals the
+        line: CRC generation rides the media write like DIMM ECC, so no
+        simulated time is charged (only the guard's on-media table
+        maintenance is charged work).
+        """
         self._media_lines.add(line)
         if self.wear is not None:
             self.wear[line] = self.wear.get(line, 0) + 1
+        seals = self._integrity_seals
+        if seals is not None and line not in self._integrity_exclude:
+            line_size = self.profile.line_size
+            start = line * line_size
+            stop = min(start + line_size, self.size)
+            seals[line] = zlib.crc32(bytes(self._buf[start:stop])) or 1
 
     def _touch(self, offset: int, size: int, dirty: bool) -> None:
         """Per-line reference cost model: cache each line, charge the clock.

@@ -44,6 +44,11 @@ from repro.obs import tracer as obs
 
 _MAGIC = 0x4E5441444F43504C  # "NTADOCPL"
 _VERSION = 2
+#: Version 3 = version 2 layout + a ``__seals__`` region of per-chunk
+#: CRC32 seals maintained by :class:`~repro.nvm.scrub.MediaGuard`.  The
+#: header bytes themselves are identical; the version digit records that
+#: readers must expect (and may verify against) the seal table.
+_VERSION_PROTECTED = 3
 _FIXED_FMT = "<QI"  # magic, version
 _FIXED_SIZE = 16  # struct.calcsize + 4 pad bytes
 _SLOT_FMT = "<IIQII"  # seq, count, allocator top, blob length, blob crc32
@@ -60,6 +65,10 @@ class NvmPool:
         memory: Backing simulated memory.
         header_bytes: Bytes reserved at offset 0 for the directory.
         scatter: Forwarded to the allocator (naive-baseline mode).
+        media_protect: Save the directory as layout version 3 and expect
+            a CRC seal table (see :mod:`repro.nvm.scrub`).  Off by
+            default -- an unprotected pool is byte-identical to the
+            version-2 behavior.
     """
 
     def __init__(
@@ -67,11 +76,16 @@ class NvmPool:
         memory: SimulatedMemory,
         header_bytes: int = 4096,
         scatter: bool = False,
+        media_protect: bool = False,
     ) -> None:
         if (header_bytes - _ARENA_BASE) // 2 < 64:
             raise ValueError("header too small for pool metadata")
         self.memory = memory
         self.header_bytes = header_bytes
+        self.media_protect = media_protect
+        #: The attached :class:`~repro.nvm.scrub.MediaGuard`, when media
+        #: protection is active; ``flush`` asks it to reseal dirty chunks.
+        self.media_guard = None
         self.allocator = PoolAllocator(
             memory,
             base=header_bytes,
@@ -141,6 +155,22 @@ class NvmPool:
         if name not in self._regions:
             raise PoolLayoutError(f"no region named {name!r}")
         self._regions[name] = (offset, size)
+
+    def rename_region(self, old: str, new: str) -> None:
+        """Rename a region in place (the extent does not move).
+
+        Graceful degradation uses this to move a damaged region under a
+        quarantine name instead of freeing it -- a freed damaged extent
+        would be recycled by the allocator into fresh structures.
+
+        Raises:
+            PoolLayoutError: if ``old`` is missing or ``new`` exists.
+        """
+        if new in self._regions:
+            raise PoolLayoutError(f"region {new!r} already exists")
+        extent = self.get_region(old)
+        del self._regions[old]
+        self._regions[new] = extent
 
     def region_names(self) -> list[str]:
         """Return region names in insertion order."""
@@ -233,7 +263,8 @@ class NvmPool:
             _SLOT_SIZE - _SLOT_BODY_SIZE - 4
         )
         mem = self.memory
-        mem.write(0, struct.pack(_FIXED_FMT, _MAGIC, _VERSION))
+        version = _VERSION_PROTECTED if self.media_protect else _VERSION
+        mem.write(0, struct.pack(_FIXED_FMT, _MAGIC, version))
         if blob:
             mem.write(self._arena_off(arena), blob)
         mem.write(self._slot_off(arena), slot)
@@ -287,8 +318,9 @@ class NvmPool:
         magic, version = struct.unpack_from(_FIXED_FMT, raw, 0)
         if magic != _MAGIC:
             raise PoolLayoutError("bad pool magic: not an N-TADOC pool image")
-        if version != _VERSION:
+        if version not in (_VERSION, _VERSION_PROTECTED):
             raise PoolLayoutError(f"unsupported pool version {version}")
+        self.media_protect = version == _VERSION_PROTECTED
         best: tuple[int, int, dict[str, tuple[int, int]]] | None = None
         seqs = [0, 0]
         for arena in (0, 1):
@@ -310,10 +342,25 @@ class NvmPool:
         # The loaded image is by definition on media: both arenas clean.
         self._arena_epoch = [-1, -1]
 
+    def unverified_read(self, offset: int, size: int) -> bytes:
+        """Charged read with seal verification suspended (scrub only).
+
+        Delegates to ``memory.read_unverified``; fenced outside
+        ``repro/nvm/`` by lint rule ND012.
+        """
+        return self.memory.read_unverified(offset, size)
+
     def flush(self) -> int:
-        """Persist the directory and all dirty lines; return lines flushed."""
+        """Persist the directory and all dirty lines; return lines flushed.
+
+        When a :class:`~repro.nvm.scrub.MediaGuard` is attached, dirty
+        chunks are resealed after the directory write so the CRC table
+        reaching media covers exactly the bytes this flush persists.
+        """
         with obs.span("pool:flush", category="pool") as span:
             self.save_directory()
+            if self.media_guard is not None:
+                self.media_guard.seal_dirty()
             flushed = self.memory.flush()
             if span is not None:
                 span.attrs["lines_flushed"] = flushed

@@ -1,0 +1,381 @@
+"""Chunk-granular CRC sealing and media scrub for a protected pool.
+
+A :class:`MediaGuard` makes an :class:`~repro.nvm.pool.NvmPool`
+*self-verifying*: every chunk (one device line) that reaches media --
+whether through ``pool.flush`` or a cache-eviction write-back -- is
+sealed with a CRC32 kept in an in-memory mirror (resealed at program
+time by the memory itself, like ECC generation riding the media write)
+and persisted to an on-media ``__seals__`` table at each pool flush.  The mirror is attached to the
+backing memory (``attach_integrity``), so every ordinary read that spans
+a sealed, clean chunk is verified for free and surfaces damage as a
+typed :class:`~repro.errors.MediaError` instead of garbage -- modelling
+the DIMM's always-on ECC check, which is why verification itself charges
+no simulated time.  All *maintenance* of the seal table (sealing reads,
+table writes, scrub scans, retries) is charged honestly.
+
+On-media layout (both regions live in the pool directory like any other
+region, so they survive reopen and crash recovery):
+
+* ``__seals__`` -- ``u32[device_lines]``; entry ``L`` holds
+  ``crc32(line L) or 1`` when sealed, ``0`` when unsealed.  (The ``or
+  1`` keeps 0 unambiguous; a true CRC of zero is stored as 1 and
+  verified under the same mapping.)
+* ``__badlines__`` -- ``u32 count`` followed by ``(u64 bad_line,
+  u64 replacement_offset)`` entries; the bad-line remap table.  Updates
+  go through the PR-3 :class:`~repro.nvm.persist.TransactionLog` when
+  one is supplied, so a crash mid-remap rolls back to a consistent
+  table.
+
+The :meth:`MediaGuard.scrub` pass implements the recovery half of the
+resilience triad: re-read every sealed chunk (verification suspended),
+retry transient faults with exponential backoff (simulated-ns charged),
+write-test persistently damaged chunks to split *stuck* cells (remapped)
+from *lost* content (quarantined), and repair the on-media seal table
+from the mirror.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+
+from repro.errors import PoolLayoutError
+from repro.nvm.pool import NvmPool
+from repro.obs import tracer as obs
+
+#: Pool region holding the on-media per-line CRC table.
+SEAL_REGION = "__seals__"
+#: Pool region holding the bad-line remap table.
+REMAP_REGION = "__badlines__"
+
+_REMAP_HEADER_SIZE = 8  # u32 count + pad
+_REMAP_ENTRY_SIZE = 16  # u64 bad line, u64 replacement offset
+_REMAP_CAPACITY = 64  # entries
+
+
+@dataclass
+class ScrubReport:
+    """Outcome of one :meth:`MediaGuard.scrub` pass.
+
+    Attributes:
+        chunks_scanned: Sealed chunks re-read and checked.
+        mismatches: Chunks whose first re-read failed its seal.
+        corrected: Mismatched chunks that came back clean on a retry
+            (transient faults healed by backoff) or whose seal-table
+            entry was repaired from the mirror.
+        quarantined: Chunks with persistent damage: their seal was
+            dropped and they are listed in :attr:`damaged_lines` for the
+            engine to quarantine.
+        bad_lines_remapped: Stuck chunks entered into the remap table.
+        table_repaired: On-media seal-table entries rewritten from the
+            mirror (the table is the one structure seals cannot cover).
+        scrub_ns: Simulated time the pass charged.
+        damaged_lines: ``(line, kind)`` pairs for persistent damage --
+            ``"stuck"`` (write-test failed, remapped) or ``"lost"``
+            (cells writable but content unrecoverable).
+    """
+
+    chunks_scanned: int = 0
+    mismatches: int = 0
+    corrected: int = 0
+    quarantined: int = 0
+    bad_lines_remapped: int = 0
+    table_repaired: int = 0
+    scrub_ns: float = 0.0
+    damaged_lines: list[tuple[int, str]] = field(default_factory=list)
+
+
+class MediaGuard:
+    """Maintains CRC seals over a media-protected pool and scrubs them.
+
+    Args:
+        pool: A pool created (or loaded) with ``media_protect=True``.
+        max_retries: Bounded retries per mismatched chunk before the
+            write test runs.
+        retry_base_ns: Backoff base; retry ``i`` charges
+            ``retry_base_ns * 2**i`` simulated nanoseconds.
+    """
+
+    def __init__(
+        self,
+        pool: NvmPool,
+        max_retries: int = 3,
+        retry_base_ns: float = 500.0,
+    ) -> None:
+        if not pool.media_protect:
+            raise PoolLayoutError(
+                "MediaGuard requires a pool with media_protect=True"
+            )
+        self.pool = pool
+        self.memory = pool.memory
+        self.max_retries = max_retries
+        self.retry_base_ns = retry_base_ns
+        mem = self.memory
+        self._line_size = mem.profile.line_size
+        self._device_lines = (mem.size + self._line_size - 1) // self._line_size
+        #: Live CRC mirror (line -> crc32-or-1); attached to the memory,
+        #: which reseals entries at every media program event.
+        self._seals: dict[int, int] = {}
+        #: Lines whose on-media table entry is currently non-zero.
+        self._synced: set[int] = set()
+        #: Bad line -> replacement offset (loaded from ``__badlines__``).
+        self.remap: dict[int, int] = {}
+        # Both guard regions are line-aligned and line-padded so they
+        # never share a device line with user data -- their lines are
+        # excluded from sealing, and a shared line would silently exempt
+        # the neighboring data bytes from protection.
+        def _line_pad(size: int) -> int:
+            ls = self._line_size
+            return (size + ls - 1) // ls * ls
+
+        table_bytes = _line_pad(4 * self._device_lines)
+        remap_bytes = _line_pad(
+            _REMAP_HEADER_SIZE + _REMAP_CAPACITY * _REMAP_ENTRY_SIZE
+        )
+        if pool.has_region(SEAL_REGION):
+            self._table_off, _ = pool.get_region(SEAL_REGION)
+            self._load_table()
+        else:
+            self._table_off = pool.alloc_region(
+                SEAL_REGION, table_bytes, align=self._line_size
+            )
+            mem.fill(self._table_off, table_bytes, 0)
+        if pool.has_region(REMAP_REGION):
+            self._remap_off, _ = pool.get_region(REMAP_REGION)
+            self._load_remap()
+        else:
+            self._remap_off = pool.alloc_region(
+                REMAP_REGION, remap_bytes, align=self._line_size
+            )
+            mem.write_uint(self._remap_off, 4, 0)
+        #: Lines backing the guard's own tables -- never sealed, or the
+        #: table would checksum itself.
+        self._infra_lines = frozenset(
+            self._extent_lines(self._table_off, table_bytes)
+            | self._extent_lines(self._remap_off, remap_bytes)
+        )
+        pool.media_guard = self
+        mem.attach_integrity(self._seals, exclude=self._infra_lines)
+
+    def _extent_lines(self, offset: int, size: int) -> set[int]:
+        return set(self.memory.profile.lines_spanned(offset, size))
+
+    def _load_table(self) -> None:
+        """Reopen path: rebuild the mirror from the on-media table."""
+        mem = self.memory
+        raw = mem.read_unverified(self._table_off, 4 * self._device_lines)
+        for line in range(self._device_lines):
+            crc = int.from_bytes(raw[4 * line : 4 * line + 4], "little")
+            if crc:
+                self._seals[line] = crc
+                self._synced.add(line)
+
+    def _load_remap(self) -> None:
+        mem = self.memory
+        count = int.from_bytes(mem.read_unverified(self._remap_off, 4), "little")
+        pos = self._remap_off + _REMAP_HEADER_SIZE
+        for _ in range(min(count, _REMAP_CAPACITY)):
+            raw = mem.read_unverified(pos, _REMAP_ENTRY_SIZE)
+            bad = int.from_bytes(raw[:8], "little")
+            repl = int.from_bytes(raw[8:], "little")
+            self.remap[bad] = repl
+            pos += _REMAP_ENTRY_SIZE
+
+    # ------------------------------------------------------------------
+    # Sealing
+    # ------------------------------------------------------------------
+
+    def seal_dirty(self) -> None:
+        """Reseal every dirty chunk; called by ``pool.flush``.
+
+        Runs between the directory save and ``memory.flush()``, so the
+        CRCs cover exactly the bytes the flush persists, and the table
+        writes themselves ride the same flush.  (The memory reseals the
+        *mirror* again at program time -- same bytes, same CRCs; this
+        pass exists to pay for sealing honestly and to persist the
+        table.)  Chunks backing the guard's own tables are excluded.
+        """
+        mem = self.memory
+        line_size = self._line_size
+        sealed: list[tuple[int, int]] = []
+        for line in mem.dirty_lines():
+            if line in self._infra_lines:
+                continue
+            start = line * line_size
+            size = min(line_size, mem.size - start)
+            crc = zlib.crc32(mem.read_unverified(start, size)) or 1
+            self._seals[line] = crc
+            sealed.append((line, crc))
+        # Sync the on-media table: zero entries whose seal was dropped
+        # (a line flushed without a reseal), then write the new seals.
+        for line in sorted(self._synced - self._seals.keys()):
+            mem.write_uint(self._table_off + 4 * line, 4, 0)
+            self._synced.discard(line)
+        for line, crc in sealed:
+            mem.write_uint(self._table_off + 4 * line, 4, crc)
+            self._synced.add(line)
+
+    def sealed_lines(self) -> list[int]:
+        """Currently sealed chunk indices, ascending."""
+        return sorted(self._seals)
+
+    def translate(self, offset: int) -> int:
+        """Map an offset through the bad-line remap table."""
+        repl = self.remap.get(offset // self._line_size)
+        if repl is None:
+            return offset
+        return repl + offset % self._line_size
+
+    def detach(self) -> None:
+        """Stop verifying reads against this guard's mirror."""
+        if self.pool.media_guard is self:
+            self.pool.media_guard = None
+        self.memory.detach_integrity()
+
+    # ------------------------------------------------------------------
+    # Scrub
+    # ------------------------------------------------------------------
+
+    def scrub(self, txlog=None) -> ScrubReport:
+        """Sweep every seal; heal, remap, or quarantine what fails.
+
+        For each sealed chunk: re-read (verification suspended -- the
+        scrub *wants* to look at damage) and compare against the mirror.
+        A mismatch triggers up to ``max_retries`` re-reads behind
+        exponential backoff, which heals transient faults.  A chunk that
+        stays bad is write-tested: if the pattern does not read back the
+        cells are stuck -- the chunk is entered into the bad-line remap
+        table (transactionally when ``txlog`` is given) and quarantined;
+        if the pattern reads back the cells are fine but the content is
+        lost -- quarantined without remap.  Either way its seal is
+        dropped, so a second pass over the same damage is clean
+        (idempotence).  Finally the on-media seal table is verified
+        against the mirror and repaired if they diverge.
+
+        Args:
+            txlog: Optional :class:`~repro.nvm.persist.TransactionLog`
+                making remap-table updates crash-consistent.
+
+        Returns:
+            A :class:`ScrubReport`; ``report.scrub_ns`` is the simulated
+            time the pass charged.
+        """
+        mem = self.memory
+        pool = self.pool
+        line_size = self._line_size
+        report = ScrubReport()
+        start_ns = mem.clock.ns
+        with obs.span("scrub:pass", category="scrub") as span:
+            for line in sorted(self._seals):
+                expected = self._seals[line]
+                start = line * line_size
+                size = min(line_size, mem.size - start)
+                data = pool.unverified_read(start, size)
+                report.chunks_scanned += 1
+                if (zlib.crc32(data) or 1) == expected:
+                    continue
+                report.mismatches += 1
+                if self._retry_chunk(start, size, expected, report):
+                    report.corrected += 1
+                    continue
+                self._handle_persistent_damage(
+                    line, start, size, report, txlog
+                )
+            self._repair_table(report)
+            if span is not None:
+                span.attrs["chunks"] = report.chunks_scanned
+                span.attrs["mismatches"] = report.mismatches
+        report.scrub_ns = mem.clock.ns - start_ns
+        return report
+
+    def _retry_chunk(
+        self, start: int, size: int, expected: int, report: ScrubReport
+    ) -> bool:
+        """Bounded retry-with-backoff; True if a re-read came back clean."""
+        mem = self.memory
+        for attempt in range(self.max_retries):
+            with obs.span("scrub:retry", category="scrub") as span:
+                mem.clock.advance(self.retry_base_ns * (2**attempt))
+                data = self.pool.unverified_read(start, size)
+                if span is not None:
+                    span.attrs["attempt"] = attempt + 1
+            if (zlib.crc32(data) or 1) == expected:
+                return True
+        return False
+
+    def _handle_persistent_damage(
+        self,
+        line: int,
+        start: int,
+        size: int,
+        report: ScrubReport,
+        txlog,
+    ) -> None:
+        """Write-test a persistently bad chunk; remap or quarantine it."""
+        mem = self.memory
+        pattern = bytes((line + i) & 0xFF for i in range(size))
+        mem.write(start, pattern)
+        # The pattern must reach media before the read-back -- stuck
+        # cells only corrupt what is actually stored in them, not the
+        # write-pending copy in the volatile cache.
+        mem.flush()
+        readback = mem.read_unverified(start, size)
+        stuck = readback != pattern
+        # The chunk's content is gone either way: drop the seal (mirror
+        # and on-media table) so a second scrub -- and post-recovery
+        # reads of rebuilt regions -- runs clean.
+        self._seals.pop(line, None)
+        if line in self._synced:
+            mem.write_uint(self._table_off + 4 * line, 4, 0)
+            self._synced.discard(line)
+        if stuck:
+            self._record_bad_line(line, txlog)
+            report.bad_lines_remapped += 1
+            report.damaged_lines.append((line, "stuck"))
+        else:
+            report.damaged_lines.append((line, "lost"))
+        report.quarantined += 1
+
+    def _record_bad_line(self, line: int, txlog) -> None:
+        """Append one remap entry, crash-consistently when possible."""
+        if line in self.remap:
+            return
+        if len(self.remap) >= _REMAP_CAPACITY:
+            return  # table full; the line is still quarantined
+        mem = self.memory
+        replacement = self.pool.allocator.alloc(
+            self._line_size, self._line_size
+        )
+        index = len(self.remap)
+        entry_off = (
+            self._remap_off + _REMAP_HEADER_SIZE + index * _REMAP_ENTRY_SIZE
+        )
+        entry = line.to_bytes(8, "little") + replacement.to_bytes(8, "little")
+        count = (index + 1).to_bytes(4, "little")
+        if txlog is not None:
+            # Entry first, count last: the PR-3 undo log rolls both back
+            # on a crash, and an entry without its count bump is invisible.
+            with txlog.transaction() as tx:
+                tx.write(entry_off, entry)
+                tx.write(self._remap_off, count)
+        else:
+            mem.write(entry_off, entry)
+            mem.write(self._remap_off, count)
+        self.remap[line] = replacement
+
+    def _repair_table(self, report: ScrubReport) -> None:
+        """Verify the on-media seal table against the mirror; rewrite
+        divergent entries (the table is the one structure the seals
+        cannot protect, so the mirror is its authority)."""
+        mem = self.memory
+        raw = mem.read_unverified(self._table_off, 4 * self._device_lines)
+        for line in range(self._device_lines):
+            stored = int.from_bytes(raw[4 * line : 4 * line + 4], "little")
+            want = self._seals.get(line, 0)
+            if stored != want:
+                mem.write_uint(self._table_off + 4 * line, 4, want)
+                if want:
+                    self._synced.add(line)
+                else:
+                    self._synced.discard(line)
+                report.table_repaired += 1

@@ -69,3 +69,22 @@ def wear_report(memory: SimulatedMemory) -> WearReport:
         max_line_programs=max(counters.values()),
         mean_line_programs=total / len(counters),
     )
+
+
+def hottest_lines(
+    memory: SimulatedMemory, k: int = 10
+) -> list[tuple[int, int]]:
+    """The ``k`` most-programmed lines as ``(line, programs)`` pairs.
+
+    Sorted by program count descending, line index ascending for ties --
+    a deterministic ordering suitable for CLI tables and tests.
+
+    Raises:
+        ValueError: if the memory was created without ``track_wear=True``.
+    """
+    if memory.wear is None:
+        raise ValueError(
+            "memory was not created with track_wear=True; no wear data"
+        )
+    ranked = sorted(memory.wear.items(), key=lambda kv: (-kv[1], kv[0]))
+    return ranked[: max(k, 0)]

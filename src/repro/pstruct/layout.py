@@ -78,6 +78,21 @@ def write_u32_array(mem: SimulatedMemory, offset: int, values: list[int]) -> Non
     mem.write(offset, struct.pack(f"<{len(values)}I", *values))
 
 
+# Checked scalar reads: force the window path through mem.read(), which
+# runs CRC seal verification when an integrity mirror is attached (see
+# repro.nvm.scrub.MediaGuard).  On an unprotected memory they charge and
+# decode exactly like their read_uint counterparts -- use them at sites
+# that must never trust a corrupted field (headers, counts, offsets).
+
+
+def read_u32_checked(mem: SimulatedMemory, offset: int) -> int:
+    return int.from_bytes(mem.read(offset, 4), "little")
+
+
+def read_u64_checked(mem: SimulatedMemory, offset: int) -> int:
+    return int.from_bytes(mem.read(offset, 8), "little")
+
+
 def next_power_of_two(value: int) -> int:
     """Smallest power of two >= max(value, 1).
 

@@ -1,0 +1,12 @@
+def dump_region(pool, name):
+    offset, size = pool.get_region(name)
+    raw = pool.unverified_read(offset, size)
+    return raw
+
+
+def tail_bytes(mem, offset):
+    return mem.read_unverified(offset, 16)
+
+
+def verified_ok(mem, offset):
+    return mem.read(offset, 16)

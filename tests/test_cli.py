@@ -143,3 +143,45 @@ class TestReproduce:
     def test_unknown_figure_rejected(self):
         with pytest.raises(SystemExit):
             main(["reproduce", "fig99"])
+
+
+class TestWear:
+    def test_single_task_report(self, corpus_path, capsys):
+        assert main(["wear", "word_count", str(corpus_path)]) == 0
+        captured = capsys.readouterr().out
+        assert "wear report for word_count" in captured
+        assert "line programs" in captured
+        assert "imbalance" in captured
+        assert "hottest lines:" in captured
+        assert "line     offset  programs" in captured
+
+    def test_fused_plan_report(self, corpus_path, capsys):
+        assert main(
+            ["wear", "word_count,inverted_index", str(corpus_path), "--top", "3"]
+        ) == 0
+        captured = capsys.readouterr().out
+        assert "wear report for word_count,inverted_index" in captured
+        assert "top 3 hottest lines:" in captured
+
+    def test_unknown_task_rejected(self, corpus_path, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["wear", "word_mangle", str(corpus_path)])
+        assert exc.value.code == 2
+        assert "unknown task(s): word_mangle" in capsys.readouterr().err
+
+
+class TestFaultsweep:
+    def test_smoke_sweep_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "faultsweep.json"
+        assert main(
+            ["faultsweep", "--smoke", "--out", str(out)]
+        ) == 0
+        captured = capsys.readouterr().out
+        assert "media-fault points" in captured
+        assert "0 silent wrong answer(s)" in captured
+        assert "0 violation(s)" in captured
+        import json
+
+        report = json.loads(out.read_text())
+        assert report["points_swept"] >= 200
+        assert report["violations"] == []

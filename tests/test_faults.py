@@ -203,6 +203,51 @@ class TestReadCorruption:
         assert plan.has_pending_corruption
         assert mem.read(32, 1) == b"\xff"
 
+    def test_boundary_spanning_site_rearms_unread_suffix(self, mem):
+        """A site read piecewise must damage *every* byte eventually.
+
+        Regression: a corruption spanning a read-window boundary used to
+        be consumed wholesale by the first overlapping read, silently
+        dropping the damage outside that window.
+        """
+        mem.write(0, b"\x00" * 64)
+        mem.flush()
+        plan = FaultPlan(corruptions=[ReadCorruption(14, b"\xaa" * 4)])
+        mem.arm_faults(plan)
+        # First window covers only bytes [14, 16) of the site.
+        assert mem.read(0, 16)[14:16] == b"\xaa\xaa"
+        # The unread suffix [16, 18) re-armed as a fresh site.
+        assert plan.has_pending_corruption
+        assert mem.read(16, 2) == b"\xaa\xaa"
+        assert not plan.has_pending_corruption
+
+    def test_boundary_spanning_site_rearms_unread_prefix(self, mem):
+        mem.write(0, b"\x00" * 64)
+        mem.flush()
+        plan = FaultPlan(corruptions=[ReadCorruption(14, b"\xbb" * 4)])
+        mem.arm_faults(plan)
+        # First window covers only the tail [16, 18) of the site.
+        assert mem.read(16, 4)[:2] == b"\xbb\xbb"
+        # The unread prefix [14, 16) re-armed and still fires.
+        assert plan.has_pending_corruption
+        assert mem.read(8, 8)[6:8] == b"\xbb\xbb"
+
+    def test_piecewise_reads_surface_all_sticky_damage(self, mem):
+        """Word-by-word reads across a sticky site leave the image fully
+        damaged -- identical to one wide read."""
+        mem.write(0, bytes(range(64)))
+        mem.flush()
+        site = ReadCorruption(6, b"\xff" * 8, sticky=True)
+        mem.arm_faults(FaultPlan(corruptions=[site]))
+        for off in range(0, 16, 2):
+            mem.read(off, 2)
+        mem.disarm_faults()
+        damaged = mem.read(0, 16)
+        expected = bytearray(range(16))
+        for b in range(6, 14):
+            expected[b] ^= 0xFF
+        assert damaged == bytes(expected)
+
 
 class TestDisarm:
     def test_disarm_stops_counting_and_crashing(self, mem):

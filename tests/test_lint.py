@@ -29,7 +29,7 @@ class TestEngine:
     def test_all_rules_registered(self):
         assert all_rule_ids() == [
             "ND001", "ND002", "ND003", "ND004", "ND005", "ND006", "ND007",
-            "ND008", "ND009", "ND010", "ND011",
+            "ND008", "ND009", "ND010", "ND011", "ND012",
         ]
         for rule_id, rule in REGISTRY.items():
             assert rule.id == rule_id
@@ -470,5 +470,5 @@ class TestShippedTree:
         # No standing suppressions: the interprocedural taint engine
         # proves the one former exemption (``wall_now_s`` reading the
         # wall clock in metrics/timer.py) never flows into a charging
-        # sink, so the tree is clean under all eleven rules unaided.
+        # sink, so the tree is clean under all twelve rules unaided.
         assert result.suppressed == 0

@@ -1,0 +1,101 @@
+"""Bit-identity guard: the media-resilience layer must be pay-for-play.
+
+The values pinned here were captured on the tree *before* the media-fault
+subsystem landed.  With ``media_protect`` / ``track_wear`` left at their
+defaults and no faults armed, simulated time, the post-run pool image,
+analytics results, and wear counters must all stay ``==`` to the pre-PR
+behavior on the wc+ii+tv trio (same discipline as the PR-6 kernel
+equivalence suite).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+from repro.analytics import task_by_name
+from repro.core.engine import EngineConfig, NTadocEngine
+from repro.harness.crashsweep import _smoke_corpus, canonical_result
+from repro.nvm.device import DeviceProfile
+from repro.nvm.faults import FaultPlan
+from repro.nvm.memory import SimulatedMemory
+
+TRIO = ("word_count", "inverted_index", "term_vector")
+
+#: Captured from the pre-PR tree (see module docstring).  Any drift here
+#: means the default charging path changed -- a bug, not a baseline bump.
+SOLO_BASELINE = {
+    "word_count": {
+        "total_ns": 26243.2,
+        "result": "d83ac6c281a770ec",
+        "image": "a2897adffdf7d9e8",
+    },
+    "inverted_index": {
+        "total_ns": 25991.200000000114,
+        "result": "0edec4260e975e83",
+        "image": "0feb3c2a826129c1",
+    },
+    "term_vector": {
+        "total_ns": 26722.60000000008,
+        "result": "5796caf71b11b4b2",
+        "image": "1b173292e44168b8",
+    },
+}
+FUSED_BASELINE = {
+    "total_ns": 56443.8000000003,
+    "image": "7e86e219b94eb608",
+    "results": ["d83ac6c281a770ec", "0edec4260e975e83", "5796caf71b11b4b2"],
+}
+WEAR_BASELINE = {"digest": "d296fc5af4124c0e", "ns": 57856.0}
+
+
+class _CapturePlan(FaultPlan):
+    """Counting plan that also records the memory it observes."""
+
+    def on_flush(self, mem, dirty_lines):
+        self.memory = mem
+        return super().on_flush(mem, dirty_lines)
+
+
+def _image_digest(mem) -> str:
+    return hashlib.sha256(mem.peek(0, mem.size)).hexdigest()[:16]
+
+
+def _result_digest(result) -> str:
+    return hashlib.sha256(canonical_result(result).encode()).hexdigest()[:16]
+
+
+def test_solo_trio_bit_identical_to_pre_pr():
+    corpus = _smoke_corpus()
+    for name in TRIO:
+        engine = NTadocEngine(corpus, EngineConfig())
+        plan = _CapturePlan()
+        run = engine.run(task_by_name(name), fault_plan=plan)
+        expect = SOLO_BASELINE[name]
+        assert run.total_ns == expect["total_ns"]
+        assert _result_digest(run.result) == expect["result"]
+        assert _image_digest(plan.memory) == expect["image"]
+        assert plan.memory.wear is None  # track_wear stays off by default
+
+
+def test_fused_trio_bit_identical_to_pre_pr():
+    engine = NTadocEngine(_smoke_corpus(), EngineConfig())
+    plan = _CapturePlan()
+    outcome = engine.run_many([task_by_name(n) for n in TRIO], fault_plan=plan)
+    assert outcome.total_ns == FUSED_BASELINE["total_ns"]
+    assert _image_digest(plan.memory) == FUSED_BASELINE["image"]
+    digests = [_result_digest(r.result) for r in outcome.results]
+    assert digests == FUSED_BASELINE["results"]
+
+
+def test_wear_counters_bit_identical_to_pre_pr():
+    mem = SimulatedMemory(DeviceProfile.nvm(), 1 << 18, track_wear=True)
+    for i in range(0, 1 << 16, 64):
+        mem.write(i, b"w" * 64)
+    mem.flush()
+    for i in range(0, 1 << 16, 256):
+        mem.rmw_add(i, 8, 3)
+    mem.flush()
+    digest = hashlib.sha256(json.dumps(sorted(mem.wear.items())).encode()).hexdigest()[:16]
+    assert digest == WEAR_BASELINE["digest"]
+    assert mem.clock.ns == WEAR_BASELINE["ns"]
