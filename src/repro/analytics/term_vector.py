@@ -14,10 +14,17 @@ from repro.analytics.perfile import per_file_word_counts, per_file_word_counts_s
 
 
 def _top_k(counts: dict[int, int], k: int, ctx) -> list[tuple[int, int]]:
-    """Top-k (word, count), ordered by count desc then word id asc."""
+    """Top-k (word, count), ordered by count desc then word *string* asc.
+
+    The word string (not the id) breaks count ties, so the selected
+    members are independent of dictionary assignment order: a segmented
+    corpus compressed against a stream-wide shared dictionary and a
+    recompression of the same documents must pick the same top-k.
+    """
+    vocab = ctx.vocab
     items = list(counts.items())
     charge_sort(ctx.clock, len(items))
-    items.sort(key=lambda pair: (-pair[1], pair[0]))
+    items.sort(key=lambda pair: (-pair[1], vocab[pair[0]]))
     return items[:k]
 
 
@@ -53,15 +60,18 @@ class TermVector(AnalyticsTask):
 
     @staticmethod
     def reference(
-        files: list[list[int]], k: int = 10
+        files: list[list[int]], k: int = 10, vocab: list[str] | None = None
     ) -> list[list[tuple[int, int]]]:
+        if vocab is not None:
+            key = lambda pair: (-pair[1], vocab[pair[0]])  # noqa: E731
+        else:
+            key = lambda pair: (-pair[1], pair[0])  # noqa: E731
         vectors: list[list[tuple[int, int]]] = []
         for tokens in files:
             counts: dict[int, int] = {}
             for token in tokens:
                 counts[token] = counts.get(token, 0) + 1
-            ordered = sorted(counts.items(), key=lambda pair: (-pair[1], pair[0]))
-            vectors.append(ordered[:k])
+            vectors.append(sorted(counts.items(), key=key)[:k])
         return vectors
 
 

@@ -6,6 +6,7 @@ Commands::
     decompress  .ntdc -> original text files
     stats       Table-I style statistics of a corpus
     dataset     generate a synthetic A/B/C/D profile corpus
+    ingest      replay an append/delete trace through the segmented engine
     run         run one analytics task under one system
     compare     run one task under several systems, print speedups
     search      find the documents containing given words
@@ -66,6 +67,54 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("profile", choices=sorted(PROFILES))
     p.add_argument("-o", "--output", type=Path, required=True)
     p.add_argument("--scale", type=float, default=1.0)
+
+    p = sub.add_parser(
+        "ingest",
+        help="replay an append/delete trace incrementally (docs/ingest.md)",
+    )
+    p.add_argument(
+        "trace",
+        help="trace file (append/delete/seal/compact/checkpoint lines), "
+        "or 'synthetic' for the generated streaming workload",
+    )
+    p.add_argument(
+        "--tasks",
+        default="word_count,inverted_index",
+        help="comma-separated analytics tasks run at every checkpoint",
+    )
+    p.add_argument(
+        "--threshold",
+        type=int,
+        default=512,
+        help="append-buffer tokens before an automatic seal",
+    )
+    p.add_argument(
+        "--compact-after",
+        type=int,
+        default=0,
+        metavar="N",
+        help="compact whenever more than N segments exist (0 = never)",
+    )
+    p.add_argument(
+        "--media-protect",
+        action="store_true",
+        help="arm the media guard over the whole segmented pool",
+    )
+    p.add_argument("--ngram", type=int, default=2, help="sequence length")
+    p.add_argument(
+        "--docs", type=int, default=60, help="synthetic trace: initial docs"
+    )
+    p.add_argument(
+        "--rounds", type=int, default=5, help="synthetic trace: delta rounds"
+    )
+    p.add_argument(
+        "--seed", type=int, default=7, help="synthetic trace: RNG seed"
+    )
+    p.add_argument(
+        "--baseline",
+        action="store_true",
+        help="also time recompress-from-scratch at the final checkpoint",
+    )
 
     p = sub.add_parser("run", help="run one analytics task (or a fused list)")
     p.add_argument(
@@ -358,6 +407,82 @@ def _render_result(run, corpus, top: int) -> None:
         for ngram, posting in list(rendered.items())[:top]:
             head = ", ".join(f"{d}:{c}" for d, c in posting[:3])
             print(f"  {' '.join(ngram):30s} {head}")
+
+
+def _cmd_ingest(args) -> int:
+    from repro.ingest import SegmentedEngine
+    from repro.ingest.merge import MERGEABLE_TASKS
+    from repro.ingest.trace import parse_trace, replay_trace, synthetic_trace
+
+    names = [name.strip() for name in args.tasks.split(",") if name.strip()]
+    unknown = [name for name in names if name not in MERGEABLE_TASKS]
+    if not names or unknown:
+        bad = ", ".join(unknown) or "(empty)"
+        print(
+            f"unknown task(s): {bad}; choose from {', '.join(MERGEABLE_TASKS)}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    if args.trace == "synthetic":
+        ops = synthetic_trace(
+            n_docs=args.docs, rounds=args.rounds, seed=args.seed
+        )
+        print(
+            f"synthetic trace: {args.docs} initial docs, {args.rounds} "
+            f"delta rounds, seed {args.seed} ({len(ops)} ops)"
+        )
+    else:
+        ops = parse_trace(Path(args.trace).read_text(encoding="utf-8"))
+        print(f"replaying {args.trace} ({len(ops)} ops)")
+    config = EngineConfig(
+        ngram_n=args.ngram, media_protect=args.media_protect, track_wear=True
+    )
+    engine = SegmentedEngine(config, seal_threshold_tokens=args.threshold)
+
+    def on_checkpoint(index, result) -> None:
+        corpus = engine.corpus
+        print(
+            f"\ncheckpoint @op {index}: {corpus.n_live} live docs, "
+            f"{corpus.n_tombstoned} tombstoned, "
+            f"{len(corpus.segments)} segment(s), query "
+            f"{format_ns(result.query_ns)} simulated"
+        )
+        for task in names:
+            rendered = result.rendered[task]
+            size = len(rendered) if hasattr(rendered, "__len__") else 1
+            print(f"  {task}: {size} result entries")
+        if args.compact_after and len(corpus.segments) > args.compact_after:
+            count = len(corpus.segments)
+            merged = engine.compact()
+            into = merged.name if merged else "(vanished)"
+            print(f"  compacted {count} segment(s) -> {into}")
+
+    results = replay_trace(
+        engine, ops, tasks=tuple(names), on_checkpoint=on_checkpoint
+    )
+    print("\nsegment table:")
+    print("  name       offset     bytes   docs  live  tombs  mean wear")
+    for row in engine.segment_table():
+        print(
+            f"  {row['name']:9s} {row['offset']:>8d} {row['bytes']:>9d} "
+            f"{row['docs']:>6d} {row['live']:>5d} {row['tombstoned']:>6d} "
+            f"{row['mean_wear']:>10.3f}"
+        )
+    total_ns = engine.clock.ns
+    print(
+        f"\n{len(results)} checkpoint(s), {format_ns(total_ns)} simulated "
+        f"total (incremental)"
+    )
+    if args.baseline and results:
+        _, baseline_ns = engine.recompress_baseline(names)
+        per_checkpoint = baseline_ns * len(results)
+        print(
+            f"recompress-from-scratch baseline: {format_ns(baseline_ns)} "
+            f"per checkpoint at the final corpus size "
+            f"(x{len(results)} checkpoints = {format_ns(per_checkpoint)}, "
+            f"{per_checkpoint / total_ns:.2f}x the incremental engine)"
+        )
+    return 0
 
 
 def _cmd_run(args) -> int:
@@ -653,6 +778,7 @@ _COMMANDS = {
     "decompress": _cmd_decompress,
     "stats": _cmd_stats,
     "dataset": _cmd_dataset,
+    "ingest": _cmd_ingest,
     "run": _cmd_run,
     "compare": _cmd_compare,
     "search": _cmd_search,

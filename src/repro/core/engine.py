@@ -242,11 +242,14 @@ class CorpusAnalysis:
 
     Deriving this (DAG view, topological orders, Algorithm-2 bounds,
     head/tail lists) is pure Python work on the corpus alone, so it is
-    memoized *on the corpus object* keyed by the head/tail width: a
-    comparison run building one engine per system stops re-deriving it,
-    and repeated engine builds in tests are cheap.  Engines still
-    *charge* the derivation cost per run -- the memo only removes host
-    work, never simulated cost.
+    memoized *on the corpus object* keyed by the head/tail width **and
+    the corpus content fingerprint**: a comparison run building one
+    engine per system stops re-deriving it, and repeated engine builds
+    in tests are cheap, while a corpus whose rules were mutated in place
+    (segmented ingest appends, compaction rewrites) can never be served
+    stale DAG/topo/bounds -- the fingerprint mismatch forces a fresh
+    derivation.  Engines still *charge* the derivation cost per run --
+    the memo only removes host work, never simulated cost.
     """
 
     dag: Dag
@@ -265,7 +268,11 @@ def corpus_analysis(corpus: CompressedCorpus, headtail_k: int) -> CorpusAnalysis
     if cache is None:
         cache = {}
         corpus._analysis_cache = cache  # type: ignore[attr-defined]
-    analysis = cache.get(headtail_k)
+    # Key on content, not object identity: a cached entry made before an
+    # in-place mutation (ingest append, compaction) must not be served.
+    content = corpus.content_key()
+    cached = cache.get(headtail_k)
+    analysis = cached[1] if cached is not None and cached[0] == content else None
     if analysis is None:
         dag = Dag(corpus)
         topo = dag.topological_order()
@@ -294,7 +301,7 @@ def corpus_analysis(corpus: CompressedCorpus, headtail_k: int) -> CorpusAnalysis
             tails=tails,
             headtail_k=headtail_k,
         )
-        cache[headtail_k] = analysis
+        cache[headtail_k] = (content, analysis)
     return analysis
 
 
@@ -725,16 +732,37 @@ class NTadocEngine:
         state = self._fresh_state(fault_plan, n_tasks=len(tasks))
         return self._execute_fused(tasks, state)
 
+    def run_many_on(self, tasks: "list[AnalyticsTask]", state: _RunState):
+        """Execute a fused plan against caller-prepared machinery.
+
+        The segmented-ingest layer (:mod:`repro.ingest`) reuses one
+        nested pool and one built pruned DAG per sealed segment across
+        many queries; it constructs the :class:`_RunState` itself (with
+        a fresh per-query timeline) and calls this instead of
+        :meth:`run_many`.  When ``state.pruned`` already exists the pool
+        build is skipped, exactly like a degraded-mode solo re-run.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            raise ValueError("run_many_on needs at least one task")
+        return self._execute_fused(tasks, state)
+
     def _execute_fused(self, tasks: "list[AnalyticsTask]", state: _RunState):
-        """One fused plan against prepared machinery (see run_many)."""
+        """One fused plan against prepared machinery (see run_many).
+
+        Reuses ``state.pruned`` when it already exists (the segmented
+        layer keeps segment DAGs built across queries); a fresh state
+        always builds.
+        """
         from repro.core.plan import execute_fused
 
         with obs.attached(self.config.tracer):
             with state.timeline.phase("initialization"):
                 with obs.span("init:stream", category="engine"):
                     self._charge_init_stream(state)
-                with obs.span("init:pool_build", category="engine"):
-                    state.pruned = self._build_pruned(state)
+                if state.pruned is None:
+                    with obs.span("init:pool_build", category="engine"):
+                        state.pruned = self._build_pruned(state)
 
             ctx = self._make_context(state)
 

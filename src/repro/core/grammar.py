@@ -17,6 +17,8 @@ exactly as TADOC "inserts one segmentation symbol for the file boundary"
 
 from __future__ import annotations
 
+import struct
+import zlib
 from dataclasses import dataclass, field
 
 from repro.errors import GrammarError
@@ -85,6 +87,24 @@ class CompressedCorpus:
     def grammar_length(self) -> int:
         """Total number of symbols across all rule bodies."""
         return sum(len(body) for body in self.rules)
+
+    def content_key(self) -> int:
+        """CRC32 fingerprint of the corpus *content* (host-side, uncharged).
+
+        Covers the rule bodies, vocabulary, file names, and token mode --
+        everything that determines analytics output.  Derived caches
+        (e.g. :func:`repro.core.engine.corpus_analysis`) key on this so a
+        mutated or rebuilt corpus can never be served stale metadata.
+        Recomputed on every call: memoizing it on the object would
+        reintroduce the staleness it exists to prevent.
+        """
+        h = zlib.crc32(
+            "\x00".join([self.token_mode, *self.file_names]).encode("utf-8")
+        )
+        h = zlib.crc32("\x00".join(self.vocab).encode("utf-8"), h)
+        for body in self.rules:
+            h = zlib.crc32(struct.pack(f"<I{len(body)}I", len(body), *body), h)
+        return h
 
     def validate(self) -> None:
         """Check structural sanity of the grammar.

@@ -59,6 +59,9 @@ class PlanStats:
         groups: Task names grouped by the traversal direction they rode.
         fused: True when produced by the fused planner (False for the
             sequential fallback used by baselines).
+        corpus_segments: Sealed corpus segments the plan ran over (1 for
+            a monolithic corpus; the segmented-ingest layer sums its
+            per-segment sub-plans here).
     """
 
     n_tasks: int
@@ -67,6 +70,7 @@ class PlanStats:
     segment_sweeps: int = 0
     groups: dict[str, list[str]] = field(default_factory=dict)
     fused: bool = True
+    corpus_segments: int = 1
 
 
 @dataclass

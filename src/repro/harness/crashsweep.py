@@ -72,6 +72,11 @@ class SweepConfig:
             scenario (``None`` = every write event).
         tx_torn_points: Seeded torn-flush samples in the transaction
             scenario.
+        ingest_write_points: Write-event crash samples during the
+            segmented-corpus compaction scenario (``None`` = every
+            write event).
+        ingest_torn_points: Seeded torn-flush samples during the
+            compaction scenario.
         integrity_rules: DAG rules spot-checked against the source
             grammar after each engine recovery.
         kernels: Bulk-kernel mode for the engine scenario (one of
@@ -88,6 +93,8 @@ class SweepConfig:
     torn_per_flush: int = 8
     tx_write_points: int | None = 48
     tx_torn_points: int = 24
+    ingest_write_points: int | None = 12
+    ingest_torn_points: int = 4
     integrity_rules: int = 3
     kernels: str = "auto"
 
@@ -106,6 +113,8 @@ class SweepConfig:
             torn_per_flush=16,
             tx_write_points=None,
             tx_torn_points=64,
+            ingest_write_points=None,
+            ingest_torn_points=16,
         )
 
 
@@ -522,6 +531,123 @@ class _Sweep:
                 f"(allowed snapshots {sorted(allowed)})",
             )
 
+    # -- scenario 4: segmented-corpus compaction -------------------------
+
+    def run_ingest_scenario(self) -> None:
+        """Crash everywhere inside a segment compaction; recovery must
+        land on exactly the pre- or post-compaction segment set (never a
+        mix), and recovered analytics must match the uncrashed run.
+
+        This machine-checks the seal-new-then-retire-old ordering of
+        :meth:`repro.ingest.engine.SegmentedEngine.compact`: committed
+        compactions survive, half-done ones vanish.
+        """
+        from repro.ingest import canonical_json
+
+        cfg = self.config
+        engine = self._ingest_workload()
+        pre = set(engine.pool.segment_names())
+        counter = FaultPlan()
+        engine.memory.arm_faults(counter)
+        engine.compact()
+        engine.memory.disarm_faults()
+        post = set(engine.pool.segment_names())
+        self._ingest_reference = canonical_json(
+            engine.run_tasks(["word_count"]).rendered["word_count"]
+        )
+        profiles = counter.flush_profiles
+
+        for k in self._sample(counter.events["write"], cfg.ingest_write_points):
+            self._ingest_point("ingest_write", k, FaultPlan("write", k), pre, post)
+        for profile in profiles:
+            f = profile["flush"]
+            self._ingest_point("ingest_flush", f, FaultPlan("flush", f), pre, post)
+        for _ in range(cfg.ingest_torn_points):
+            profile = profiles[self.rng.randrange(len(profiles))]
+            torn = TornFlush(
+                order_seed=self.rng.randrange(1 << 30),
+                persisted_lines=self.rng.randint(
+                    0, max(profile["dirty_lines"], 1)
+                ),
+                partial_bytes=self.rng.randrange(0, 257, 8),
+            )
+            self._ingest_point(
+                "ingest_torn_flush",
+                (profile["flush"], torn.order_seed),
+                FaultPlan("flush", profile["flush"], torn=torn),
+                pre,
+                post,
+            )
+
+    @staticmethod
+    def _ingest_workload():
+        """Segmented engine with 3 sealed segments and 2 tombstones,
+        ready to compact.  Deterministic: every point replays it."""
+        from repro.core.engine import EngineConfig as _EngineConfig
+        from repro.ingest import SegmentedEngine
+
+        engine = SegmentedEngine(
+            _EngineConfig(), pool_bytes=1 << 24, seal_threshold_tokens=10**9
+        )
+        phrase = "segments seal and compact while queries keep running "
+        for i in range(9):
+            engine.append(f"doc{i}.txt", phrase + f"tail w{i % 3} w{i % 2}")
+            if i % 3 == 2:
+                engine.seal()
+        engine.delete("doc2.txt")
+        engine.delete("doc5.txt")
+        return engine
+
+    def _ingest_point(self, kind, index, plan: FaultPlan, pre, post) -> None:
+        from repro.ingest import SegmentedEngine, canonical_json
+
+        self.point(kind)
+        engine = self._ingest_workload()
+        engine.memory.arm_faults(plan)
+        try:
+            engine.compact()
+        except CrashPoint:
+            pass
+        else:
+            self.violation("ingest", kind, index, "crash point did not fire")
+            return
+        mem = engine.memory
+        mem.disarm_faults()
+        mem.crash()
+        start_ns = mem.clock.ns
+        try:
+            reopened = SegmentedEngine.reopen(
+                mem, dict(engine.artifacts), engine.config
+            )
+        except RecoveryError as exc:
+            self.violation("ingest", kind, index, f"reopen refused: {exc}")
+            return
+        names = set(reopened.pool.segment_names())
+        if names not in (pre, post):
+            self.violation(
+                "ingest",
+                kind,
+                index,
+                f"recovered segment set {sorted(names)} is neither the "
+                f"pre- nor the post-compaction set (half-compacted state "
+                "survived)",
+            )
+            return
+        self.recovery_costs.append(mem.clock.ns - start_ns)
+        self.resume_phases["ingest_reopen"] = (
+            self.resume_phases.get("ingest_reopen", 0) + 1
+        )
+        recovered = canonical_json(
+            reopened.run_tasks(["word_count"]).rendered["word_count"]
+        )
+        if recovered != self._ingest_reference:
+            self.violation(
+                "ingest",
+                kind,
+                index,
+                "recovered analytics differ from the uncrashed run",
+            )
+
     # -- scenario 3: targeted media corruption --------------------------
 
     def run_corruption_scenario(self) -> None:
@@ -653,6 +779,7 @@ def run_sweep(config: SweepConfig | None = None) -> dict:
     sweep = _Sweep(config)
     reference_json = sweep.run_engine_scenario()
     sweep.run_tx_scenario()
+    sweep.run_ingest_scenario()
     sweep.run_corruption_scenario()
     costs = sweep.recovery_costs
     return {

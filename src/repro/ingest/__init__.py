@@ -1,0 +1,51 @@
+"""Segmented corpora: incremental append/delete without recompression.
+
+A production corpus is never static -- documents stream in and get
+deleted continuously, and whole-corpus Sequitur recompression is the
+dominant cost of the TADOC approach.  This package turns "one corpus,
+one grammar, one pool region" into "a corpus is an ordered set of
+sealed segments" (the LSM shape: seal small immutable segments, compact
+them in the background):
+
+* :mod:`repro.ingest.segments` -- the host-side
+  :class:`~repro.ingest.segments.SegmentedCorpus`: an append buffer that
+  seals into immutable per-segment Sequitur grammars (one stream-wide
+  shared dictionary keeps word ids stable), tombstones for deletes, and
+  host-side compaction.
+* :mod:`repro.ingest.merge` -- per-task union/merge of per-segment
+  partial results with segment-offset rebasing and merge-time tombstone
+  filtering, plus the canonical rendered forms the differential
+  invariant compares.
+* :mod:`repro.ingest.engine` -- the device-side
+  :class:`~repro.ingest.engine.SegmentedEngine`: a pool-v4 multi-segment
+  directory with nested per-segment pools, a CRC-sealed manifest updated
+  through the PR-3 :class:`~repro.nvm.persist.TransactionLog`
+  (seal-new-then-retire-old compaction ordering, crashsweep-verified),
+  wear-aware segment placement, and fused per-segment query execution.
+* :mod:`repro.ingest.trace` -- append/delete/query trace files, replay,
+  and the synthetic streaming workload the ingest benchmark runs.
+
+The tier-1 contract is differential:
+``incremental(corpus + appends + deletes)`` must equal
+``recompress(final corpus)`` canonical-JSON for every analytics task --
+including after compaction, after crash-resume mid-compaction, and with
+``media_protect=True``.  See docs/ingest.md.
+"""
+
+from repro.ingest.engine import IngestQueryResult, SegmentedEngine
+from repro.ingest.merge import canonical_json, reference_rendered
+from repro.ingest.segments import SealedSegment, SegmentedCorpus
+from repro.ingest.trace import TraceOp, parse_trace, replay_trace, synthetic_trace
+
+__all__ = [
+    "IngestQueryResult",
+    "SealedSegment",
+    "SegmentedCorpus",
+    "SegmentedEngine",
+    "TraceOp",
+    "canonical_json",
+    "parse_trace",
+    "reference_rendered",
+    "replay_trace",
+    "synthetic_trace",
+]

@@ -1,0 +1,162 @@
+"""Append/delete/query traces: parse, format, replay, synthesize.
+
+A trace is the unit of reproducibility for the ingest layer: the CLI
+(``ntadoc ingest``) replays one against a :class:`SegmentedEngine`, the
+benchmark replays a synthetic streaming trace against both the
+incremental engine and the recompress-from-scratch baseline, and the
+equivalence suite replays random interleavings.
+
+Text format, one op per line (``#`` comments and blank lines ignored)::
+
+    append <name> <text of the document ...>
+    delete <name>
+    seal
+    compact
+    checkpoint
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ReproError
+from repro.ingest.engine import IngestQueryResult, SegmentedEngine
+from repro.ingest.merge import MERGEABLE_TASKS
+
+_OPS = ("append", "delete", "seal", "compact", "checkpoint")
+
+
+@dataclass(frozen=True)
+class TraceOp:
+    """One trace operation (``name``/``text`` only where meaningful)."""
+
+    op: str
+    name: str | None = None
+    text: str | None = None
+
+
+def parse_trace(source: str) -> list[TraceOp]:
+    """Parse the text trace format into ops.
+
+    Raises:
+        ReproError: on an unknown op or missing operands.
+    """
+    ops: list[TraceOp] = []
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        head, _, rest = line.partition(" ")
+        if head not in _OPS:
+            raise ReproError(f"trace line {lineno}: unknown op {head!r}")
+        if head == "append":
+            name, _, text = rest.partition(" ")
+            if not name or not text:
+                raise ReproError(
+                    f"trace line {lineno}: append needs a name and text"
+                )
+            ops.append(TraceOp("append", name, text))
+        elif head == "delete":
+            if not rest:
+                raise ReproError(f"trace line {lineno}: delete needs a name")
+            ops.append(TraceOp("delete", rest.strip()))
+        else:
+            if rest:
+                raise ReproError(
+                    f"trace line {lineno}: {head} takes no operands"
+                )
+            ops.append(TraceOp(head))
+    return ops
+
+
+def format_trace(ops: list[TraceOp]) -> str:
+    """Serialize ops back to the text format (round-trips parse_trace)."""
+    lines = []
+    for op in ops:
+        if op.op == "append":
+            lines.append(f"append {op.name} {op.text}")
+        elif op.op == "delete":
+            lines.append(f"delete {op.name}")
+        else:
+            lines.append(op.op)
+    return "\n".join(lines) + "\n"
+
+
+def replay_trace(
+    engine: SegmentedEngine,
+    ops: list[TraceOp],
+    tasks: tuple[str, ...] = MERGEABLE_TASKS,
+    on_checkpoint: Callable[[int, IngestQueryResult], None] | None = None,
+) -> list[IngestQueryResult]:
+    """Replay a trace; returns the checkpoint query results in order.
+
+    ``compact`` on a segment-less corpus is a no-op (a trace may compact
+    before anything sealed); every other op error propagates.
+    """
+    results: list[IngestQueryResult] = []
+    for index, op in enumerate(ops):
+        if op.op == "append":
+            engine.append(op.name, op.text)
+        elif op.op == "delete":
+            engine.delete(op.name)
+        elif op.op == "seal":
+            engine.seal()
+        elif op.op == "compact":
+            if engine.corpus.segments:
+                engine.compact()
+        elif op.op == "checkpoint":
+            result = engine.run_tasks(list(tasks))
+            results.append(result)
+            if on_checkpoint is not None:
+                on_checkpoint(index, result)
+        else:  # pragma: no cover - parse_trace rejects these
+            raise ReproError(f"unknown trace op {op.op!r}")
+    return results
+
+
+def synthetic_trace(
+    n_docs: int = 60,
+    doc_tokens: int = 40,
+    rounds: int = 5,
+    delta_fraction: float = 0.1,
+    seed: int = 7,
+    vocabulary: list[str] | None = None,
+) -> list[TraceOp]:
+    """Deterministic streaming workload: bulk load, then small deltas.
+
+    An initial bulk of ``n_docs`` documents is sealed and checkpointed;
+    each following round appends ``delta_fraction`` of the corpus,
+    deletes a third as many live docs, seals, and checkpoints.  Word
+    frequencies are Zipf-shaped so Sequitur finds repeated phrases --
+    the workload the segmented design targets: queries at every
+    checkpoint, but only a small delta compressed between them.
+    """
+    rng = random.Random(seed)
+    vocab = vocabulary or [f"w{i:03d}" for i in range(120)]
+    weights = [1.0 / (rank + 1) for rank in range(len(vocab))]
+    counter = 0
+    live: list[str] = []
+    ops: list[TraceOp] = []
+
+    def appends(count: int) -> None:
+        nonlocal counter
+        for _ in range(count):
+            name = f"doc{counter:05d}"
+            counter += 1
+            text = " ".join(rng.choices(vocab, weights=weights, k=doc_tokens))
+            live.append(name)
+            ops.append(TraceOp("append", name, text))
+
+    appends(n_docs)
+    ops.append(TraceOp("seal"))
+    ops.append(TraceOp("checkpoint"))
+    delta = max(1, int(n_docs * delta_fraction))
+    for _ in range(rounds):
+        appends(delta)
+        for _ in range(max(1, delta // 3)):
+            ops.append(TraceOp("delete", live.pop(rng.randrange(len(live)))))
+        ops.append(TraceOp("seal"))
+        ops.append(TraceOp("checkpoint"))
+    return ops

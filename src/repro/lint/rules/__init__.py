@@ -52,6 +52,7 @@ from repro.lint.rules import (  # noqa: E402  (registry must exist first)
     nd010_charging_taint,
     nd011_partition_race,
     nd012_unverified_read,
+    nd013_segment_ownership,
 )
 
 __all__ = [
@@ -71,4 +72,5 @@ __all__ = [
     "nd010_charging_taint",
     "nd011_partition_race",
     "nd012_unverified_read",
+    "nd013_segment_ownership",
 ]

@@ -1,0 +1,107 @@
+"""ND013: segment extents are owned by the ingest layer.
+
+A pool-v4 segment extent is one segment's private media: the owning
+segment writer fills it at seal time and the compactor replaces it, both
+through :class:`~repro.ingest.engine.SegmentedEngine`.  Any other code
+creating, opening, or retiring a segment extent bypasses the manifest
+protocol -- the directory and the logical manifest drift apart, and the
+crashsweep's "pre- or post-compaction set, never a mix" invariant dies.
+
+Two checks:
+
+* ``retire_segment(...)`` must sit lexically inside a
+  ``with <log>.transaction():`` block *everywhere*.  Retirement frees
+  the extent for wear-aware reuse; outside the undo log a crash between
+  the directory flush and the manifest commit strands a half-retired
+  directory (the seal-new-then-retire-old ordering of
+  ``SegmentedEngine.compact``).
+* ``create_segment`` / ``segment_pool`` / ``retire_segment`` may only be
+  called from the segment layer itself: ``repro/ingest/`` (writer and
+  compactor) and ``repro/nvm/`` (the pool that implements them).  Test
+  code is exempt, as usual.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.core import Finding, ModuleFile
+from repro.lint.rules import register
+
+#: Packages that own segment extents (any file inside them).
+OWNER_PACKAGES = ("repro/ingest/", "repro/nvm/")
+
+#: Pool methods that grant whole-extent access.
+SEGMENT_METHODS = {"create_segment", "segment_pool", "retire_segment"}
+
+
+def _is_owner(module: ModuleFile) -> bool:
+    return any(package in module.rel for package in OWNER_PACKAGES)
+
+
+def _is_transaction_with(node: ast.AST) -> bool:
+    if not isinstance(node, (ast.With, ast.AsyncWith)):
+        return False
+    for item in node.items:
+        expr = item.context_expr
+        if (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Attribute)
+            and expr.func.attr == "transaction"
+        ):
+            return True
+    return False
+
+
+@register
+class SegmentOwnership:
+    id = "ND013"
+    summary = (
+        "segment extents may only be touched by their owning writer or "
+        "the compactor inside a transaction"
+    )
+
+    def check(self, module: ModuleFile) -> Iterator[Finding]:
+        if module.is_test_file:
+            return
+        logged = self._calls_under_transactions(module)
+        owner = _is_owner(module)
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in SEGMENT_METHODS
+            ):
+                continue
+            method = node.func.attr
+            if method == "retire_segment" and id(node) not in logged:
+                yield module.finding(
+                    self.id,
+                    node,
+                    "'retire_segment()' outside a transaction() block: a "
+                    "crash here strands a half-retired directory; retire "
+                    "old segments inside the manifest-commit transaction",
+                )
+                continue
+            if not owner:
+                yield module.finding(
+                    self.id,
+                    node,
+                    f"'{method}()' outside the segment layer "
+                    "(repro/ingest/, repro/nvm/): segment extents belong "
+                    "to their owning writer and the compactor; go through "
+                    "SegmentedEngine",
+                )
+
+    @staticmethod
+    def _calls_under_transactions(module: ModuleFile) -> set[int]:
+        """ids of every Call node lexically inside a transaction with."""
+        inside: set[int] = set()
+        for node in ast.walk(module.tree):
+            if _is_transaction_with(node):
+                for stmt in node.body:
+                    for sub in ast.walk(stmt):
+                        if isinstance(sub, ast.Call):
+                            inside.add(id(sub))
+        return inside

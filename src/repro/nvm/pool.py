@@ -30,6 +30,14 @@ therefore corrupt at most the arena being written; the CRC-guarded
 fallback slot still names a directory no older than the last completed
 flush.  Both slot metadata and the entry blob are CRC32-checked, so a
 torn or corrupted copy is detected, never trusted.
+
+Version 4 extends the directory for segmented corpora (``repro.ingest``):
+the fixed header gains a flags word (bit 0 = media-protected) and the
+entry blob gains a *segment table* -- whole extents handed out by
+:meth:`NvmPool.create_segment`, each hosting a nested pool
+(``NvmPool(memory, base=off, capacity=size)``) with its own header and
+regions.  A v2/v3 pool's saved bytes are unchanged: the segment section
+is only emitted by pools opened with ``segmented=True``.
 """
 
 from __future__ import annotations
@@ -49,7 +57,13 @@ _VERSION = 2
 #: header bytes themselves are identical; the version digit records that
 #: readers must expect (and may verify against) the seal table.
 _VERSION_PROTECTED = 3
+#: Version 4 = segmented directory: the fixed header carries a flags
+#: word (media protection moves from the version digit into bit 0) and
+#: the entry blob is followed by a segment-extent table.
+_VERSION_SEGMENTED = 4
 _FIXED_FMT = "<QI"  # magic, version
+_FIXED_SEG_FMT = "<QII"  # magic, version, flags (v4 only)
+_FLAG_MEDIA_PROTECT = 1
 _FIXED_SIZE = 16  # struct.calcsize + 4 pad bytes
 _SLOT_FMT = "<IIQII"  # seq, count, allocator top, blob length, blob crc32
 _SLOT_BODY_SIZE = struct.calcsize(_SLOT_FMT)
@@ -69,6 +83,14 @@ class NvmPool:
             a CRC seal table (see :mod:`repro.nvm.scrub`).  Off by
             default -- an unprotected pool is byte-identical to the
             version-2 behavior.
+        base: Offset of the pool's header within the memory.  Nonzero
+            for a *nested* pool living inside a segment extent of an
+            outer segmented pool; region offsets stay absolute.
+        capacity: Bytes the pool may manage starting at ``base``
+            (header included); defaults to the rest of the memory.
+        segmented: Save the directory as layout version 4 and persist
+            the segment-extent table (:meth:`create_segment`).  A
+            non-segmented pool's saved bytes are untouched.
     """
 
     def __init__(
@@ -77,22 +99,44 @@ class NvmPool:
         header_bytes: int = 4096,
         scatter: bool = False,
         media_protect: bool = False,
+        base: int = 0,
+        capacity: int | None = None,
+        segmented: bool = False,
     ) -> None:
         if (header_bytes - _ARENA_BASE) // 2 < 64:
             raise ValueError("header too small for pool metadata")
+        if capacity is None:
+            capacity = memory.size - base
+        if base < 0 or base + capacity > memory.size:
+            raise PoolLayoutError(
+                f"pool extent [{base}, {base + capacity}) exceeds the "
+                f"memory ({memory.size} B)"
+            )
+        if capacity <= header_bytes:
+            raise PoolLayoutError("pool extent smaller than its header")
         self.memory = memory
         self.header_bytes = header_bytes
+        self.base = base
+        self.capacity = capacity
         self.media_protect = media_protect
+        self.segmented = segmented
         #: The attached :class:`~repro.nvm.scrub.MediaGuard`, when media
         #: protection is active; ``flush`` asks it to reseal dirty chunks.
         self.media_guard = None
         self.allocator = PoolAllocator(
             memory,
-            base=header_bytes,
-            capacity=memory.size - header_bytes,
+            base=base + header_bytes,
+            capacity=capacity - header_bytes,
             scatter=scatter,
         )
         self._regions: dict[str, tuple[int, int]] = {}
+        #: Segment name -> absolute ``(offset, size)`` extent (v4).
+        self._segments: dict[str, tuple[int, int]] = {}
+        #: Retired segment extents available for wear-aware reuse.  Not
+        #: persisted: after a crash or reopen the extents conservatively
+        #: leak (the allocator's bump pointer still covers them), which
+        #: is safe -- a recycled-but-unrecorded extent would not be.
+        self._free_extents: list[tuple[int, int]] = []
         self._arena_size = ((header_bytes - _ARENA_BASE) // 2) & ~7
         self._dir_seq = 0
         #: Sequence number last written to each arena (0 = never).
@@ -187,18 +231,124 @@ class NvmPool:
         self._regions[name] = (offset, size)
 
     # ------------------------------------------------------------------
+    # Segment extents (pool v4)
+    # ------------------------------------------------------------------
+
+    def _extent_mean_wear(self, offset: int, size: int) -> float:
+        """Mean media program count over the device lines of an extent."""
+        wear = self.memory.wear
+        if not wear:
+            return 0.0
+        line_size = self.memory.profile.line_size
+        first = offset // line_size
+        last = (offset + size - 1) // line_size
+        total = sum(wear.get(line, 0) for line in range(first, last + 1))
+        return total / (last - first + 1)
+
+    def create_segment(self, name: str, size: int, align: int | None = None) -> int:
+        """Allocate a whole segment extent and return its offset.
+
+        Placement is wear-aware: every retired extent that fits and the
+        allocator's bump frontier are scored by mean program count over
+        their device lines, and the coldest wins (ties prefer reuse at
+        the lowest offset).  Extents are line-aligned so a segment never
+        shares a device line with its neighbors.
+
+        Raises:
+            PoolLayoutError: if the pool is not segmented or ``name``
+                already exists.
+        """
+        if not self.segmented:
+            raise PoolLayoutError("create_segment on a non-segmented pool")
+        if name in self._segments:
+            raise PoolLayoutError(f"segment {name!r} already exists")
+        tracer = obs.current_tracer()
+        start = self.memory.clock.ns if tracer is not None else 0.0
+        if align is None:
+            align = self.memory.profile.line_size
+        best_idx = None
+        best_key = None
+        for idx, (off, sz) in enumerate(self._free_extents):
+            if sz < size:
+                continue
+            key = (self._extent_mean_wear(off, sz), off)
+            if best_key is None or key < best_key:
+                best_key, best_idx = key, idx
+        frontier = -(-self.allocator.top // align) * align
+        if best_key is not None and best_key <= (
+            self._extent_mean_wear(frontier, size),
+            frontier,
+        ):
+            extent = self._free_extents.pop(best_idx)
+            # Recycled media is dirty with the previous owner's bytes;
+            # nested-pool clients assume allocation hands back zeroed
+            # lines, so sanitize the whole extent (a charged write pass).
+            self.memory.fill(extent[0], extent[1], 0)
+        else:
+            extent = (self.allocator.alloc(size, align), size)
+        self._segments[name] = extent
+        if tracer is not None:
+            tracer.op("pool:create_segment", self.memory.clock.ns - start)
+        return extent[0]
+
+    def retire_segment(self, name: str) -> None:
+        """Drop a segment from the directory; its extent becomes reusable.
+
+        The extent goes on the free-extent list for wear-aware reuse by
+        :meth:`create_segment` (never back to the byte allocator, whose
+        exact-size free lists would splinter it).  Only the compactor --
+        inside a transaction, after the new segment set is durable --
+        may call this (lint rule ND013).
+        """
+        extent = self.get_segment(name)
+        del self._segments[name]
+        self._free_extents.append(extent)
+
+    def get_segment(self, name: str) -> tuple[int, int]:
+        """Return ``(offset, size)`` of a named segment extent.
+
+        Raises:
+            PoolLayoutError: if the segment does not exist.
+        """
+        try:
+            return self._segments[name]
+        except KeyError:
+            raise PoolLayoutError(f"no segment named {name!r}") from None
+
+    def has_segment(self, name: str) -> bool:
+        """Return whether a segment extent with this name exists."""
+        return name in self._segments
+
+    def segment_names(self) -> list[str]:
+        """Return segment names in creation order."""
+        return list(self._segments)
+
+    def segment_pool(self, name: str, header_bytes: int = 1024) -> "NvmPool":
+        """Open the nested pool living inside a segment extent.
+
+        Nested pools are never themselves media-protected: the outer
+        pool's :class:`~repro.nvm.scrub.MediaGuard` seals every dirty
+        device line regardless of which pool wrote it.
+        """
+        offset, size = self.get_segment(name)
+        return NvmPool(
+            self.memory, header_bytes=header_bytes, base=offset, capacity=size
+        )
+
+    # ------------------------------------------------------------------
     # Directory persistence
     # ------------------------------------------------------------------
 
     def _slot_off(self, arena: int) -> int:
-        return _SLOT0_OFF + arena * _SLOT_SIZE
+        return self.base + _SLOT0_OFF + arena * _SLOT_SIZE
 
     def _arena_off(self, arena: int) -> int:
-        return _ARENA_BASE + arena * self._arena_size
+        return self.base + _ARENA_BASE + arena * self._arena_size
 
-    def _encode_entries(self) -> bytes:
+    @staticmethod
+    def _encode_table(table: dict[str, tuple[int, int]]) -> bytes:
         parts: list[bytes] = []
-        for name, (offset, size) in self._regions.items():
+        for name, (offset, size) in table.items():
             encoded = name.encode("utf-8")
             if len(encoded) > 255:
                 raise PoolLayoutError(f"region name too long: {name!r}")
@@ -206,6 +356,15 @@ class NvmPool:
             parts.append(encoded)
             parts.append(struct.pack("<QQ", offset, size))
         return b"".join(parts)
+
+    def _encode_entries(self) -> bytes:
+        blob = self._encode_table(self._regions)
+        if self.segmented:
+            # v4: the region entries are followed by a counted segment
+            # table (same entry shape).  v2/v3 blobs never reach here.
+            blob += struct.pack("<I", len(self._segments))
+            blob += self._encode_table(self._segments)
+        return blob
 
     def _pick_save_arena(self) -> int:
         """Choose the slot+arena pair this save may overwrite.
@@ -263,8 +422,13 @@ class NvmPool:
             _SLOT_SIZE - _SLOT_BODY_SIZE - 4
         )
         mem = self.memory
-        version = _VERSION_PROTECTED if self.media_protect else _VERSION
-        mem.write(0, struct.pack(_FIXED_FMT, _MAGIC, version))
+        if self.segmented:
+            flags = _FLAG_MEDIA_PROTECT if self.media_protect else 0
+            fixed = struct.pack(_FIXED_SEG_FMT, _MAGIC, _VERSION_SEGMENTED, flags)
+        else:
+            version = _VERSION_PROTECTED if self.media_protect else _VERSION
+            fixed = struct.pack(_FIXED_FMT, _MAGIC, version)
+        mem.write(self.base, fixed)
         if blob:
             mem.write(self._arena_off(arena), blob)
         mem.write(self._slot_off(arena), slot)
@@ -273,11 +437,29 @@ class NvmPool:
         if tracer is not None:
             tracer.op("pool:save_directory", mem.clock.ns - start)
 
+    @staticmethod
+    def _decode_table(
+        blob: bytes, pos: int, count: int
+    ) -> tuple[dict[str, tuple[int, int]], int]:
+        table: dict[str, tuple[int, int]] = {}
+        for _ in range(count):
+            (name_len,) = struct.unpack_from("<H", blob, pos)
+            pos += 2
+            name = blob[pos : pos + name_len].decode("utf-8")
+            pos += name_len
+            offset, size = struct.unpack_from("<QQ", blob, pos)
+            pos += 16
+            table[name] = (offset, size)
+        return table, pos
+
     def _parse_slot(
-        self, raw: bytes, arena: int
-    ) -> tuple[int, int, dict[str, tuple[int, int]]] | None:
+        self, raw: bytes, arena: int, segmented: bool
+    ) -> (
+        tuple[int, int, dict[str, tuple[int, int]], dict[str, tuple[int, int]]]
+        | None
+    ):
         """Validate one slot+arena pair; None if torn/corrupt/unwritten."""
-        off = self._slot_off(arena)
+        off = self._slot_off(arena) - self.base
         body = raw[off : off + _SLOT_BODY_SIZE]
         (stored_crc,) = struct.unpack_from("<I", raw, off + _SLOT_BODY_SIZE)
         if zlib.crc32(body) != stored_crc:
@@ -285,24 +467,19 @@ class NvmPool:
         seq, count, top, blob_len, blob_crc = struct.unpack(_SLOT_FMT, body)
         if seq == 0 or blob_len > self._arena_size:
             return None
-        arena_off = self._arena_off(arena)
+        arena_off = self._arena_off(arena) - self.base
         blob = raw[arena_off : arena_off + blob_len]
         if zlib.crc32(blob) != blob_crc:
             return None
-        regions: dict[str, tuple[int, int]] = {}
-        pos = 0
+        segments: dict[str, tuple[int, int]] = {}
         try:
-            for _ in range(count):
-                (name_len,) = struct.unpack_from("<H", blob, pos)
-                pos += 2
-                name = blob[pos : pos + name_len].decode("utf-8")
-                pos += name_len
-                offset, size = struct.unpack_from("<QQ", blob, pos)
-                pos += 16
-                regions[name] = (offset, size)
+            regions, pos = self._decode_table(blob, 0, count)
+            if segmented:
+                (n_segments,) = struct.unpack_from("<I", blob, pos)
+                segments, pos = self._decode_table(blob, pos + 4, n_segments)
         except (struct.error, UnicodeDecodeError):
             return None
-        return (seq, top, regions)
+        return (seq, top, regions, segments)
 
     def load_directory(self) -> None:
         """Restore the directory (and allocator top) from the pool header.
@@ -314,17 +491,23 @@ class NvmPool:
             PoolLayoutError: on bad magic, or when no slot passes
                 validation (truncated/corrupt header).
         """
-        raw = self.memory.read(0, self.header_bytes)
+        raw = self.memory.read(self.base, self.header_bytes)
         magic, version = struct.unpack_from(_FIXED_FMT, raw, 0)
         if magic != _MAGIC:
             raise PoolLayoutError("bad pool magic: not an N-TADOC pool image")
-        if version not in (_VERSION, _VERSION_PROTECTED):
+        if version == _VERSION_SEGMENTED:
+            _, _, flags = struct.unpack_from(_FIXED_SEG_FMT, raw, 0)
+            self.segmented = True
+            self.media_protect = bool(flags & _FLAG_MEDIA_PROTECT)
+        elif version in (_VERSION, _VERSION_PROTECTED):
+            self.segmented = False
+            self.media_protect = version == _VERSION_PROTECTED
+        else:
             raise PoolLayoutError(f"unsupported pool version {version}")
-        self.media_protect = version == _VERSION_PROTECTED
-        best: tuple[int, int, dict[str, tuple[int, int]]] | None = None
+        best = None
         seqs = [0, 0]
         for arena in (0, 1):
-            parsed = self._parse_slot(raw, arena)
+            parsed = self._parse_slot(raw, arena, self.segmented)
             if parsed is None:
                 continue
             seqs[arena] = parsed[0]
@@ -334,8 +517,10 @@ class NvmPool:
             raise PoolLayoutError(
                 "corrupt pool directory: neither slot passes validation"
             )
-        seq, top, regions = best
+        seq, top, regions, segments = best
         self._regions = regions
+        self._segments = segments
+        self._free_extents = []
         self.allocator._top = max(top, self.allocator.base)
         self._dir_seq = max(seqs)
         self._arena_seq = seqs

@@ -1,0 +1,14 @@
+def hijack_extent(pool):
+    off = pool.create_segment("mine", 4096)
+    nested = pool.segment_pool("seg000001")
+    nested.alloc_region("squatter", 64)
+    pool.retire_segment("seg000001")
+    return off
+
+
+def tidy_compactor(log, pool):
+    # Transaction satisfies the ordering check, but this module still
+    # is not the segment layer: ownership fires on the retire call.
+    with log.transaction() as tx:
+        tx.write(0, b"manifest")
+        pool.retire_segment("seg000002")

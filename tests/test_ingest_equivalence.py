@@ -1,0 +1,254 @@
+"""Differential contract of the segmented ingest engine.
+
+For every analytics task and every tested configuration::
+
+    incremental(corpus + appends + deletes) == recompress(final corpus)
+
+canonical-JSON, through seals, compactions, crash-reopen cycles (including
+crashes planted *inside* a compaction), and Hypothesis-generated random
+interleavings of the whole op alphabet.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import EngineConfig
+from repro.errors import CrashPoint, ReproError
+from repro.ingest import SegmentedEngine, canonical_json, reference_rendered
+from repro.ingest.merge import MERGEABLE_TASKS
+from repro.nvm.faults import FaultPlan
+
+CONFIGS = [
+    pytest.param(lambda: EngineConfig(), id="default"),
+    pytest.param(
+        lambda: EngineConfig(media_protect=True, track_wear=True),
+        id="media-protect",
+    ),
+    pytest.param(lambda: EngineConfig(traversal="bottomup"), id="bottomup"),
+]
+
+PHRASE = "compressed text analytics without decompression "
+
+
+def _doc(i: int) -> tuple[str, str]:
+    return f"doc{i:02d}.txt", PHRASE * 2 + f"unique u{i} shared s{i % 3}"
+
+
+def _assert_differential(eng, tasks=MERGEABLE_TASKS):
+    res = eng.run_tasks(list(tasks))
+    ref = eng.corpus.recompressed()
+    for task in tasks:
+        assert canonical_json(res.rendered[task]) == canonical_json(
+            reference_rendered(task, ref, eng.config)
+        ), task
+    return res
+
+
+def _build(config, n_docs=9, threshold=30):
+    eng = SegmentedEngine(config, seal_threshold_tokens=threshold)
+    for i in range(n_docs):
+        eng.append(*_doc(i))
+    return eng
+
+
+@pytest.mark.parametrize("make_config", CONFIGS)
+class TestDifferential:
+    def test_append_only(self, make_config):
+        eng = _build(make_config())
+        res = _assert_differential(eng)
+        assert res.n_segments == len(eng.corpus.segments)
+
+    def test_deletes_filter_at_merge(self, make_config):
+        eng = _build(make_config())
+        eng.seal()
+        eng.delete("doc01.txt")  # sealed: tombstone
+        eng.append("extra.txt", PHRASE + "buffered b1 b2")
+        eng.delete("extra.txt")  # buffered: removed outright
+        eng.append("kept.txt", PHRASE + "kept k1")
+        _assert_differential(eng)
+
+    def test_compaction_is_invisible_to_queries(self, make_config):
+        eng = _build(make_config())
+        eng.seal()
+        eng.delete("doc03.txt")
+        before = _assert_differential(eng)
+        n_before = len(eng.corpus.segments)
+        assert n_before > 1
+        eng.compact()
+        assert len(eng.corpus.segments) == 1
+        after = _assert_differential(eng)
+        for task in MERGEABLE_TASKS:
+            assert canonical_json(before.rendered[task]) == canonical_json(
+                after.rendered[task]
+            )
+
+    def test_crash_reopen_then_requery(self, make_config):
+        eng = _build(make_config())
+        eng.seal()
+        eng.delete("doc02.txt")
+        _assert_differential(eng)  # leave query scratch on the device
+        mem, arts, cfg = eng.memory, dict(eng.artifacts), eng.config
+        mem.crash()
+        eng2 = SegmentedEngine.reopen(mem, arts, cfg)
+        assert eng2.corpus.live_doc_names() == eng.corpus.live_doc_names()
+        _assert_differential(eng2)
+
+    def test_reopen_drops_unsealed_buffer(self, make_config):
+        eng = _build(make_config(), n_docs=6)
+        eng.seal()
+        eng.append("volatile.txt", "never sealed so never durable")
+        mem, arts, cfg = eng.memory, dict(eng.artifacts), eng.config
+        mem.crash()
+        eng2 = SegmentedEngine.reopen(mem, arts, cfg)
+        assert "volatile.txt" not in eng2.corpus.live_doc_names()
+        _assert_differential(eng2)
+
+    def test_life_continues_after_reopen(self, make_config):
+        eng = _build(make_config(), n_docs=6)
+        eng.seal()
+        mem, arts, cfg = eng.memory, dict(eng.artifacts), eng.config
+        mem.crash()
+        eng2 = SegmentedEngine.reopen(mem, arts, cfg)
+        eng2.delete("doc04.txt")
+        eng2.append("late.txt", PHRASE + "late l1 l2")
+        eng2.seal()
+        eng2.compact()
+        _assert_differential(eng2)
+
+
+@pytest.mark.parametrize(
+    "make_config",
+    [CONFIGS[0], CONFIGS[1]],  # plain + media-protect cover the reopen paths
+)
+def test_crash_mid_compaction_resumes(make_config):
+    """Crash at every compaction flush: recovery lands on the pre- or
+    post-compaction segment set, and the differential contract still
+    holds on the reopened engine."""
+
+    def workload():
+        eng = _build(make_config(), n_docs=9, threshold=30)
+        eng.seal()
+        eng.delete("doc01.txt")
+        eng.delete("doc07.txt")
+        return eng
+
+    eng = workload()
+    pre = set(eng.pool.segment_names())
+    counter = FaultPlan()
+    eng.memory.arm_faults(counter)
+    eng.compact()
+    eng.memory.disarm_faults()
+    post = set(eng.pool.segment_names())
+    n_flushes = counter.events["flush"]
+    assert n_flushes >= 2  # install flush + commit flush at minimum
+
+    for ordinal in range(1, n_flushes + 1):
+        eng = workload()
+        eng.memory.arm_faults(FaultPlan("flush", ordinal))
+        with pytest.raises(CrashPoint):
+            eng.compact()
+        mem = eng.memory
+        mem.disarm_faults()
+        mem.crash()
+        reopened = SegmentedEngine.reopen(
+            mem, dict(eng.artifacts), eng.config
+        )
+        names = set(reopened.pool.segment_names())
+        assert names in (pre, post), f"flush {ordinal}: mixed state {names}"
+        _assert_differential(reopened)
+
+
+def test_query_on_empty_corpus_raises():
+    eng = SegmentedEngine(EngineConfig())
+    with pytest.raises(ReproError):
+        eng.run_tasks(["word_count"])
+    eng.append("a.txt", "one two")
+    eng.delete("a.txt")
+    with pytest.raises(ReproError):
+        eng.run_tasks(["word_count"])
+
+
+def test_unknown_task_rejected():
+    eng = SegmentedEngine(EngineConfig())
+    eng.append("a.txt", "one two")
+    with pytest.raises(ReproError):
+        eng.run_tasks(["no_such_task"])
+
+
+# ---------------------------------------------------------------------------
+# Random interleavings
+# ---------------------------------------------------------------------------
+
+_WORDS = ["nvm", "text", "grammar", "rule", "seal", "merge", "scan", "pool"]
+
+
+def _random_text(rng: random.Random) -> str:
+    return " ".join(rng.choices(_WORDS, k=rng.randint(3, 12)))
+
+
+def _apply_ops(eng, ops, rng, *, allow_crash):
+    """Replay generated op codes; returns the (possibly reopened) engine."""
+    counter = 0
+    for code in ops:
+        if code == "append":
+            eng.append(f"gen{counter:04d}", _random_text(rng))
+            counter += 1
+        elif code == "delete":
+            live = eng.corpus.live_doc_names()
+            if live:
+                eng.delete(live[rng.randrange(len(live))])
+        elif code == "seal":
+            eng.seal()
+        elif code == "compact":
+            if eng.corpus.segments:
+                eng.compact()
+        elif code == "query":
+            if eng.corpus.n_live:
+                _assert_differential(eng, tasks=("word_count", "sort"))
+        elif code == "crash":
+            if allow_crash:
+                mem, arts, cfg = eng.memory, dict(eng.artifacts), eng.config
+                mem.crash()
+                eng = SegmentedEngine.reopen(
+                    mem, arts, cfg, seal_threshold_tokens=20
+                )
+    return eng
+
+
+_OP_CODES = st.sampled_from(
+    # appends dominate so corpora actually grow
+    ["append"] * 4 + ["delete", "seal", "compact", "query"]
+)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    ops=st.lists(_OP_CODES, min_size=4, max_size=18),
+    seed=st.integers(0, 2**16),
+)
+def test_random_interleavings_match_recompress(ops, seed):
+    eng = SegmentedEngine(EngineConfig(), seal_threshold_tokens=20)
+    eng = _apply_ops(eng, ops, random.Random(seed), allow_crash=False)
+    if eng.corpus.n_live:
+        _assert_differential(eng)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    ops=st.lists(
+        st.sampled_from(
+            ["append"] * 4 + ["delete", "seal", "compact", "query", "crash"]
+        ),
+        min_size=4,
+        max_size=16,
+    ),
+    seed=st.integers(0, 2**16),
+)
+def test_random_interleavings_with_crashes(ops, seed):
+    eng = SegmentedEngine(EngineConfig(), seal_threshold_tokens=20)
+    eng = _apply_ops(eng, ops, random.Random(seed), allow_crash=True)
+    if eng.corpus.n_live:
+        _assert_differential(eng)

@@ -29,7 +29,7 @@ class TestEngine:
     def test_all_rules_registered(self):
         assert all_rule_ids() == [
             "ND001", "ND002", "ND003", "ND004", "ND005", "ND006", "ND007",
-            "ND008", "ND009", "ND010", "ND011", "ND012",
+            "ND008", "ND009", "ND010", "ND011", "ND012", "ND013",
         ]
         for rule_id, rule in REGISTRY.items():
             assert rule.id == rule_id
@@ -462,6 +462,49 @@ class TestND007KernelContract:
         assert lint_paths([pkg / "core.py"]).findings == []
 
 
+class TestND013SegmentOwnership:
+    FIRING = (
+        "def hijack(pool):\n"
+        "    pool.create_segment('mine', 4096)\n"
+        "    nested = pool.segment_pool('seg000001')\n"
+        "    return nested\n"
+    )
+
+    def test_fires_outside_segment_layer(self, tmp_path):
+        result = lint_source(tmp_path, self.FIRING)
+        assert rules_fired(result) == ["ND013"]
+        assert len(result.findings) == 2
+
+    def test_retire_outside_transaction_fires_everywhere(self, tmp_path):
+        # Even inside the owning package, retirement must be logged.
+        pkg = tmp_path / "repro" / "ingest"
+        pkg.mkdir(parents=True)
+        source = (
+            "def drop(pool):\n"
+            "    pool.retire_segment('seg000001')\n"
+        )
+        (pkg / "compactor.py").write_text(source, encoding="utf-8")
+        result = lint_paths([pkg / "compactor.py"])
+        assert rules_fired(result) == ["ND013"]
+
+    def test_owner_retire_inside_transaction_clean(self, tmp_path):
+        pkg = tmp_path / "repro" / "ingest"
+        pkg.mkdir(parents=True)
+        source = (
+            "def compact(log, pool, blob):\n"
+            "    with log.transaction() as tx:\n"
+            "        tx.write(0, blob)\n"
+            "        pool.retire_segment('seg000001')\n"
+            "    pool.create_segment('seg000002', 4096)\n"
+        )
+        (pkg / "compactor.py").write_text(source, encoding="utf-8")
+        assert lint_paths([pkg / "compactor.py"]).findings == []
+
+    def test_test_files_exempt(self, tmp_path):
+        result = lint_source(tmp_path, self.FIRING, name="test_mod.py")
+        assert result.findings == []
+
+
 class TestShippedTree:
     def test_src_tree_is_clean(self):
         result = lint_paths([REPO_ROOT / "src"])
@@ -470,5 +513,5 @@ class TestShippedTree:
         # No standing suppressions: the interprocedural taint engine
         # proves the one former exemption (``wall_now_s`` reading the
         # wall clock in metrics/timer.py) never flows into a charging
-        # sink, so the tree is clean under all twelve rules unaided.
+        # sink, so the tree is clean under all thirteen rules unaided.
         assert result.suppressed == 0

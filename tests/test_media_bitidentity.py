@@ -24,6 +24,9 @@ TRIO = ("word_count", "inverted_index", "term_vector")
 
 #: Captured from the pre-PR tree (see module docstring).  Any drift here
 #: means the default charging path changed -- a bug, not a baseline bump.
+#: (Exception: the term_vector *result* digest was re-pinned when its
+#: count-tie break moved from word id to word string for segmented
+#: ingest; its timing and pool-image digests were unchanged.)
 SOLO_BASELINE = {
     "word_count": {
         "total_ns": 26243.2,
@@ -37,14 +40,14 @@ SOLO_BASELINE = {
     },
     "term_vector": {
         "total_ns": 26722.60000000008,
-        "result": "5796caf71b11b4b2",
+        "result": "888db5da8696ddaf",
         "image": "1b173292e44168b8",
     },
 }
 FUSED_BASELINE = {
     "total_ns": 56443.8000000003,
     "image": "7e86e219b94eb608",
-    "results": ["d83ac6c281a770ec", "0edec4260e975e83", "5796caf71b11b4b2"],
+    "results": ["d83ac6c281a770ec", "0edec4260e975e83", "888db5da8696ddaf"],
 }
 WEAR_BASELINE = {"digest": "d296fc5af4124c0e", "ns": 57856.0}
 
