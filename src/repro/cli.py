@@ -15,6 +15,8 @@ Commands::
     profile     trace one run: span tree, hot spans, exporters, snapshots
     faultsweep  enumerate media-fault points and verify the resilience triad
     wear        run task(s) with wear tracking, print the endurance report
+    metrics     run task(s), print the always-on metrics registry
+    blackbox    decode the crash-persistent flight recorder from an image
     lint        run nvmlint, the NVM access-discipline checker
 """
 
@@ -302,6 +304,81 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.10,
         help="relative regression tolerance for --baseline (default 0.10)",
+    )
+
+    p = sub.add_parser(
+        "metrics",
+        help="run task(s), print the always-on metrics registry "
+        "(docs/observability.md)",
+    )
+    p.add_argument(
+        "dataset",
+        help="corpus path, or a synthetic profile letter "
+        f"({'/'.join(sorted(PROFILES))}) generated at --scale",
+    )
+    p.add_argument(
+        "task",
+        metavar="task[,task...]",
+        help=f"task name from {{{','.join(_TASK_NAMES)}}}; a "
+        "comma-separated list runs one fused plan",
+    )
+    p.add_argument(
+        "--scale",
+        type=float,
+        default=0.5,
+        help="synthetic dataset scale (profile-letter datasets only)",
+    )
+    p.add_argument(
+        "--traversal", choices=("auto", "topdown", "bottomup"), default="auto"
+    )
+    p.add_argument("--ngram", type=int, default=2, help="sequence length")
+    p.add_argument(
+        "--format",
+        choices=("prom", "json"),
+        default="prom",
+        help="Prometheus text exposition or the canonical JSON snapshot",
+    )
+    p.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="write the exposition/snapshot here instead of stdout",
+    )
+    p.add_argument(
+        "--events",
+        type=int,
+        default=0,
+        metavar="N",
+        help="also print the last N structured journal events",
+    )
+    p.add_argument(
+        "--image-out",
+        type=Path,
+        default=None,
+        help="dump the post-run pool image (feed it to 'blackbox')",
+    )
+
+    p = sub.add_parser(
+        "blackbox",
+        help="decode the crash-persistent flight recorder from a pool "
+        "image (docs/observability.md)",
+    )
+    p.add_argument(
+        "image",
+        type=Path,
+        help="device image file: a SimulatedMemory backing file, or the "
+        "dump written by 'metrics --image-out'",
+    )
+    p.add_argument(
+        "--tail",
+        type=int,
+        default=12,
+        help="records to print from the end of the ring (0 = all)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the full decoded report as JSON",
     )
 
     sub.add_parser(
@@ -773,6 +850,111 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_metrics(args) -> int:
+    from repro.core.engine import NTadocEngine
+
+    names = [name.strip() for name in args.task.split(",") if name.strip()]
+    unknown = [name for name in names if name not in _TASK_NAMES]
+    if not names or unknown:
+        bad = ", ".join(unknown) or "(empty)"
+        print(
+            f"unknown task(s): {bad}; choose from {', '.join(_TASK_NAMES)}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    dataset = args.dataset
+    if dataset in PROFILES and not Path(dataset).exists():
+        corpus = compress_files(dataset_files(dataset, args.scale))
+    else:
+        corpus = serialization.load(Path(dataset))
+    config = EngineConfig(traversal=args.traversal, ngram_n=args.ngram)
+    engine = NTadocEngine(corpus, config)
+    tasks = [task_by_name(name) for name in names]
+    # The resilient entry points leave last_state populated, which is
+    # what --image-out needs; with no faults armed they charge the same
+    # simulated time as the plain ones.
+    if len(tasks) == 1:
+        total_ns = engine.run_resilient(tasks[0]).total_ns
+    else:
+        total_ns = engine.run_many_resilient(tasks).total_ns
+
+    text = (
+        engine.metrics.to_json()
+        if args.format == "json"
+        else engine.metrics.expose()
+    )
+    if args.out is not None:
+        args.out.write_text(text, encoding="utf-8")
+        print(f"wrote {args.out} ({format_bytes(len(text))})")
+    else:
+        print(text, end="")
+    print(
+        f"# run total: {','.join(names)} in {format_ns(total_ns)} simulated, "
+        f"{len(engine.journal.events)} journal event(s)"
+    )
+    if args.events:
+        print(f"# last {args.events} journal event(s):")
+        import json as json_mod
+
+        for event in engine.journal.events[-args.events :]:
+            detail = json_mod.dumps(
+                event.detail, sort_keys=True, separators=(",", ":"), default=str
+            )
+            print(
+                f"#   {event.sim_ns:>12.1f}ns {event.severity:<7s} "
+                f"{event.type} {detail}"
+            )
+    if args.image_out is not None:
+        from repro.nvm.flightrec import device_image
+
+        memory = engine.last_state.pool_mem
+        args.image_out.write_bytes(device_image(memory))
+        print(
+            f"# wrote pool image {args.image_out} "
+            f"({format_bytes(memory.size)})"
+        )
+    return 0
+
+
+def _cmd_blackbox(args) -> int:
+    import json as json_mod
+
+    from repro.nvm.flightrec import blackbox_report, decode_device_image
+
+    decoded = decode_device_image(args.image.read_bytes())
+    if decoded is None or not decoded["present"]:
+        print(
+            f"{args.image}: no flight recorder found (not a pool image, "
+            "or one written before the black box landed)",
+            file=sys.stderr,
+        )
+        return 1
+    report = blackbox_report(decoded, tail=args.tail)
+    if args.json:
+        print(json_mod.dumps(report, indent=1, sort_keys=True))
+        return 0
+    kinds = ", ".join(f"{k}={v}" for k, v in report["by_kind"].items())
+    print(
+        f"flight recorder: {report['records']} record(s) in "
+        f"{report['nslots']} slots ({kinds})"
+    )
+    last = report["last_completed_phase"] or "(none)"
+    in_flight = report["in_flight_phase"] or "(none; no phase was open)"
+    print(f"last committed phase: {last}")
+    print(f"in flight at crash  : {in_flight}")
+    print(f"tail ({len(report['tail'])} record(s), oldest first):")
+    for record in report["tail"]:
+        detail = json_mod.dumps(
+            record["detail"], sort_keys=True, separators=(",", ":")
+        )
+        mark = "" if record["kind"] == "event" else f" [{record['kind']}]"
+        print(
+            f"  #{record['seq']:<4d} {record['sim_ns']:>12.1f}ns "
+            f"{record['severity']:<7s} {record['type']}{mark} {detail}"
+        )
+    return 0
+
+
 _COMMANDS = {
     "compress": _cmd_compress,
     "decompress": _cmd_decompress,
@@ -788,6 +970,8 @@ _COMMANDS = {
     "faultsweep": _cmd_faultsweep,
     "wear": _cmd_wear,
     "profile": _cmd_profile,
+    "metrics": _cmd_metrics,
+    "blackbox": _cmd_blackbox,
 }
 
 

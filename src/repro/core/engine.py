@@ -27,6 +27,7 @@ naive NVM port         device="nvm", naive=True (Section III-B)
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
@@ -42,7 +43,11 @@ from repro.nvm.device import DeviceProfile
 from repro.nvm.memory import SimulatedClock, SimulatedMemory, charge_sequential_io
 from repro.nvm.persist import PhasePersistence
 from repro.nvm.pool import NvmPool
+from repro.obs import events as obs_events
+from repro.obs import metrics as obs_metrics
 from repro.obs import tracer as obs
+from repro.obs.events import EventJournal
+from repro.obs.metrics import MetricsRegistry
 from repro.pstruct import layout
 from repro.pstruct.layout import next_power_of_two
 from repro.sequitur import serialization
@@ -122,6 +127,15 @@ class EngineConfig:
     #: (:func:`~repro.nvm.wear.wear_report`, wear-triggered fault arming
     #: via ``FaultPlan(wear_death=True)``).
     track_wear: bool = False
+    #: Always-on observability (the default): the engine keeps a
+    #: :class:`~repro.obs.metrics.MetricsRegistry` and an
+    #: :class:`~repro.obs.events.EventJournal` across runs, and persists
+    #: the most recent events into the pool's ``__flightrec__`` black-box
+    #: region.  Recording is uncharged by contract -- a metrics-on run
+    #: charges simulated ns bit-identically (``==``) to a metrics-off
+    #: run, and the pool images differ only inside ``__flightrec__``
+    #: (both pinned by tests).  ``False`` records nothing.
+    metrics: bool = True
 
     def __post_init__(self) -> None:
         if self.persistence not in ("phase", "operation", "none"):
@@ -353,6 +367,17 @@ class NTadocEngine:
         #: Machinery of the most recent *resilient* run (faultsweep pokes
         #: at the pool/guard after the run to verify scrub idempotence).
         self.last_state: _RunState | None = None
+        #: Always-on metrics registry and event journal (None when the
+        #: config disables them); both live as long as the engine and
+        #: accumulate across runs.
+        self.metrics: MetricsRegistry | None = None
+        self.journal: EventJournal | None = None
+        if self.config.metrics:
+            self.metrics = MetricsRegistry()
+            self.journal = EventJournal()
+            self.journal.bind(registry=self.metrics)
+        #: The current flight recorder's journal sink (replaced per run).
+        self._recorder_sink: Any = None
 
     # ------------------------------------------------------------------
     # Sizing
@@ -425,6 +450,8 @@ class NTadocEngine:
             from repro.nvm.scrub import MediaGuard
 
             guard = MediaGuard(pool)
+        self._alloc_flightrec(pool)
+        self._attach_observability(clock, pool_mem, pool)
         ledger = MemoryLedger()
         self._bind_tracer(clock, pool_mem, dram_mem, ledger)
         return _RunState(
@@ -458,6 +485,7 @@ class NTadocEngine:
             DeviceProfile.dram(), 1 << 24, clock, name="dram-scratch", kernels=config.kernels
         )
         dram_alloc = PoolAllocator(dram_mem, base=0, capacity=dram_mem.size)
+        self._attach_observability(clock, pool_mem, pool)
         ledger = MemoryLedger()
         self._bind_tracer(clock, pool_mem, dram_mem, ledger)
         return _RunState(
@@ -490,6 +518,127 @@ class NTadocEngine:
                 clock=clock,
                 memories={"pool": pool_mem, "dram": dram_mem},
                 ledger=ledger,
+            )
+
+    def _alloc_flightrec(self, pool: NvmPool) -> None:
+        """Reserve the black-box region on a fresh pool.
+
+        Allocated *unconditionally* -- metrics on or off -- and pinned
+        at the TOP of the pool extent, so data placement (and therefore
+        the persisted image outside ``__flightrec__``) is bit-identical
+        whether or not the black box exists (allocation is a host-side
+        dictionary write; it charges nothing and touches no device
+        bytes).  Line-aligned and line-padded like the MediaGuard tables
+        so recorder pokes never share a device line with charged data.
+        A pool explicitly sized too small for the region simply goes
+        without a black box.
+        """
+        from repro.nvm.flightrec import FLIGHTREC_REGION, region_bytes
+
+        if pool.has_region(FLIGHTREC_REGION):
+            pool.reserve_top_region(FLIGHTREC_REGION)
+            return
+        line_size = pool.memory.profile.line_size
+        size = region_bytes()
+        size = (size + line_size - 1) // line_size * line_size
+        try:
+            pool.alloc_region_top(FLIGHTREC_REGION, size, align=line_size)
+        except OutOfMemoryError:
+            pass
+
+    def _attach_observability(
+        self, clock: SimulatedClock, pool_mem: SimulatedMemory, pool: NvmPool
+    ) -> None:
+        """Rebind the journal to this run's clock and install the
+        flight recorder over the pool's black-box region (resuming the
+        on-media sequence numbers when the region already holds a ring,
+        e.g. a reopened or recovered pool)."""
+        journal = self.journal
+        if journal is None:
+            return
+        from repro.nvm.flightrec import FLIGHTREC_REGION, FlightRecorder
+
+        journal.bind(clock=clock)
+        if self._recorder_sink is not None:
+            journal.remove_sink(self._recorder_sink)
+            self._recorder_sink = None
+        if pool.has_region(FLIGHTREC_REGION):
+            pool.reserve_top_region(FLIGHTREC_REGION)
+            offset, size = pool.get_region(FLIGHTREC_REGION)
+            recorder = FlightRecorder(
+                pool_mem,
+                offset,
+                size,
+                snapshot_provider=self._flight_snapshot(pool_mem),
+            )
+            pool_mem.attach_flight_recorder(recorder)
+            self._recorder_sink = recorder.record
+            journal.add_sink(recorder.record)
+        journal.emit(
+            "engine_start",
+            device=self.config.device,
+            persistence=self.config.persistence,
+        )
+        journal.emit(
+            "kernel_backend",
+            backend=type(pool_mem.kernels).__name__
+            if pool_mem.kernels is not None
+            else "scalar",
+            mode=self.config.kernels,
+        )
+
+    def _flight_snapshot(self, pool_mem: SimulatedMemory):
+        """Provider for the per-flush ``metrics_snapshot`` slot: a small
+        dict of headline counters (must stay well under one slot)."""
+        stats = pool_mem.stats
+        journal = self.journal
+
+        def provider() -> dict[str, Any]:
+            return {
+                "events": len(journal.events) if journal is not None else 0,
+                "flush_ops": stats.flush_ops,
+                "bytes_read": stats.bytes_read,
+                "bytes_written": stats.bytes_written,
+                "cache_hits": stats.cache_hits,
+            }
+
+        return provider
+
+    @contextmanager
+    def _observed(self):
+        """Attach tracer, metrics registry, and event journal around a
+        run so deep layers (pool, scrub, planner, kernels) can record
+        through the module-level helpers without plumbing."""
+        with obs.attached(self.config.tracer):
+            with obs_metrics.attached(self.metrics):
+                with obs_events.attached(self.journal):
+                    yield
+
+    def _record_run_metrics(
+        self, state: _RunState, stats_start, records_start: int, label: str
+    ) -> None:
+        """Fold one execution's device-traffic delta into the registry.
+
+        Sampled once per run at flush/phase granularity (never per
+        access), which keeps the always-on overhead negligible.
+        ``records_start`` scopes the timeline to this execution: a
+        reused state (degraded-mode re-runs) keeps earlier attempts'
+        phase records.
+        """
+        registry = self.metrics
+        if registry is None:
+            return
+        delta = state.pool_mem.stats.delta(stats_start)
+        registry.inc("ntadoc_runs_total", kind=label)
+        registry.inc("ntadoc_pool_bytes_read_total", delta.bytes_read)
+        registry.inc("ntadoc_pool_bytes_written_total", delta.bytes_written)
+        registry.inc("ntadoc_pool_cache_hits_total", delta.cache_hits)
+        registry.inc("ntadoc_pool_cache_misses_total", delta.cache_misses)
+        registry.inc("ntadoc_pool_flush_ops_total", delta.flush_ops)
+        registry.inc("ntadoc_pool_flushed_lines_total", delta.flushed_lines)
+        for record in state.timeline.records[records_start:]:
+            registry.observe(
+                "ntadoc_phase_ns", record.sim_ns, phase=record.name
             )
 
     def _charge_init_stream(self, state: _RunState) -> None:
@@ -588,7 +737,10 @@ class NTadocEngine:
         Reuses ``state.pruned`` when it already exists (degraded-mode
         siblings after a media recovery); a fresh state always builds.
         """
-        with obs.attached(self.config.tracer):
+        stats_start = state.pool_mem.stats.snapshot()
+        records_start = len(state.timeline.records)
+        with self._observed():
+            obs_events.emit("phase_start", phase="initialization", task=task.name)
             with state.timeline.phase("initialization"):
                 with obs.span("init:stream", category="engine"):
                     self._charge_init_stream(state)
@@ -606,6 +758,7 @@ class NTadocEngine:
                     task.prepare(ctx)
                 self._persist_phase(state.pool, state.phase_persist, "initialization")
 
+            obs_events.emit("phase_start", phase="traversal", task=task.name)
             with state.timeline.phase("traversal"):
                 with obs.span(f"task:{task.name}:run", category="task"):
                     result = task.run_compressed(ctx)
@@ -619,7 +772,8 @@ class NTadocEngine:
                     charge_sequential_io(
                         state.clock, state.disk, result_bytes, write=True
                     )
-
+            obs_events.emit("task_complete", task=task.name)
+        self._record_run_metrics(state, stats_start, records_start, "solo")
         return self._solo_result(task, state, ctx, result)
 
     def _run_resumed(
@@ -638,7 +792,13 @@ class NTadocEngine:
             # Not even initialization survived: nothing to resume from.
             return self.run(task)
         state = self._resumed_state(report)
-        with obs.attached(self.config.tracer):
+        stats_start = state.pool_mem.stats.snapshot()
+        records_start = len(state.timeline.records)
+        with self._observed():
+            obs_events.emit(
+                "phase_start", phase="initialization", task=task.name,
+                resumed=True,
+            )
             with state.timeline.phase("initialization"):
                 # The compressed artifact is re-streamed from disk and the
                 # in-DRAM derivations re-paid; the device-resident DAG pool
@@ -653,7 +813,13 @@ class NTadocEngine:
                     task.prepare(ctx)
                 # The initialization checkpoint already persisted before
                 # the crash; it is not re-written.
+                obs_events.emit(
+                    "phase_commit", phase="initialization", resumed=True
+                )
 
+            obs_events.emit(
+                "phase_start", phase="traversal", task=task.name, resumed=True
+            )
             with state.timeline.phase("traversal"):
                 with obs.span(f"task:{task.name}:run", category="task"):
                     result = task.run_compressed(ctx)
@@ -665,7 +831,8 @@ class NTadocEngine:
                     charge_sequential_io(
                         state.clock, state.disk, result_bytes, write=True
                     )
-
+            obs_events.emit("task_complete", task=task.name, resumed=True)
+        self._record_run_metrics(state, stats_start, records_start, "resumed")
         return self._solo_result(task, state, ctx, result, resumed=True)
 
     def _solo_result(
@@ -678,12 +845,15 @@ class NTadocEngine:
         resumed: bool = False,
     ) -> RunResult:
         dram_peak, pool_peak = self._peaks(state)
+        total_ns = state.timeline.total_sim_ns()
+        if self.metrics is not None:
+            self.metrics.observe("ntadoc_task_ns", total_ns, task=task.name)
         return RunResult(
             task=task.name,
             system=self.system_name,
             result=result,
             phase_ns=state.timeline.as_dict(),
-            total_ns=state.timeline.total_sim_ns(),
+            total_ns=total_ns,
             dram_peak=dram_peak,
             pool_peak=pool_peak,
             pool_device=self.config.device,
@@ -756,7 +926,14 @@ class NTadocEngine:
         """
         from repro.core.plan import execute_fused
 
-        with obs.attached(self.config.tracer):
+        stats_start = state.pool_mem.stats.snapshot()
+        records_start = len(state.timeline.records)
+        with self._observed():
+            obs_events.emit(
+                "phase_start",
+                phase="initialization",
+                tasks=[task.name for task in tasks],
+            )
             with state.timeline.phase("initialization"):
                 with obs.span("init:stream", category="engine"):
                     self._charge_init_stream(state)
@@ -770,11 +947,14 @@ class NTadocEngine:
                 fused = self._fuse_tasks(ctx, tasks)
                 self._persist_phase(state.pool, state.phase_persist, "initialization")
 
+            obs_events.emit("phase_start", phase="traversal")
             with state.timeline.phase("traversal"):
                 outcome = execute_fused(ctx, fused)
                 self._write_plan_results(state, fused, outcome.results)
                 self._persist_phase(state.pool, state.phase_persist, "traversal")
-
+            for task in tasks:
+                obs_events.emit("task_complete", task=task.name, fused=True)
+        self._record_run_metrics(state, stats_start, records_start, "fused")
         return self._finish_plan(state, ctx, fused, outcome)
 
     def _run_many_resumed(self, tasks: "list[AnalyticsTask]", report):
@@ -785,7 +965,12 @@ class NTadocEngine:
         if report.needs_full_rebuild or report.pruned is None:
             return self.run_many(tasks)
         state = self._resumed_state(report)
-        with obs.attached(self.config.tracer):
+        stats_start = state.pool_mem.stats.snapshot()
+        records_start = len(state.timeline.records)
+        with self._observed():
+            obs_events.emit(
+                "phase_start", phase="initialization", resumed=True
+            )
             with state.timeline.phase("initialization"):
                 with obs.span("init:stream", category="engine"):
                     self._charge_init_stream(state)
@@ -796,12 +981,18 @@ class NTadocEngine:
                 fused = self._fuse_tasks(ctx, tasks)
                 # The initialization checkpoint already persisted before
                 # the crash; it is not re-written.
+                obs_events.emit(
+                    "phase_commit", phase="initialization", resumed=True
+                )
 
+            obs_events.emit("phase_start", phase="traversal", resumed=True)
             with state.timeline.phase("traversal"):
                 outcome = execute_fused(ctx, fused)
                 self._write_plan_results(state, fused, outcome.results)
                 self._persist_phase(state.pool, state.phase_persist, "traversal")
-
+            for task in tasks:
+                obs_events.emit("task_complete", task=task.name, fused=True)
+        self._record_run_metrics(state, stats_start, records_start, "resumed")
         return self._finish_plan(state, ctx, fused, outcome, resumed=True)
 
     def _fuse_tasks(self, ctx, tasks: "list[AnalyticsTask]") -> list:
@@ -853,6 +1044,12 @@ class NTadocEngine:
                 "initialization": shared_init / n + f.init_ns,
                 "traversal": shared_trav / n + f.exclusive_ns,
             }
+            if self.metrics is not None:
+                self.metrics.observe(
+                    "ntadoc_task_ns",
+                    task_phases["initialization"] + task_phases["traversal"],
+                    task=f.task.name,
+                )
             results.append(
                 RunResult(
                     task=f.task.name,
@@ -1075,7 +1272,7 @@ class NTadocEngine:
         from repro.nvm.persist import TransactionLog
 
         pool = state.pool
-        with obs.attached(self.config.tracer):
+        with self._observed():
             with state.timeline.phase("recovery"):
                 with obs.span("recover:media", category="recovery") as span:
                     txlog = TransactionLog(
@@ -1098,6 +1295,13 @@ class NTadocEngine:
                     if span is not None:
                         span.attrs["mismatches"] = report.mismatches
                         span.attrs["quarantined_regions"] = len(quarantined)
+                    obs_events.emit(
+                        "media_recovery",
+                        severity="warning",
+                        mismatches=report.mismatches,
+                        quarantined_regions=len(quarantined),
+                    )
+                    obs_metrics.inc("ntadoc_media_recoveries_total")
         return report
 
     def _fail_task(
@@ -1191,9 +1395,15 @@ class NTadocEngine:
                 # data could persist ahead of it and checkpoint a phase
                 # whose writes never reached media.
                 pool.flush()
+                # Emitted between the data flush and the marker flush so
+                # the commit record rides the marker's flush into the
+                # black box -- the on-media tail tracks the checkpoint
+                # to within one torn flush.
+                obs_events.emit("phase_commit", phase=name)
                 phase_persist.complete_phase(name)
         elif self.config.persistence == "operation":
             with obs.span(f"persist:phase:{name}", category="persist"):
+                obs_events.emit("phase_commit", phase=name)
                 pool.flush()
 
     def _write_result_blob(self, pool: NvmPool, result_bytes: int) -> None:

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.core.traversal import bottomup_rule_sweep
+from repro.obs import events as obs_events
 from repro.obs import tracer as obs
 
 if TYPE_CHECKING:
@@ -175,11 +176,20 @@ def execute_fused(
     if wordlist_pass_scheduled and not (
         ctx.strategy_forced and ctx.strategy == "topdown"
     ):
+        swapped = []
         for index, f in enumerate(fused):
             if f.wordlist_alternate is not None:
                 alternate = f.wordlist_alternate()
                 alternate.init_ns = f.init_ns
                 fused[index] = alternate
+                swapped.append(alternate.task.name)
+        if swapped:
+            obs_events.emit("plan_replanned", tasks=swapped, rode="bottomup")
+    obs_events.emit(
+        "plan_fused",
+        tasks=[f.task.name for f in fused],
+        groups={k: len(v) for k, v in plan_groups(fused).items()},
+    )
 
     topdown = [f for f in fused if f.visit_rule is not None]
     bottomup = [f for f in fused if f.visit_rule_bottomup is not None]

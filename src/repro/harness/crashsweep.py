@@ -154,6 +154,52 @@ def canonical_result(value) -> str:
     return json.dumps(_jsonable(value), sort_keys=True)
 
 
+def _decode_blackbox(mem) -> tuple[dict | None, dict | None]:
+    """Decode the crashed image's flight recorder, fully uncharged.
+
+    Works on a throwaway copy of the post-crash image so neither the
+    clock nor the cache of the memory under test moves before recovery.
+    Returns ``(decoded, report)`` or ``(None, None)`` when the image has
+    no readable directory / no ``__flightrec__`` region.
+    """
+    from repro.nvm.flightrec import (
+        blackbox_report,
+        decode_device_image,
+        device_image,
+    )
+
+    decoded = decode_device_image(device_image(mem))
+    if decoded is None or not decoded["present"]:
+        return None, None
+    return decoded, blackbox_report(decoded, tail=8)
+
+
+def _blackbox_problem(decoded: dict, bb: dict, allowed) -> str | None:
+    """Judge one decoded ring against the black-box contract.
+
+    A single crash tears at most the one slot the cut landed in; the
+    surviving events must be chronologically consistent; and when a
+    legal checkpoint set is known, the ring's committed-phase view must
+    fall inside it (the same +-1-torn-flush window the marker gets).
+    """
+    damaged = sum(1 for r in decoded["records"] if r.kind != "event")
+    if damaged > 1:
+        return f"{damaged} torn/unknown slots; one crash tears at most one"
+    events = [r for r in decoded["records"] if r.kind == "event"]
+    seqs = [r.seq for r in events]
+    if seqs != sorted(set(seqs)):
+        return "event sequence numbers are not strictly increasing"
+    times = [r.sim_ns for r in events]
+    if any(b < a for a, b in zip(times, times[1:])):
+        return "event timestamps regress along the sequence"
+    if allowed is not None and bb["last_completed_phase"] not in allowed:
+        return (
+            f"committed-phase view {bb['last_completed_phase']!r} outside "
+            f"the legal checkpoint set {sorted(map(str, allowed))}"
+        )
+    return None
+
+
 def _expected_marker(completed_flushes: int) -> str | None:
     best = None
     for ordinal, name in _MARKER_AFTER_FLUSH.items():
@@ -178,6 +224,8 @@ class _Sweep:
         self.violations: list[dict] = []
         self.recovery_costs: list[float] = []
         self.points = 0
+        self.blackbox = {"decoded": 0, "absent": 0, "torn_records": 0}
+        self.blackbox_sample: dict | None = None
 
     # -- bookkeeping ----------------------------------------------------
 
@@ -202,6 +250,35 @@ class _Sweep:
 
     def restarted(self) -> None:
         self.resume_phases["restart"] = self.resume_phases.get("restart", 0) + 1
+
+    def check_blackbox(
+        self, scenario: str, kind: str, index, mem, allowed, require: bool
+    ) -> dict | None:
+        """Decode + judge the flight recorder at one crash point.
+
+        ``require`` is True when the image is known recoverable (the
+        directory reached media), so an absent black box is a violation
+        there; ``allowed`` is the legal committed-phase set, or ``None``
+        to skip phase attribution.  Returns the report for sampling.
+        """
+        decoded, bb = _decode_blackbox(mem)
+        if bb is None:
+            self.blackbox["absent"] += 1
+            if require:
+                self.violation(
+                    scenario, kind, index,
+                    "black box: flight recorder absent from a recoverable "
+                    "image",
+                )
+            return None
+        self.blackbox["decoded"] += 1
+        self.blackbox["torn_records"] += sum(
+            1 for r in decoded["records"] if r.kind != "event"
+        )
+        problem = _blackbox_problem(decoded, bb, allowed)
+        if problem:
+            self.violation(scenario, kind, index, f"black box: {problem}")
+        return bb
 
     def _sample(self, total: int, count: int | None) -> list[int]:
         """1-based event ordinals to crash on: all, or a seeded sample."""
@@ -309,6 +386,11 @@ class _Sweep:
         mem = plan.memory
         mem.disarm_faults()
         mem.crash()
+        bb = self.check_blackbox(
+            "engine", kind, index, mem, allowed, require=not allow_restart
+        )
+        if bb is not None and kind == "flush" and index == _ENGINE_FLUSHES:
+            self.blackbox_sample = bb
         try:
             report = recover_pool(mem)
         except RecoveryError as exc:
@@ -614,6 +696,11 @@ class _Sweep:
         mem = engine.memory
         mem.disarm_faults()
         mem.crash()
+        # The segmented workload sealed (and flushed) segments before the
+        # compaction started, so the black box must be recoverable here.
+        self.check_blackbox(
+            "ingest", kind, index, mem, allowed=None, require=True
+        )
         start_ns = mem.clock.ns
         try:
             reopened = SegmentedEngine.reopen(
@@ -790,6 +877,9 @@ def run_sweep(config: SweepConfig | None = None) -> dict:
         "recoveries": len(costs),
         "recoveries_by_resume_phase": _jsonable(sweep.resume_phases),
         "mean_recovery_ns": round(sum(costs) / len(costs), 3) if costs else 0.0,
+        "blackbox": _jsonable(
+            {**sweep.blackbox, "sample": sweep.blackbox_sample}
+        ),
         "violations": sweep.violations,
         "result_digest": hashlib.sha256(
             reference_json.encode("utf-8")

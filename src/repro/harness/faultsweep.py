@@ -169,6 +169,8 @@ class _FaultSweep:
         self.reanalyzed_identical = 0
         self.reanalyze_failed_typed = 0
         self.reference_digests: dict[str, str] = {}
+        self.blackbox = {"checked": 0, "absent": 0}
+        self.blackbox_sample: dict | None = None
 
     # -- bookkeeping ----------------------------------------------------
 
@@ -188,6 +190,51 @@ class _FaultSweep:
                 "problem": problem,
             }
         )
+
+    def check_blackbox(self, scenario: str, kind: str, index, engine) -> None:
+        """Judge the flight recorder after one resilient run.
+
+        Unlike the crash sweep there is no power loss here, so the ring
+        is read live off the pool: it must be present, every slot must
+        decode as a fully-written event (a live ring can hold no torn
+        slots), and the surviving records must be chronologically
+        consistent.  The fault the point injected may or may not have
+        left fault events behind -- masked faults legally leave none.
+        """
+        from repro.nvm.flightrec import blackbox_report, decode_pool
+
+        state = engine.last_state
+        if state is None:
+            return
+        self.blackbox["checked"] += 1
+        decoded = decode_pool(state.pool)
+        if decoded is None or not decoded["present"]:
+            self.blackbox["absent"] += 1
+            self.violation(
+                scenario, kind, index,
+                "black box: flight recorder absent after a resilient run",
+            )
+            return
+        damaged = sum(1 for r in decoded["records"] if r.kind != "event")
+        if damaged:
+            self.violation(
+                scenario, kind, index,
+                f"black box: {damaged} torn/unknown slots in a live ring",
+            )
+            return
+        events = decoded["records"]
+        seqs = [r.seq for r in events]
+        times = [r.sim_ns for r in events]
+        if seqs != sorted(set(seqs)) or any(
+            b < a for a, b in zip(times, times[1:])
+        ):
+            self.violation(
+                scenario, kind, index,
+                "black box: event tail is not chronologically consistent",
+            )
+            return
+        if self.blackbox_sample is None:
+            self.blackbox_sample = blackbox_report(decoded, tail=8)
 
     # -- shared machinery -----------------------------------------------
 
@@ -319,6 +366,7 @@ class _FaultSweep:
             else:
                 self.outcome("detected_recovered")
                 self.recovery_extra_ns.append(out.total_ns - ref_ns)
+        self.check_blackbox("engine", kind, index, engine)
         if self.config.reanalyze:
             self._scrub_and_reanalyze(
                 engine, task_name, ref_json, kind, index
@@ -452,6 +500,7 @@ class _FaultSweep:
             else:
                 self.outcome("detected_recovered")
                 self.recovery_extra_ns.append(out.total_ns - ref_ns)
+        self.check_blackbox("wear", "wear_death", index, engine)
         if self.config.reanalyze:
             self._scrub_and_reanalyze(
                 engine, name, ref_json, "wear_death", index
@@ -564,6 +613,7 @@ class _FaultSweep:
         else:
             self.outcome("detected_recovered")
             self.recovery_extra_ns.append(out.total_ns - ref_ns)
+        self.check_blackbox("fused", kind, index, engine)
 
 
 def run_sweep(config: FaultSweepConfig | None = None) -> dict:
@@ -593,6 +643,9 @@ def run_sweep(config: FaultSweepConfig | None = None) -> dict:
             round(sum(extra) / len(extra), 3) if extra else 0.0
         ),
         "silent_wrong_answers": len(silent),
+        "blackbox": _jsonable(
+            {**sweep.blackbox, "sample": sweep.blackbox_sample}
+        ),
         "violations": sweep.violations,
         "reference_digests": _jsonable(sweep.reference_digests),
     }

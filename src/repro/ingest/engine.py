@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import struct
 import zlib
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -70,6 +71,11 @@ from repro.nvm.memory import (
 )
 from repro.nvm.persist import TransactionLog
 from repro.nvm.pool import NvmPool
+from repro.obs import events as obs_events
+from repro.obs import metrics as obs_metrics
+from repro.obs import tracer as obs
+from repro.obs.events import EventJournal
+from repro.obs.metrics import MetricsRegistry
 
 #: Pool region holding the CRC-sealed logical segment manifest.
 MANIFEST_REGION = "__manifest__"
@@ -143,6 +149,7 @@ class SegmentedEngine:
     ) -> None:
         self.config = config or EngineConfig()
         self.compress_ops_per_token = compress_ops_per_token
+        self._init_observability()
         self.clock = SimulatedClock()
         profile = DeviceProfile.by_name(self.config.device)
         self.memory = SimulatedMemory(
@@ -172,6 +179,15 @@ class SegmentedEngine:
         )
         # Zero fill = length 0, CRC32(b"") == 0: a valid empty manifest.
         self.memory.fill(self.manifest_off, MANIFEST_BYTES, 0)
+        self._alloc_flightrec()
+        self._attach_flightrec()
+        with self._observed():
+            obs_events.emit(
+                "engine_start",
+                device=self.config.device,
+                persistence=self.config.persistence,
+                segmented=True,
+            )
         self.corpus = SegmentedCorpus(
             token_mode=token_mode,
             seal_threshold_tokens=seal_threshold_tokens,
@@ -189,6 +205,92 @@ class SegmentedEngine:
             kernels=self.config.kernels,
         )
         self.pool.flush()
+
+    # ------------------------------------------------------------------
+    # Observability (registry + journal + black box; see docs/observability.md)
+    # ------------------------------------------------------------------
+
+    def _init_observability(self) -> None:
+        """Create the engine-lifetime registry and journal (one pair for
+        the whole segmented corpus -- nested per-segment engines share
+        them so fused-query counters and segment events land in one
+        place)."""
+        self.metrics: MetricsRegistry | None = None
+        self.journal: EventJournal | None = None
+        self._recorder_sink: Any = None
+        if self.config.metrics:
+            self.metrics = MetricsRegistry()
+            self.journal = EventJournal()
+            self.journal.bind(registry=self.metrics)
+
+    def _share_observability(self, eng: NTadocEngine) -> None:
+        """Point a nested per-segment engine at the shared instruments."""
+        eng.metrics = self.metrics
+        eng.journal = self.journal
+
+    def _alloc_flightrec(self) -> None:
+        """Reserve the black-box region on the outer pool (unconditional
+        and top-pinned, like :meth:`NTadocEngine._alloc_flightrec`, so
+        segment placement is identical with metrics on or off)."""
+        from repro.errors import OutOfMemoryError
+        from repro.nvm.flightrec import FLIGHTREC_REGION, region_bytes
+
+        if self.pool.has_region(FLIGHTREC_REGION):
+            self.pool.reserve_top_region(FLIGHTREC_REGION)
+            return
+        line_size = self.memory.profile.line_size
+        size = region_bytes()
+        size = (size + line_size - 1) // line_size * line_size
+        try:
+            self.pool.alloc_region_top(
+                FLIGHTREC_REGION, size, align=line_size
+            )
+        except OutOfMemoryError:
+            pass
+
+    def _attach_flightrec(self) -> None:
+        """Install the flight recorder over ``__flightrec__`` (resuming
+        on-media sequence numbers after a reopen) and pipe the journal
+        into it."""
+        journal = self.journal
+        if journal is None:
+            return
+        from repro.nvm.flightrec import FLIGHTREC_REGION, FlightRecorder
+
+        journal.bind(clock=self.clock)
+        if self._recorder_sink is not None:
+            journal.remove_sink(self._recorder_sink)
+            self._recorder_sink = None
+        if not self.pool.has_region(FLIGHTREC_REGION):
+            return
+        self.pool.reserve_top_region(FLIGHTREC_REGION)
+        offset, size = self.pool.get_region(FLIGHTREC_REGION)
+        stats = self.memory.stats
+        corpus_ref = self
+
+        def provider() -> dict[str, Any]:
+            return {
+                "events": len(journal.events),
+                "flush_ops": stats.flush_ops,
+                "bytes_written": stats.bytes_written,
+                "segments": len(getattr(corpus_ref, "_device", ())),
+            }
+
+        recorder = FlightRecorder(
+            self.memory, offset, size, snapshot_provider=provider
+        )
+        self.memory.attach_flight_recorder(recorder)
+        self._recorder_sink = recorder.record
+        journal.add_sink(recorder.record)
+
+    @contextmanager
+    def _observed(self):
+        """Attach tracer, registry, and journal around a mutation or
+        query so spans and events from every layer are captured."""
+        with obs.attached(self.config.tracer):
+            with obs_metrics.attached(self.metrics):
+                with obs_events.attached(self.journal):
+                    yield
 
     # ------------------------------------------------------------------
     # Mutations
@@ -226,18 +328,32 @@ class SegmentedEngine:
         segment = self.corpus.seal()
         if segment is None:
             return None
-        tokens = sum(len(f) for f in segment.corpus.expand_files())
-        self.clock.cpu(self.compress_ops_per_token * max(tokens, 1))
-        charge_sequential_io(
-            self.clock,
-            DeviceProfile.by_name(self.config.disk),
-            serialized_size(segment.corpus),
-            write=True,
-        )
-        self._install_segment(segment)
-        self.artifacts[segment.name] = segment
-        self.pool.flush()  # extent data + v4 directory durable first
-        self._commit_manifest()  # then the logical switch
+        with self._observed():
+            with obs.span("ingest:seal", category="ingest") as span:
+                tokens = sum(len(f) for f in segment.corpus.expand_files())
+                self.clock.cpu(self.compress_ops_per_token * max(tokens, 1))
+                charge_sequential_io(
+                    self.clock,
+                    DeviceProfile.by_name(self.config.disk),
+                    serialized_size(segment.corpus),
+                    write=True,
+                )
+                self._install_segment(segment)
+                self.artifacts[segment.name] = segment
+                self.pool.flush()  # extent data + v4 directory durable first
+                # Emitted before the manifest commit so the record rides
+                # the commit's flush into the black box.
+                obs_events.emit(
+                    "segment_sealed",
+                    segment=segment.name,
+                    docs=segment.n_docs,
+                    tokens=tokens,
+                )
+                self._commit_manifest()  # then the logical switch
+                if span is not None:
+                    span.attrs["segment"] = segment.name
+                    span.attrs["tokens"] = tokens
+            obs_metrics.inc("ntadoc_segments_sealed_total")
         return segment
 
     def compact(self, upto: int | None = None) -> SealedSegment | None:
@@ -253,24 +369,38 @@ class SegmentedEngine:
         tombstones and simply vanished).
         """
         retired, merged = self.corpus.compact(upto)
-        if merged is not None:
-            tokens = sum(len(f) for f in merged.corpus.expand_files())
-            self.clock.cpu(self.compress_ops_per_token * max(tokens, 1))
-            charge_sequential_io(
-                self.clock,
-                DeviceProfile.by_name(self.config.disk),
-                serialized_size(merged.corpus),
-                write=True,
-            )
-            self._install_segment(merged)
-            self.artifacts[merged.name] = merged
-        self.pool.flush()  # merged segment durable; old ones still live
-        with self.txlog.transaction() as tx:
-            tx.write(self.manifest_off, self._manifest_blob())
-            for old in retired:
-                self.pool.retire_segment(old.name)
-                self._device.pop(old.name, None)
-        self.pool.flush()  # retired directory durable
+        with self._observed():
+            with obs.span("ingest:compact", category="ingest") as span:
+                if merged is not None:
+                    tokens = sum(len(f) for f in merged.corpus.expand_files())
+                    self.clock.cpu(
+                        self.compress_ops_per_token * max(tokens, 1)
+                    )
+                    charge_sequential_io(
+                        self.clock,
+                        DeviceProfile.by_name(self.config.disk),
+                        serialized_size(merged.corpus),
+                        write=True,
+                    )
+                    self._install_segment(merged)
+                    self.artifacts[merged.name] = merged
+                self.pool.flush()  # merged segment durable; old still live
+                obs_events.emit(
+                    "segment_compacted",
+                    merged=merged.name if merged is not None else None,
+                    retired=[old.name for old in retired],
+                )
+                with self.txlog.transaction() as tx:
+                    tx.write(self.manifest_off, self._manifest_blob())
+                    for old in retired:
+                        self.pool.retire_segment(old.name)
+                        self._device.pop(old.name, None)
+                        obs_events.emit("segment_retired", segment=old.name)
+                self.pool.flush()  # retired directory durable
+                if span is not None:
+                    span.attrs["retired"] = len(retired)
+            obs_metrics.inc("ntadoc_segments_compacted_total")
+            obs_metrics.inc("ntadoc_segments_retired_total", len(retired))
         return merged
 
     # ------------------------------------------------------------------
@@ -318,12 +448,20 @@ class SegmentedEngine:
         vocab = self.corpus.dictionary.words()
         doc_names = self.corpus.live_doc_names()
         rendered: dict[str, Any] = {}
-        for name in task_names:
-            merged = merge_segment_results(
-                name, parts[name], self.config, self.clock
-            )
-            rendered[name] = render_result(
-                name, merged, vocab, doc_names, ngram_names
+        with self._observed():
+            with obs.span(
+                "ingest:merge", category="ingest", segments=queried
+            ):
+                for name in task_names:
+                    merged = merge_segment_results(
+                        name, parts[name], self.config, self.clock
+                    )
+                    rendered[name] = render_result(
+                        name, merged, vocab, doc_names, ngram_names
+                    )
+            obs_metrics.inc("ntadoc_ingest_queries_total")
+            obs_metrics.observe(
+                "ntadoc_ingest_query_ns", self.clock.ns - start_ns
             )
         return IngestQueryResult(
             tasks=list(task_names),
@@ -431,35 +569,53 @@ class SegmentedEngine:
         """
         memory.disarm_faults()
         memory.detach_integrity()
+        memory.detach_flight_recorder()
         engine = object.__new__(cls)
         engine.config = config or EngineConfig()
         engine.compress_ops_per_token = compress_ops_per_token
+        engine._init_observability()
         engine.clock = memory.clock
         engine.memory = memory
         pool = NvmPool(memory)
         pool.load_directory()
         engine.pool = pool
-        engine.guard = None
-        if pool.media_protect:
-            from repro.nvm.scrub import MediaGuard, SEAL_REGION
+        engine._attach_flightrec()  # resumes the pre-crash ring's seq
+        with engine._observed():
+            with obs.span("ingest:reopen", category="ingest") as span:
+                engine.guard = None
+                if pool.media_protect:
+                    from repro.nvm.scrub import MediaGuard, SEAL_REGION
 
-            if pool.has_region(SEAL_REGION):
-                off, size = pool.get_region(SEAL_REGION)
-                memory.fill(off, size, 0)
-            engine.guard = MediaGuard(pool)
-        engine.txlog = TransactionLog(pool, auto_capacity=True)
-        if engine.txlog.needs_recovery():
-            engine.txlog.recover()
-        engine.manifest_off = pool.get_region(MANIFEST_REGION)[0]
-        entries = engine._read_manifest()
-        named = {name for name, _, _ in entries}
-        orphans = [n for n in pool.segment_names() if n not in named]
-        if orphans:
-            # Half-installed wreckage from a crash between the directory
-            # flush and the manifest commit: physically retire it.
-            with engine.txlog.transaction():
-                for orphan in orphans:
-                    pool.retire_segment(orphan)
+                    if pool.has_region(SEAL_REGION):
+                        off, size = pool.get_region(SEAL_REGION)
+                        memory.fill(off, size, 0)
+                    engine.guard = MediaGuard(pool)
+                engine.txlog = TransactionLog(pool, auto_capacity=True)
+                recovered = 0
+                if engine.txlog.needs_recovery():
+                    recovered = engine.txlog.recover()
+                engine.manifest_off = pool.get_region(MANIFEST_REGION)[0]
+                entries = engine._read_manifest()
+                named = {name for name, _, _ in entries}
+                orphans = [n for n in pool.segment_names() if n not in named]
+                if orphans:
+                    # Half-installed wreckage from a crash between the
+                    # directory flush and the manifest commit: physically
+                    # retire it.
+                    with engine.txlog.transaction():
+                        for orphan in orphans:
+                            pool.retire_segment(orphan)
+                if span is not None:
+                    span.attrs["segments"] = len(entries)
+                    span.attrs["orphans"] = len(orphans)
+                obs_events.emit(
+                    "reopen",
+                    severity="warning" if orphans or recovered else "info",
+                    segments=len(entries),
+                    orphans_retired=len(orphans),
+                    txlog_records_undone=recovered,
+                )
+                obs_metrics.inc("ntadoc_reopens_total")
         segments: list[SealedSegment] = []
         for name, n_docs, tombs in entries:
             if not pool.has_segment(name):
@@ -479,15 +635,16 @@ class SegmentedEngine:
             seal_threshold_tokens=seal_threshold_tokens,
         )
         engine.artifacts = dict(artifacts)
-        engine._device = {
-            seg.name: _DeviceSegment(
+        engine._device = {}
+        for seg in segments:
+            seg_engine = NTadocEngine(seg.corpus, engine.config)
+            engine._share_observability(seg_engine)
+            engine._device[seg.name] = _DeviceSegment(
                 segment=seg,
-                engine=NTadocEngine(seg.corpus, engine.config),
+                engine=seg_engine,
                 pool=pool.segment_pool(seg.name),
                 pruned=None,  # rebuilt (charged) on the next query
             )
-            for seg in segments
-        }
         engine._dram = SimulatedMemory(
             DeviceProfile.dram(),
             1 << 24,
@@ -506,6 +663,7 @@ class SegmentedEngine:
         """Create the segment's extent and build its DAG pool (charged)."""
         config = self.config
         eng = NTadocEngine(segment.corpus, config)
+        self._share_observability(eng)
         estimate = eng._estimate_pool_bytes(n_tasks=len(MERGEABLE_TASKS))
         size = estimate - _ENGINE_HEADROOM + _SEGMENT_SLACK
         self.pool.create_segment(segment.name, size)

@@ -7,6 +7,8 @@ names, and propagates them through assignments, control flow, and calls:
   (``time.perf_counter()``, ``os.urandom()``, ``id()``);
 * ``order``   labels mark values whose content depends on set iteration
   order (salted per process);
+* ``metrics`` labels mark values read out of the observability layer
+  (the metrics registry / event journal -- ND014's source set);
 * ``param``   labels mark values derived from a function parameter --
   the cross-function plumbing for summaries;
 * ``owned``   labels mark values derived from a parallel worker's
@@ -47,7 +49,7 @@ MAX_PASSES = 6
 class Label:
     """One provenance fact attached to a value."""
 
-    kind: str  # "entropy" | "order" | "param" | "owned"
+    kind: str  # "entropy" | "order" | "metrics" | "param" | "owned"
     desc: str  # source description ("time.perf_counter()", param name)
     origin: str  # "path:line" for sources, param index for params
     chain: tuple[str, ...] = ()
@@ -286,6 +288,8 @@ class TaintAnalysis:
             out.add(self._source_label("entropy", f"{qualified}()", call))
         elif qualified in spec.LAYOUT_CALLS:
             out.add(self._source_label("entropy", f"{qualified}()", call))
+        elif qualified is not None and spec.is_metrics_call(qualified):
+            out.add(self._source_label("metrics", f"{qualified}()", call))
 
         summary = None
         callee_info = None

@@ -70,6 +70,17 @@ ENTROPY_PREFIXES = ("secrets.",)
 #: Builtins whose result is process-layout dependent.
 LAYOUT_CALLS = frozenset({"id"})
 
+#: Qualified-name prefixes of the observability layer: the metrics
+#: registry and the event journal.  Values produced by calls into these
+#: modules are ND014 taint sources -- recording into them is free
+#: anywhere, but a value read *back out* (a counter value, a snapshot,
+#: a journal length) must never influence charging: metrics describe
+#: the run, they do not participate in it.
+METRICS_CALL_PREFIXES = (
+    "repro.obs.metrics.",
+    "repro.obs.events.",
+)
+
 #: Builtins that erase *iteration-order* taint (a sorted set is
 #: deterministic; a length or an order-insensitive reduction of a set is
 #: too).  Entropy taint passes through them untouched.
@@ -146,6 +157,11 @@ def is_write_method(name: str) -> bool:
 def is_entropy_call(qualified: str) -> bool:
     """Whether a fully qualified callable reads wall-clock time/entropy."""
     return qualified in ENTROPY_CALLS or qualified.startswith(ENTROPY_PREFIXES)
+
+
+def is_metrics_call(qualified: str) -> bool:
+    """Whether a fully qualified callable touches observability state."""
+    return qualified.startswith(METRICS_CALL_PREFIXES)
 
 
 def call_name(node: ast.Call) -> str | None:

@@ -249,8 +249,9 @@ class TaintResults:
     """Converged taint summaries plus per-function sink evidence."""
 
     summaries: dict[str, TaintSummary] = field(default_factory=dict)
-    #: qname -> sink hits whose label is an entropy/order source (ND010
-    #: findings live here; param-labelled hits became param_sinks).
+    #: qname -> sink hits whose label is an entropy/order source (ND010)
+    #: or a metrics source (ND014); param-labelled hits became
+    #: param_sinks.
     source_hits: dict[str, list[SinkHit]] = field(default_factory=dict)
 
 
@@ -287,7 +288,7 @@ def compute_taint(symbols: SymbolTable, callgraph: CallGraph) -> TaintResults:
         hits = [
             hit
             for hit in analysis.sink_hits
-            if hit.label.kind in ("entropy", "order")
+            if hit.label.kind in ("entropy", "order", "metrics")
         ]
         if hits:
             results.source_hits[qname] = hits

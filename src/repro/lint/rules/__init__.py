@@ -53,6 +53,7 @@ from repro.lint.rules import (  # noqa: E402  (registry must exist first)
     nd011_partition_race,
     nd012_unverified_read,
     nd013_segment_ownership,
+    nd014_metrics_taint,
 )
 
 __all__ = [
@@ -73,4 +74,5 @@ __all__ = [
     "nd011_partition_race",
     "nd012_unverified_read",
     "nd013_segment_ownership",
+    "nd014_metrics_taint",
 ]

@@ -9,7 +9,10 @@ mutate device state at zero cost, which skews every figure built on the
 run.
 
 Whitelisted: the accounting layer itself (``nvm/memory.py``), the trace
-replayer (``nvm/trace.py``), the bulk-kernel package (``repro/kernels/``,
+replayer (``nvm/trace.py``), the flight recorder (``nvm/flightrec.py``,
+whose whole contract is that recording is uncharged and invisible to
+accounting -- bit-identity tests pin it, and ND014 fences its outputs
+away from charging sinks), the bulk-kernel package (``repro/kernels/``,
 whose charge-from-plan contract is checked by ND007 instead), and test
 code, where uncharged inspection is the point.
 """
@@ -23,7 +26,11 @@ from repro.lint.core import Finding, ModuleFile
 from repro.lint.rules import register
 
 #: Modules allowed to touch the device buffer directly.
-ALLOWED_SUFFIXES = ("repro/nvm/memory.py", "repro/nvm/trace.py")
+ALLOWED_SUFFIXES = (
+    "repro/nvm/memory.py",
+    "repro/nvm/trace.py",
+    "repro/nvm/flightrec.py",
+)
 
 #: Packages allowed to touch the device buffer directly (any file).
 ALLOWED_PACKAGES = ("repro/kernels/",)

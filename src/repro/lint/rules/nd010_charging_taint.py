@@ -63,11 +63,13 @@ class ChargingTaint:
                 # A call that is both a bare-name sink and a resolved
                 # summary sink produces two hits at one location; keep
                 # the first (sorted) one.
+                label = hit.label
+                if label.kind == "metrics":
+                    continue  # observability reads are ND014's business
                 key = (hit.line, hit.col)
                 if key in seen:
                     continue
                 seen.add(key)
-                label = hit.label
                 source = {
                     "entropy": "wall-clock/entropy read",
                     "order": "set-iteration-order dependent value",

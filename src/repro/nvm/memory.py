@@ -157,6 +157,10 @@ class SimulatedMemory:
         #: (see repro.nvm.trace.record_trace); kernels would bypass the
         #: patched methods, so they stand down for the duration.
         self._recording = False
+        #: Attached :class:`~repro.nvm.flightrec.FlightRecorder`, if any.
+        #: Its window persists by riding :meth:`flush` (uncharged, like
+        #: the integrity reseal); ``None`` almost always.
+        self._flightrec = None
         #: Integrity mirror (line -> CRC32 of the line's bytes) attached
         #: by a :class:`~repro.nvm.scrub.MediaGuard`; ``None`` almost
         #: always, so unprotected reads pay one attribute load.
@@ -844,6 +848,15 @@ class SimulatedMemory:
                 start = line * line_size
                 end = min(start + line_size, self.size)
                 image[start:end] = self._buf[start:end]
+            recorder = self._flightrec
+            if recorder is not None:
+                # The flight-recorder window rides this flush into the
+                # crash image.  Its lines are never dirty (all recorder
+                # writes are uncharged pokes), so this copy is invisible
+                # to flush charging and to the fault plan's accounting.
+                recorder.on_flush(self)
+                lo, hi = recorder.window
+                image[lo:hi] = self._buf[lo:hi]
         for line in dirty_lines:
             self._cache.clean(line)
         self._dirty_lines.clear()
@@ -898,6 +911,18 @@ class SimulatedMemory:
                     image[start:end] = self._buf[start:end]
                 if cut_line not in already_programmed:
                     self._program_line(cut_line)
+            recorder = self._flightrec
+            if recorder is not None:
+                # Power died mid-flush: the recorder window persists only
+                # a prefix proportional to what the tear itself persisted,
+                # so the newest slot may land half-written on media.  The
+                # decoder classifies such a slot as a typed torn record.
+                recorder.on_flush(self)
+                lo, hi = recorder.window
+                budget = len(persisted) * line_size + cut_bytes
+                hi = min(hi, lo + budget)
+                if hi > lo:
+                    image[lo:hi] = self._buf[lo:hi]
         plan.raise_torn(self, len(persisted))
 
     def crash(self) -> None:
@@ -1032,6 +1057,38 @@ class SimulatedMemory:
         """Detach the CRC mirror; subsequent reads skip verification."""
         self._integrity_seals = None
         self._integrity_exclude = frozenset()
+
+    # ------------------------------------------------------------------
+    # Flight recorder (see repro.nvm.flightrec)
+    # ------------------------------------------------------------------
+
+    def attach_flight_recorder(self, recorder) -> None:
+        """Attach a :class:`~repro.nvm.flightrec.FlightRecorder`.
+
+        While attached, every flush copies the recorder's window into
+        the crash image after the dirty lines land (a torn flush copies
+        a bounded prefix).  The copy -- like all recorder writes -- is
+        uncharged and invisible to dirty tracking, so attaching cannot
+        change a single charged nanosecond.  Attaching replaces a
+        previous recorder.
+
+        Attaching also formats the region at mount: the recorder window
+        (freshly-poked header included) is copied straight into the
+        crash image, so a crash -- even a fully torn very first flush --
+        always reveals a decodable, possibly empty, ring.  Materializing
+        an all-zero image for a never-flushed device is behaviour-
+        preserving: :meth:`crash` already zero-fills in that case.
+        """
+        self._flightrec = recorder
+        if recorder is not None and self.profile.persistent:
+            if self._flushed_image is None:
+                self._flushed_image = mmap.mmap(-1, self.size)
+            lo, hi = recorder.window
+            self._flushed_image[lo:hi] = self._buf[lo:hi]
+
+    def detach_flight_recorder(self) -> None:
+        """Detach the flight recorder; the window stops persisting."""
+        self._flightrec = None
 
     def read_unverified(self, offset: int, size: int) -> bytes:
         """Charged read with seal verification suspended.

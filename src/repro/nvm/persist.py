@@ -34,6 +34,8 @@ from typing import Iterator
 
 from repro.errors import RecoveryError, TransactionError
 from repro.nvm.pool import NvmPool
+from repro.obs import events as obs_events
+from repro.obs import metrics as obs_metrics
 from repro.obs import tracer as obs
 
 _PHASE_REGION = "__phases__"
@@ -242,6 +244,11 @@ class TransactionLog:
         """
         with obs.span("persist:recover", category="persist") as span:
             undone = self._recover(span)
+        if undone:
+            obs_events.emit(
+                "txlog_recovery", severity="warning", records_undone=undone
+            )
+            obs_metrics.inc("ntadoc_txlog_recoveries_total")
         return undone
 
     def _recover(self, span) -> int:

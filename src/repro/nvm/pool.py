@@ -45,7 +45,7 @@ from __future__ import annotations
 import struct
 import zlib
 
-from repro.errors import PoolLayoutError
+from repro.errors import OutOfMemoryError, PoolLayoutError
 from repro.nvm.allocator import PoolAllocator
 from repro.nvm.memory import SimulatedMemory
 from repro.obs import tracer as obs
@@ -164,6 +164,49 @@ class NvmPool:
         if tracer is not None:
             tracer.op("pool:alloc_region", self.memory.clock.ns - start)
         return offset
+
+    def alloc_region_top(self, name: str, size: int, align: int = 8) -> int:
+        """Allocate a named region pinned at the TOP of the pool extent.
+
+        A top-pinned region never moves the bump pointer, so the layout
+        of every ordinary allocation is byte-for-byte identical whether
+        or not the region exists -- this is what lets the flight
+        recorder's ``__flightrec__`` window ride in every pool without
+        perturbing data placement.  The allocator's capacity is shrunk
+        below the region so ordinary allocations can never grow into it
+        (:meth:`reserve_top_region` restores the carve-out after a
+        reopen, which persists the bump pointer but not the capacity).
+
+        Raises:
+            PoolLayoutError: if ``name`` already exists.
+            OutOfMemoryError: when allocated space already reaches into
+                the window the region would occupy.
+        """
+        if name in self._regions:
+            raise PoolLayoutError(f"region {name!r} already exists")
+        alloc = self.allocator
+        end = alloc.base + alloc.capacity
+        offset = (end - size) // align * align
+        if offset < alloc.top:
+            raise OutOfMemoryError(
+                f"pool exhausted: top region {name!r} ({size} B) would "
+                "overlap allocated space"
+            )
+        alloc.capacity = offset - alloc.base
+        self._regions[name] = (offset, size)
+        return offset
+
+    def reserve_top_region(self, name: str) -> None:
+        """Re-carve the allocator capacity below a top-pinned region.
+
+        :meth:`load_directory` restores regions and the bump pointer but
+        not the capacity shrink :meth:`alloc_region_top` performed; call
+        this after reopening a pool that holds a top-pinned region.
+        """
+        offset, _ = self.get_region(name)
+        alloc = self.allocator
+        if alloc.base <= offset < alloc.base + alloc.capacity:
+            alloc.capacity = offset - alloc.base
 
     def get_region(self, name: str) -> tuple[int, int]:
         """Return ``(offset, size)`` of a named region.

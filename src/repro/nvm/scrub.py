@@ -41,6 +41,8 @@ from dataclasses import dataclass, field
 
 from repro.errors import PoolLayoutError
 from repro.nvm.pool import NvmPool
+from repro.obs import events as obs_events
+from repro.obs import metrics as obs_metrics
 from repro.obs import tracer as obs
 
 #: Pool region holding the on-media per-line CRC table.
@@ -206,6 +208,7 @@ class MediaGuard:
             crc = zlib.crc32(mem.read_unverified(start, size)) or 1
             self._seals[line] = crc
             sealed.append((line, crc))
+            mem.stats.seal_bytes += size
         # Sync the on-media table: zero entries whose seal was dropped
         # (a line flushed without a reseal), then write the new seals.
         for line in sorted(self._synced - self._seals.keys()):
@@ -272,11 +275,18 @@ class MediaGuard:
                 size = min(line_size, mem.size - start)
                 data = pool.unverified_read(start, size)
                 report.chunks_scanned += 1
+                mem.stats.scrub_bytes += size
                 if (zlib.crc32(data) or 1) == expected:
                     continue
                 report.mismatches += 1
+                obs_events.emit(
+                    "fault_detected", severity="warning", line=line
+                )
+                obs_metrics.inc("ntadoc_faults_detected_total")
                 if self._retry_chunk(start, size, expected, report):
                     report.corrected += 1
+                    obs_events.emit("fault_corrected", line=line)
+                    obs_metrics.inc("ntadoc_faults_corrected_total")
                     continue
                 self._handle_persistent_damage(
                     line, start, size, report, txlog
@@ -286,6 +296,16 @@ class MediaGuard:
                 span.attrs["chunks"] = report.chunks_scanned
                 span.attrs["mismatches"] = report.mismatches
         report.scrub_ns = mem.clock.ns - start_ns
+        obs_events.emit(
+            "scrub_complete",
+            chunks=report.chunks_scanned,
+            mismatches=report.mismatches,
+            corrected=report.corrected,
+            quarantined=report.quarantined,
+        )
+        obs_metrics.inc("ntadoc_scrub_passes_total")
+        obs_metrics.inc("ntadoc_scrub_chunks_total", report.chunks_scanned)
+        obs_metrics.observe("ntadoc_scrub_ns", report.scrub_ns)
         return report
 
     def _retry_chunk(
@@ -297,6 +317,7 @@ class MediaGuard:
             with obs.span("scrub:retry", category="scrub") as span:
                 mem.clock.advance(self.retry_base_ns * (2**attempt))
                 data = self.pool.unverified_read(start, size)
+                mem.stats.scrub_bytes += size
                 if span is not None:
                     span.attrs["attempt"] = attempt + 1
             if (zlib.crc32(data) or 1) == expected:
@@ -328,13 +349,28 @@ class MediaGuard:
         if line in self._synced:
             mem.write_uint(self._table_off + 4 * line, 4, 0)
             self._synced.discard(line)
+        mem.stats.scrub_bytes += size  # write-test read-back
         if stuck:
             self._record_bad_line(line, txlog)
             report.bad_lines_remapped += 1
             report.damaged_lines.append((line, "stuck"))
+            obs_events.emit(
+                "line_remapped",
+                severity="warning",
+                line=line,
+                replacement=self.remap.get(line),
+            )
+            obs_metrics.inc("ntadoc_lines_remapped_total")
         else:
             report.damaged_lines.append((line, "lost"))
         report.quarantined += 1
+        obs_events.emit(
+            "line_quarantined",
+            severity="error",
+            line=line,
+            kind="stuck" if stuck else "lost",
+        )
+        obs_metrics.inc("ntadoc_lines_quarantined_total")
 
     def _record_bad_line(self, line: int, txlog) -> None:
         """Append one remap entry, crash-consistently when possible."""

@@ -25,6 +25,10 @@ class MemoryStats:
     flush_ops: int = 0
     flushed_lines: int = 0
     device_ns: float = 0.0
+    #: Bytes CRC-sealed by the MediaGuard at pool flushes.
+    seal_bytes: int = 0
+    #: Bytes re-read (and retried) by MediaGuard scrub passes.
+    scrub_bytes: int = 0
 
     def snapshot(self) -> "MemoryStats":
         """Return an independent copy of the current counter values."""

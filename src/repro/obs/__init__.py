@@ -1,12 +1,17 @@
-"""Observability: deterministic span tracing, exporters, perf snapshots.
+"""Observability: span tracing, always-on metrics, events, snapshots.
 
 The package is deliberately light so hot modules can import it without
 cost: :mod:`repro.obs.tracer` holds the tracer and the module-global
-no-op helpers, :mod:`repro.obs.export` the Chrome trace-event exporter
-and span aggregation, :mod:`repro.obs.snapshot` the canonical perf
-snapshot and its tolerance-band diff.  See docs/observability.md.
+no-op helpers, :mod:`repro.obs.metrics` the always-on metrics registry
+(counters, gauges, power-of-two histograms), :mod:`repro.obs.events`
+the structured event journal, :mod:`repro.obs.export` the Chrome
+trace-event exporter and span aggregation, :mod:`repro.obs.snapshot`
+the canonical perf snapshot and its tolerance-band diff.  See
+docs/observability.md.
 """
 
+from repro.obs.events import Event, EventJournal
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.tracer import (
     OpStats,
     Span,
@@ -17,6 +22,12 @@ from repro.obs.tracer import (
 )
 
 __all__ = [
+    "Counter",
+    "Event",
+    "EventJournal",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
     "OpStats",
     "Span",
     "Tracer",

@@ -39,6 +39,8 @@ _ARG_KEYS = (
     "cache_misses",
     "flush_ops",
     "flushed_lines",
+    "seal_bytes",
+    "scrub_bytes",
 )
 
 
@@ -162,6 +164,10 @@ def chrome_trace(tracer: "Tracer") -> dict[str, Any]:
                     "args": {
                         "bytes_read": cum.get("bytes_read", 0),
                         "bytes_written": cum.get("bytes_written", 0),
+                        # MediaGuard maintenance traffic (zero when the
+                        # pool runs unprotected); see docs/recovery.md.
+                        "seal_bytes": cum.get("seal_bytes", 0),
+                        "scrub_bytes": cum.get("scrub_bytes", 0),
                     },
                 }
             )

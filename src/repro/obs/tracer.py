@@ -60,6 +60,8 @@ _STAT_KEYS = (
     "flush_ops",
     "flushed_lines",
     "device_ns",
+    "seal_bytes",
+    "scrub_bytes",
 )
 
 

@@ -1,0 +1,14 @@
+from repro.obs.events import emit
+from repro.obs.metrics import inc, observe
+
+
+def charge_and_record(clock, device, nbytes):
+    cost = nbytes * device.ns_per_byte
+    clock.advance(cost)
+    inc("ntadoc_pool_bytes_read_total", nbytes)
+    observe("ntadoc_task_ns", cost, task="word_count")
+    emit("task_complete", task="word_count")
+
+
+def report(registry):
+    return registry.expose()

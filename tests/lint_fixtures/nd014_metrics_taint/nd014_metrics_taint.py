@@ -1,0 +1,23 @@
+from repro.obs.events import current_journal
+from repro.obs.metrics import current_registry
+
+
+def charge_io(clock, amount):
+    clock.advance(amount)
+
+
+def direct(clock):
+    reg = current_registry()
+    count = reg.snapshot()["counters"]["ntadoc_runs_total"]
+    clock.advance(count * 10.0)
+
+
+def indirect(clock):
+    journal = current_journal()
+    backlog = journal.events
+    charge_io(clock, len(backlog) * 2.0)
+
+
+def stored(stats):
+    reg = current_registry()
+    stats.device_ns = reg.snapshot()["gauges"]["ntadoc_pool_resident"]

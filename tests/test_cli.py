@@ -185,3 +185,72 @@ class TestFaultsweep:
         report = json.loads(out.read_text())
         assert report["points_swept"] >= 200
         assert report["violations"] == []
+
+
+class TestMetrics:
+    def test_prom_exposition_and_journal_tail(self, corpus_path, capsys):
+        assert main(
+            ["metrics", str(corpus_path), "word_count", "--events", "3"]
+        ) == 0
+        captured = capsys.readouterr().out
+        assert "# TYPE ntadoc_task_ns histogram" in captured
+        assert "ntadoc_events_total" in captured
+        assert "# run total:" in captured
+        assert "# last 3 journal event(s):" in captured
+
+    def test_json_snapshot_to_file(self, tmp_path, corpus_path, capsys):
+        out = tmp_path / "metrics.json"
+        assert main(
+            [
+                "metrics", str(corpus_path), "word_count,inverted_index",
+                "--format", "json", "--out", str(out),
+            ]
+        ) == 0
+        import json
+
+        snapshot = json.loads(out.read_text())
+        assert set(snapshot) == {"counters", "gauges", "histograms"}
+        assert any(
+            name.startswith("ntadoc_task_ns") for name in snapshot["histograms"]
+        )
+
+    def test_unknown_task_rejected(self, corpus_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["metrics", str(corpus_path), "word_mangle"])
+        assert exc.value.code == 2
+
+
+class TestBlackbox:
+    def test_image_out_round_trips_through_blackbox(
+        self, tmp_path, corpus_path, capsys
+    ):
+        image = tmp_path / "pool.img"
+        assert main(
+            ["metrics", str(corpus_path), "word_count", "--image-out", str(image)]
+        ) == 0
+        capsys.readouterr()
+        assert image.exists()
+        assert main(["blackbox", str(image)]) == 0
+        captured = capsys.readouterr().out
+        assert "last committed phase" in captured
+        assert "task_complete" in captured
+
+    def test_json_report(self, tmp_path, corpus_path, capsys):
+        image = tmp_path / "pool.img"
+        assert main(
+            ["metrics", str(corpus_path), "word_count", "--image-out", str(image)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["blackbox", str(image), "--json", "--tail", "4"]) == 0
+        import json
+
+        report = json.loads(capsys.readouterr().out)
+        assert report["present"]
+        assert report["by_kind"].get("event", 0) > 0
+        assert len(report["tail"]) <= 4
+
+    def test_junk_image_exits_nonzero(self, tmp_path, capsys):
+        junk = tmp_path / "junk.img"
+        junk.write_bytes(b"definitely not a pool image")
+        assert main(["blackbox", str(junk)]) == 1
+        assert "no flight recorder found" in capsys.readouterr().err

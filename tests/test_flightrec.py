@@ -1,0 +1,316 @@
+"""Flight recorder: ring wraparound, torn-flush decode, crash persistence.
+
+The black box's contract (docs/observability.md):
+
+* Recording is **uncharged** -- pokes only, no clock movement, no dirty
+  lines -- and durability rides the device flush.
+* The decoder **never returns garbage**: every slot classifies as a
+  CRC-verified ``event``, a typed ``torn`` record (magic present, CRC
+  mismatch), or ``unknown`` (nonzero bytes without the magic).  A crash
+  that tears one flush damages at most one slot.  Checked
+  property-based over every possible tear point.
+* Wraparound keeps the newest ``nslots`` records, chronologically
+  ordered by sequence number.
+* ``blackbox_report`` attributes the crash point: the last committed
+  phase and the phase left in flight.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nvm.device import DeviceProfile
+from repro.nvm.flightrec import (
+    DEFAULT_SLOTS,
+    HEADER_SIZE,
+    FlightRecorder,
+    blackbox_report,
+    decode_device_image,
+    decode_memory,
+    decode_window,
+    device_image,
+    region_bytes,
+)
+from repro.nvm.memory import SimulatedMemory
+from repro.obs.events import Event, EventJournal
+
+SLOT_SIZE = 256
+NSLOTS = 16
+WINDOW = HEADER_SIZE + SLOT_SIZE * NSLOTS
+
+
+def _fresh(size: int = 1 << 16, **kwargs) -> tuple[SimulatedMemory, FlightRecorder]:
+    mem = SimulatedMemory(DeviceProfile.nvm(), size)
+    recorder = FlightRecorder(mem, 0, WINDOW, slot_size=SLOT_SIZE, **kwargs)
+    return mem, recorder
+
+
+def _event(seq: int, sim_ns: float = 0.0, type: str = "reopen", **detail) -> Event:
+    return Event(seq=seq, type=type, severity="info", sim_ns=sim_ns, detail=detail)
+
+
+def _window_after(n_events: int) -> bytes:
+    """The window bytes after ``n_events`` deterministic records."""
+    mem, recorder = _fresh()
+    for i in range(n_events):
+        recorder.record(_event(i, sim_ns=float(i * 10), index=i))
+    return mem.peek(0, WINDOW)
+
+
+class TestRingBasics:
+    def test_records_decode_in_order(self):
+        mem, recorder = _fresh()
+        for i in range(5):
+            recorder.record(_event(i, sim_ns=float(i), index=i))
+        decoded = decode_memory(mem, 0, WINDOW)
+        assert decoded["present"]
+        assert decoded["nslots"] == NSLOTS
+        records = decoded["records"]
+        assert [r.kind for r in records] == ["event"] * 5
+        assert [r.seq for r in records] == list(range(5))
+        assert [r.detail["index"] for r in records] == list(range(5))
+
+    def test_recording_is_uncharged(self):
+        mem, recorder = _fresh()
+        before = mem.clock.ns
+        for i in range(NSLOTS * 2):
+            recorder.record(_event(i))
+        assert mem.clock.ns == before
+        assert not mem._dirty_lines  # pokes never dirty a line
+
+    def test_wraparound_keeps_newest_nslots(self):
+        mem, recorder = _fresh()
+        total = NSLOTS + 7
+        for i in range(total):
+            recorder.record(_event(i, sim_ns=float(i)))
+        records = decode_memory(mem, 0, WINDOW)["records"]
+        assert len(records) == NSLOTS
+        assert [r.seq for r in records] == list(range(7, total))
+        assert all(r.kind == "event" for r in records)
+
+    def test_reopen_resumes_sequence(self):
+        mem, recorder = _fresh()
+        for i in range(3):
+            recorder.record(_event(i))
+        reopened = FlightRecorder(mem, 0, WINDOW, slot_size=SLOT_SIZE)
+        assert reopened.next_seq == 3
+        reopened.record(_event(3))
+        seqs = [r.seq for r in decode_memory(mem, 0, WINDOW)["records"]]
+        assert seqs == [0, 1, 2, 3]
+
+    def test_geometry_mismatch_restarts_ring(self):
+        mem, recorder = _fresh()
+        recorder.record(_event(0))
+        resized = FlightRecorder(mem, 0, WINDOW, slot_size=SLOT_SIZE * 2)
+        assert resized.next_seq == 0
+
+    def test_oversized_detail_truncates_typed(self):
+        mem, recorder = _fresh()
+        recorder.record(_event(0, blob="x" * (SLOT_SIZE * 2)))
+        (record,) = decode_memory(mem, 0, WINDOW)["records"]
+        assert record.kind == "event"  # CRC covers the truncated payload
+        assert record.detail_truncated
+        assert record.detail["raw_prefix"].startswith('{"blob"')
+
+    def test_custom_type_round_trips_through_detail(self):
+        mem, recorder = _fresh()
+        recorder.record(_event(0, type="made_up_type"))
+        (record,) = decode_memory(mem, 0, WINDOW)["records"]
+        assert record.kind == "event"
+        assert record.type == "made_up_type"
+
+    def test_window_too_small_rejected(self):
+        mem = SimulatedMemory(DeviceProfile.nvm(), 1 << 16)
+        with pytest.raises(ValueError):
+            FlightRecorder(mem, 0, HEADER_SIZE + SLOT_SIZE - 1, slot_size=SLOT_SIZE)
+        with pytest.raises(ValueError):
+            FlightRecorder(mem, 0, WINDOW, slot_size=8)
+
+    def test_region_bytes_matches_geometry(self):
+        assert region_bytes(SLOT_SIZE, NSLOTS) == WINDOW
+        assert region_bytes() == HEADER_SIZE + 256 * DEFAULT_SLOTS
+
+
+class TestTornDecode:
+    @given(cut=st.integers(min_value=0, max_value=WINDOW))
+    @settings(max_examples=200, deadline=None)
+    def test_any_prefix_onto_zeroes_decodes_typed(self, cut):
+        """A tear that persisted only ``cut`` bytes of a fresh window
+        never yields garbage: at most one damaged slot, and the intact
+        events form an exact sequence prefix."""
+        full = _window_after(10)
+        torn = full[:cut] + bytes(WINDOW - cut)
+        decoded = decode_window(torn)
+        if not decoded["present"]:
+            # Only a tear inside the 16-byte header can make the window
+            # undecodable (and even there the zero-padded suffix may
+            # still parse as valid geometry).
+            assert cut < HEADER_SIZE
+            return
+        records = decoded["records"]
+        assert all(r.kind in ("event", "torn", "unknown") for r in records)
+        damaged = [r for r in records if r.kind != "event"]
+        assert len(damaged) <= 1
+        events = [r for r in records if r.kind == "event"]
+        assert [r.seq for r in events] == list(range(len(events)))
+
+    @given(cut=st.integers(min_value=HEADER_SIZE, max_value=WINDOW))
+    @settings(max_examples=200, deadline=None)
+    def test_any_prefix_onto_old_image_decodes_typed(self, cut):
+        """The real torn-flush shape: new window bytes persist up to the
+        tear, the rest of the image still holds the previous flush.  The
+        mix stays fully typed and chronologically consistent."""
+        old = _window_after(4)
+        new = _window_after(10)
+        decoded = decode_window(new[:cut] + old[cut:])
+        assert decoded["present"]
+        records = decoded["records"]
+        damaged = [r for r in records if r.kind != "event"]
+        assert len(damaged) <= 1
+        events = [r for r in records if r.kind == "event"]
+        seqs = [r.seq for r in events]
+        assert seqs == sorted(set(seqs))
+        times = [r.sim_ns for r in events]
+        assert all(b >= a for a, b in zip(times, times[1:]))
+
+    def test_mid_slot_cut_classifies_torn(self):
+        full = _window_after(3)
+        # Cut halfway through the last written slot: magic survives,
+        # the CRC in the final 4 bytes does not.
+        cut = HEADER_SIZE + 2 * SLOT_SIZE + SLOT_SIZE // 2
+        records = decode_window(full[:cut] + bytes(WINDOW - cut))["records"]
+        assert [r.kind for r in records] == ["event", "event", "torn"]
+        assert records[-1].seq == 2  # header fields are best-effort
+
+    def test_magic_split_classifies_unknown(self):
+        full = _window_after(3)
+        # One byte of the last slot survives: nonzero, no magic.
+        cut = HEADER_SIZE + 2 * SLOT_SIZE + 1
+        records = decode_window(full[:cut] + bytes(WINDOW - cut))["records"]
+        kinds = sorted(r.kind for r in records)
+        assert kinds == ["event", "event", "unknown"]
+
+    def test_junk_window_not_present(self):
+        assert not decode_window(b"\xff" * WINDOW)["present"]
+        assert not decode_window(b"")["present"]
+
+
+class TestCrashPersistence:
+    def test_ring_survives_flush_then_crash(self):
+        mem, recorder = _fresh()
+        mem.attach_flight_recorder(recorder)
+        for i in range(4):
+            recorder.record(_event(i, sim_ns=float(i)))
+        mem.flush()
+        recorder.record(_event(4))  # recorded but never flushed
+        mem.crash()
+        records = decode_memory(mem, 0, WINDOW)["records"]
+        assert [r.seq for r in records] == [0, 1, 2, 3]
+
+    def test_attach_formats_image_so_first_crash_decodes(self):
+        # Attaching persists the freshly-poked header eagerly, so even a
+        # crash before the very first flush reveals a decodable (empty)
+        # ring rather than zeroes; the unflushed record itself is lost.
+        mem, recorder = _fresh()
+        mem.attach_flight_recorder(recorder)
+        recorder.record(_event(0))
+        mem.crash()
+        decoded = decode_memory(mem, 0, WINDOW)
+        assert decoded["present"]
+        assert decoded["records"] == []
+
+    def test_flush_appends_metrics_snapshot_slot(self):
+        mem, recorder = _fresh(snapshot_provider=lambda: {"events": 7})
+        mem.attach_flight_recorder(recorder)
+        recorder.record(_event(0))
+        mem.flush()
+        mem.crash()
+        records = decode_memory(mem, 0, WINDOW)["records"]
+        assert [r.type for r in records] == ["reopen", "metrics_snapshot"]
+        assert records[-1].severity == "debug"
+        assert records[-1].detail == {"events": 7}
+
+    def test_empty_flush_charges_nothing_extra(self):
+        mem, recorder = _fresh(snapshot_provider=lambda: {})
+        mem.attach_flight_recorder(recorder)
+        recorder.record(_event(0))
+        before = mem.clock.ns
+        mem.flush()  # no dirty lines: persists the window for free
+        assert mem.clock.ns == before
+
+
+class TestDeviceImageRoundTrip:
+    def test_image_round_trip_is_uncharged(self):
+        from repro.nvm.pool import NvmPool
+
+        mem = SimulatedMemory(DeviceProfile.nvm(), 1 << 20)
+        pool = NvmPool(mem)
+        from repro.nvm.flightrec import FLIGHTREC_REGION
+
+        pool.alloc_region_top(FLIGHTREC_REGION, WINDOW, align=256)
+        pool.save_directory()
+        offset, size = pool.get_region(FLIGHTREC_REGION)
+        recorder = FlightRecorder(mem, offset, size, slot_size=SLOT_SIZE)
+        for i in range(3):
+            recorder.record(_event(i))
+        before = mem.clock.ns
+        decoded = decode_device_image(device_image(mem))
+        assert mem.clock.ns == before
+        assert decoded is not None and decoded["present"]
+        assert [r.seq for r in decoded["records"]] == [0, 1, 2]
+
+    def test_junk_and_empty_images_decode_to_none(self):
+        assert decode_device_image(b"") is None
+        assert decode_device_image(b"not a pool") is None
+        assert decode_device_image(bytes(1 << 16)) is None
+
+
+class TestBlackboxReport:
+    def _journal_ring(self, emits) -> dict:
+        mem, recorder = _fresh()
+        journal = EventJournal()
+        journal.bind(clock=mem.clock)
+        journal.add_sink(recorder.record)
+        for event_type, detail in emits:
+            journal.emit(event_type, **detail)
+        return decode_memory(mem, 0, WINDOW)
+
+    def test_attributes_in_flight_phase(self):
+        decoded = self._journal_ring(
+            [
+                ("engine_start", {}),
+                ("phase_start", {"phase": "initialization"}),
+                ("phase_commit", {"phase": "initialization"}),
+                ("phase_start", {"phase": "traversal"}),
+            ]
+        )
+        report = blackbox_report(decoded, tail=2)
+        assert report["present"]
+        assert report["records"] == 4
+        assert report["by_kind"] == {"event": 4}
+        assert report["last_completed_phase"] == "initialization"
+        assert report["in_flight_phase"] == "traversal"
+        assert len(report["tail"]) == 2
+        assert report["tail"][-1]["type"] == "phase_start"
+
+    def test_nothing_in_flight_after_commit(self):
+        decoded = self._journal_ring(
+            [
+                ("phase_start", {"phase": "initialization"}),
+                ("phase_commit", {"phase": "initialization"}),
+            ]
+        )
+        report = blackbox_report(decoded)
+        assert report["last_completed_phase"] == "initialization"
+        assert report["in_flight_phase"] is None
+
+    def test_empty_ring_reports_cleanly(self):
+        mem, _recorder = _fresh()
+        report = blackbox_report(decode_memory(mem, 0, WINDOW))
+        assert report["present"]
+        assert report["records"] == 0
+        assert report["last_completed_phase"] is None
+        assert report["in_flight_phase"] is None
+        assert report["tail"] == []

@@ -233,10 +233,18 @@ class TestCrashSweepWithKernels:
         with_kernels = run_sweep(_sweep_config("auto"))
         without = run_sweep(_sweep_config("off"))
         assert with_kernels["violations"] == []
-        # The config echo differs by construction; everything measured
-        # (points, recoveries, costs, digests) must match bit-for-bit.
+        # The config echo differs by construction, and the black-box
+        # sample embeds the kernel_backend journal event, which names
+        # the backend by design; its counters must still agree.
+        # Everything measured (points, recoveries, costs, digests)
+        # must match bit-for-bit.
         with_kernels["config"].pop("kernels")
         without["config"].pop("kernels")
+        bb_with = with_kernels.pop("blackbox")
+        bb_without = without.pop("blackbox")
+        assert {k: v for k, v in bb_with.items() if k != "sample"} == {
+            k: v for k, v in bb_without.items() if k != "sample"
+        }
         assert render_report(with_kernels) == render_report(without)
 
 

@@ -29,7 +29,7 @@ class TestEngine:
     def test_all_rules_registered(self):
         assert all_rule_ids() == [
             "ND001", "ND002", "ND003", "ND004", "ND005", "ND006", "ND007",
-            "ND008", "ND009", "ND010", "ND011", "ND012", "ND013",
+            "ND008", "ND009", "ND010", "ND011", "ND012", "ND013", "ND014",
         ]
         for rule_id, rule in REGISTRY.items():
             assert rule.id == rule_id

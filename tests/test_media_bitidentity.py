@@ -24,29 +24,32 @@ TRIO = ("word_count", "inverted_index", "term_vector")
 
 #: Captured from the pre-PR tree (see module docstring).  Any drift here
 #: means the default charging path changed -- a bug, not a baseline bump.
-#: (Exception: the term_vector *result* digest was re-pinned when its
+#: (Exceptions: the term_vector *result* digest was re-pinned when its
 #: count-tie break moved from word id to word string for segmented
-#: ingest; its timing and pool-image digests were unchanged.)
+#: ingest; the *image* digests were re-pinned when the always-on
+#: ``__flightrec__`` region landed in the pool directory -- the header
+#: blob now names it, while data placement (the region is top-pinned)
+#: and every timing/result digest stayed bit-identical.)
 SOLO_BASELINE = {
     "word_count": {
         "total_ns": 26243.2,
         "result": "d83ac6c281a770ec",
-        "image": "a2897adffdf7d9e8",
+        "image": "47053bb530dde5a8",
     },
     "inverted_index": {
         "total_ns": 25991.200000000114,
         "result": "0edec4260e975e83",
-        "image": "0feb3c2a826129c1",
+        "image": "42292caf4fbe1f72",
     },
     "term_vector": {
         "total_ns": 26722.60000000008,
         "result": "888db5da8696ddaf",
-        "image": "1b173292e44168b8",
+        "image": "1c03bd4bb0c21809",
     },
 }
 FUSED_BASELINE = {
     "total_ns": 56443.8000000003,
-    "image": "7e86e219b94eb608",
+    "image": "cc70bd3254840e8e",
     "results": ["d83ac6c281a770ec", "0edec4260e975e83", "888db5da8696ddaf"],
 }
 WEAR_BASELINE = {"digest": "d296fc5af4124c0e", "ns": 57856.0}
@@ -61,7 +64,18 @@ class _CapturePlan(FaultPlan):
 
 
 def _image_digest(mem) -> str:
-    return hashlib.sha256(mem.peek(0, mem.size)).hexdigest()[:16]
+    """Digest of the device image outside the flight recorder.
+
+    The ``__flightrec__`` black box (top-pinned, zero pre-PR) is masked
+    out: its ring holds event slots by design, while everything below it
+    must stay byte-for-byte what the pre-PR tree produced.
+    """
+    image = bytearray(mem.peek(0, mem.size))
+    rec = mem._flightrec
+    if rec is not None:
+        lo, hi = rec.window
+        image[lo:hi] = bytes(hi - lo)
+    return hashlib.sha256(bytes(image)).hexdigest()[:16]
 
 
 def _result_digest(result) -> str:
